@@ -1,0 +1,149 @@
+package faultexp_test
+
+// The benchmark harness of deliverable (d): one benchmark per
+// reproduction experiment (the paper has no numbered tables/figures —
+// each theorem/claim maps to an experiment, see DESIGN.md §2). Each
+// benchmark regenerates the experiment's result tables in quick mode;
+// run with
+//
+//	go test -bench=Experiment -benchmem
+//
+// and print the tables with
+//
+//	go run ./cmd/faultexp experiment all [-full]
+//
+// Additional micro-benchmarks cover the primitives each experiment
+// leans on (expansion estimation, pruning, span, percolation sweeps).
+
+import (
+	"testing"
+
+	"faultexp"
+	"faultexp/internal/experiments"
+	"faultexp/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	reg := experiments.Registry()
+	exp, ok := reg.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := harness.Config{Quick: true, Seed: uint64(20040627 + i)}
+		rep := exp.Run(cfg)
+		if rep == nil || len(rep.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// One benchmark per experiment (E1–E12).
+
+func BenchmarkExperimentE1(b *testing.B)  { benchExperiment(b, "E1") }  // Theorem 2.1
+func BenchmarkExperimentE2(b *testing.B)  { benchExperiment(b, "E2") }  // Claim 2.4
+func BenchmarkExperimentE3(b *testing.B)  { benchExperiment(b, "E3") }  // Theorem 2.3
+func BenchmarkExperimentE4(b *testing.B)  { benchExperiment(b, "E4") }  // Theorem 2.5
+func BenchmarkExperimentE5(b *testing.B)  { benchExperiment(b, "E5") }  // Theorem 3.1
+func BenchmarkExperimentE6(b *testing.B)  { benchExperiment(b, "E6") }  // Theorem 3.4
+func BenchmarkExperimentE7(b *testing.B)  { benchExperiment(b, "E7") }  // Theorem 3.6 + Lemma 3.7
+func BenchmarkExperimentE8(b *testing.B)  { benchExperiment(b, "E8") }  // §1.1 survey
+func BenchmarkExperimentE9(b *testing.B)  { benchExperiment(b, "E9") }  // §4 dilation
+func BenchmarkExperimentE10(b *testing.B) { benchExperiment(b, "E10") } // span predictor
+func BenchmarkExperimentE11(b *testing.B) { benchExperiment(b, "E11") } // Upfal baseline
+func BenchmarkExperimentE12(b *testing.B) { benchExperiment(b, "E12") } // Claim 3.2
+
+// Extension experiments (see DESIGN.md §2).
+
+func BenchmarkExperimentE13(b *testing.B) { benchExperiment(b, "E13") } // §1.3 load balancing
+func BenchmarkExperimentE14(b *testing.B) { benchExperiment(b, "E14") } // Leighton–Maggs baseline
+func BenchmarkExperimentE15(b *testing.B) { benchExperiment(b, "E15") } // cut-finder ablation
+func BenchmarkExperimentE16(b *testing.B) { benchExperiment(b, "E16") } // diameter vs expansion
+func BenchmarkExperimentE17(b *testing.B) { benchExperiment(b, "E17") } // a.e. agreement
+func BenchmarkExperimentE18(b *testing.B) { benchExperiment(b, "E18") } // routing congestion
+func BenchmarkExperimentE19(b *testing.B) { benchExperiment(b, "E19") } // open span conjecture
+
+// Micro-benchmarks for the primitives.
+
+func BenchmarkPrimitiveNodeExpansion(b *testing.B) {
+	g := faultexp.Torus(16, 16)
+	rng := faultexp.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = faultexp.NodeExpansion(g, rng.Split())
+	}
+}
+
+func BenchmarkPrimitivePrune(b *testing.B) {
+	g := faultexp.Torus(12, 12)
+	rng := faultexp.NewRNG(2)
+	pat := faultexp.AdversarialFaults(g, 6, rng.Split())
+	faulty := pat.Apply(g)
+	alpha, _ := faultexp.NodeExpansion(g, rng.Split())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.Prune(faulty.G, alpha.NodeAlpha, 0.5, rng.Split())
+	}
+}
+
+func BenchmarkPrimitivePrune2(b *testing.B) {
+	g := faultexp.Torus(12, 12)
+	rng := faultexp.NewRNG(3)
+	pat := faultexp.RandomNodeFaults(g, 0.02, rng.Split())
+	faulty := pat.Apply(g)
+	alphaE, _ := faultexp.EdgeExpansion(g, rng.Split())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.Prune2(faulty.G, alphaE.EdgeAlpha, 0.125, rng.Split())
+	}
+}
+
+func BenchmarkPrimitiveSampledSpan(b *testing.B) {
+	g := faultexp.Torus(12, 12)
+	rng := faultexp.NewRNG(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.SampledSpan(g, 20, rng.Split())
+	}
+}
+
+func BenchmarkPrimitivePercolationSweep(b *testing.B) {
+	g := faultexp.Torus(32, 32)
+	rng := faultexp.NewRNG(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.PercolationCurve(g, faultexp.Site, 2, rng.Split())
+	}
+}
+
+func BenchmarkPrimitiveLambda2(b *testing.B) {
+	g := faultexp.Torus(24, 24)
+	rng := faultexp.NewRNG(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.Lambda2(g, rng.Split())
+	}
+}
+
+func BenchmarkPrimitiveEmulate(b *testing.B) {
+	g := faultexp.Torus(12, 12)
+	rng := faultexp.NewRNG(7)
+	pat := faultexp.RandomNodeFaults(g, 0.05, rng.Split())
+	core := pat.Apply(g).LargestComponentSub()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb, err := faultexp.Emulate(g, core)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = emb.Evaluate()
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"faultexp/internal/xrand"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"16x16", []int{16, 16}, false},
+		{"8", []int{8}, false},
+		{"4x4x4", []int{4, 4, 4}, false},
+		{"4X4", []int{4, 4}, false},
+		{" 3 x 5 ", []int{3, 5}, false},
+		{"", nil, true},
+		{"axb", nil, true},
+		{"0x4", nil, true},
+		{"-1", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseDims(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseDims(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseDims(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBuildFamily(t *testing.T) {
+	rng := xrand.New(1)
+	cases := []struct {
+		family, size string
+		wantN        int
+	}{
+		{"mesh", "4x4", 16},
+		{"torus", "3x3", 9},
+		{"hypercube", "5", 32},
+		{"butterfly", "3", 32},
+		{"wbutterfly", "3", 24},
+		{"ccc", "3", 24},
+		{"debruijn", "4", 16},
+		{"shuffle", "4", 16},
+		{"expander", "5", 25},
+		{"complete", "7", 7},
+		{"cycle", "9", 9},
+		{"path", "6", 6},
+		{"rr", "20x3", 20},
+	}
+	for _, c := range cases {
+		g, _, err := buildFamily(c.family, c.size, 4, rng)
+		if err != nil {
+			t.Errorf("buildFamily(%s, %s): %v", c.family, c.size, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("buildFamily(%s, %s): n=%d, want %d", c.family, c.size, g.N(), c.wantN)
+		}
+	}
+	// chain: expander(4)=16 nodes, edges vary; just check it grows.
+	g, _, err := buildFamily("chain", "4", 3, rng)
+	if err != nil || g.N() <= 16 {
+		t.Errorf("chain family wrong: %v %v", g, err)
+	}
+	if _, _, err := buildFamily("nosuch", "4", 1, rng); err == nil {
+		t.Error("unknown family should error")
+	}
+	if _, _, err := buildFamily("mesh", "", 1, rng); err == nil {
+		t.Error("missing size should error")
+	}
+	if _, _, err := buildFamily("rr", "7", 1, rng); err == nil {
+		t.Error("rr with one dim should error")
+	}
+}

@@ -1,0 +1,56 @@
+// Agreement: almost-everywhere agreement under Byzantine faults — the
+// §1.3 primitive that motivates keeping expansion through faults. Honest
+// nodes start with a random bit (65% majority) and run synchronous
+// iterated majority; Byzantine nodes report the minority to everyone.
+// On an expander the honest majority sweeps the network except O(t)
+// nodes; on the chain-replaced graph (same Byzantine fraction, placed at
+// chain centers) opinions freeze into local stripes and global agreement
+// never forms.
+package main
+
+import (
+	"fmt"
+
+	"faultexp"
+)
+
+func main() {
+	rng := faultexp.NewRNG(4)
+	rounds := []int{0, 2, 5, 10, 20, 40}
+
+	run := func(name string, g *faultexp.Graph, byz []int, rngRun *faultexp.RNG) {
+		inst := faultexp.NewAgreement(g, byz, 0.65, rngRun)
+		fmt.Printf("%-24s n=%-5d byz=%-4d |", name, g.N(), len(byz))
+		done := 0
+		for _, r := range rounds {
+			inst.Run(r - done)
+			done = r
+			fmt.Printf(" r%-3d %.3f |", r, inst.AgreementFraction())
+		}
+		fmt.Println()
+	}
+
+	// Expander with 5% random Byzantine nodes.
+	exp := faultexp.Expander(16) // 256 nodes
+	byzExp := rng.SampleK(exp.N(), exp.N()/20)
+	run("expander", exp, byzExp, rng.Split())
+
+	// Chain-replaced expander, Byzantine at the chain centers (the
+	// Theorem 2.3/3.1 pressure points).
+	cg := faultexp.ChainReplace(faultexp.Expander(5), 10)
+	centers := cg.CenterSet()
+	budget := cg.G.N() / 20
+	if budget > len(centers) {
+		budget = len(centers)
+	}
+	byzChain := make([]int, budget)
+	for i, j := range rng.SampleK(len(centers), budget) {
+		byzChain[i] = centers[j]
+	}
+	run("chain graph (centers)", cg.G, byzChain, rng.Split())
+
+	fmt.Println("\nreading: the expander's honest majority wins almost everywhere within a")
+	fmt.Println("handful of rounds; the chain graph's opinions freeze into stripes that no")
+	fmt.Println("amount of extra rounds can merge — agreement needs expansion, which is")
+	fmt.Println("exactly what pruning preserves after faults.")
+}

@@ -1,0 +1,61 @@
+// CAN churn: the paper's §4 observes that a CAN peer-to-peer overlay
+// behaves like a d-dimensional torus, so its tolerance to member churn
+// follows the span results — tolerable fault probability inversely
+// polynomial in d, with expansion degrading by at most a factor of d.
+//
+// This example sweeps churn rates across overlay dimensions and reports
+// when the overlay keeps a large well-expanding core (found by Prune2),
+// alongside the Theorem 3.4 prediction 1/(2e·δ⁴σ) with σ = 2.
+package main
+
+import (
+	"fmt"
+
+	"faultexp"
+)
+
+func main() {
+	rng := faultexp.NewRNG(7)
+	// Overlays of ~240–260 peers in d = 2, 3, 4.
+	configs := []struct {
+		dim, side int
+	}{
+		{2, 16}, // 256 peers, degree 4
+		{3, 6},  // 216 peers, degree 6
+		{4, 4},  // 256 peers, degree 8
+	}
+	churns := []float64{0.001, 0.01, 0.05, 0.10, 0.20}
+
+	fmt.Println("CAN overlay churn tolerance (core = Prune2 survivor ≥ n/2 with certified expansion)")
+	fmt.Printf("%-10s %-7s %-9s %-12s", "overlay", "peers", "degree", "thm3.4 p*")
+	for _, c := range churns {
+		fmt.Printf("  churn=%-5.3f", c)
+	}
+	fmt.Println()
+
+	for _, cfgEntry := range configs {
+		g := faultexp.CAN(cfgEntry.dim, cfgEntry.side)
+		delta := g.MaxDegree()
+		pStar := faultexp.SpanFaultTolerance(delta, 2) // σ = 2 for meshes (Theorem 3.6)
+		alphaE, _ := faultexp.EdgeExpansion(g, rng.Split())
+		eps := 1 / (2 * float64(delta))
+		fmt.Printf("%dD side %-2d %-7d %-9d %-12.2g", cfgEntry.dim, cfgEntry.side, g.N(), delta, pStar)
+		for _, churn := range churns {
+			ok := 0
+			const trials = 5
+			for t := 0; t < trials; t++ {
+				pat := faultexp.RandomNodeFaults(g, churn, rng.Split())
+				faulty := pat.Apply(g)
+				res := faultexp.Prune2(faulty.G, alphaE.EdgeAlpha, eps, rng.Split())
+				if res.SurvivorSize() >= g.N()/2 && res.CertifiedQuotient > res.Threshold {
+					ok++
+				}
+			}
+			fmt.Printf("  %d/%d        ", ok, trials)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: the theorem's p* is very conservative — overlays keep a healthy core")
+	fmt.Println("well past it, but tolerance shrinks as the degree (dimension) grows, exactly")
+	fmt.Println("the inverse-polynomial-in-d shape the paper derives for CAN.")
+}

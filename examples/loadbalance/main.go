@@ -1,0 +1,68 @@
+// Loadbalance: the §1.3 application that motivates the whole paper. If a
+// faulty network still contains a large component with (almost) the
+// original expansion, then simple local load-balancing still works at
+// (almost) the original speed — and pruning is what finds that
+// component. This example drops a point load on one node and counts
+// diffusion rounds until the load is nearly uniform, on: the fault-free
+// torus, the raw faulty torus (bottlenecks included), the pruned
+// survivor, and a same-size bottleneck graph for contrast.
+package main
+
+import (
+	"fmt"
+
+	"faultexp"
+)
+
+func main() {
+	rng := faultexp.NewRNG(2004)
+	m := 12
+	g := faultexp.Torus(m, m)
+	n := g.N()
+	const tol = 0.05
+	const maxRounds = 500000
+
+	rounds := func(h *faultexp.Graph) int {
+		load := make([]float64, h.N())
+		load[0] = float64(h.N())
+		return faultexp.RoundsToBalance(h, load, tol, maxRounds)
+	}
+
+	ideal := rounds(g)
+	fmt.Printf("%-28s n=%-4d rounds=%d\n", "torus (fault-free)", n, ideal)
+
+	// Faulty torus: keep the largest component as-is (no pruning).
+	alphaE, _ := faultexp.EdgeExpansion(g, rng.Split())
+	pat := faultexp.RandomNodeFaults(g, 0.05, rng.Split())
+	faulty := pat.Apply(g).LargestComponentSub()
+	fmt.Printf("%-28s n=%-4d rounds=%d\n", "faulty, unpruned component",
+		faulty.G.N(), rounds(faulty.G))
+
+	// Pruned survivor: Prune2 carves away the degraded fringe.
+	res := faultexp.Prune2(faulty.G, alphaE.EdgeAlpha, 0.1, rng.Split())
+	survivor := res.H.LargestComponentSub().G
+	fmt.Printf("%-28s n=%-4d rounds=%d\n", "faulty, pruned survivor",
+		survivor.N(), rounds(survivor))
+
+	// Contrast: a bottleneck network of the same size.
+	barbell := barbellGraph(n / 2)
+	fmt.Printf("%-28s n=%-4d rounds=%d\n", "barbell (bottleneck)", barbell.N(), rounds(barbell))
+
+	fmt.Println("\nreading: the pruned survivor balances load within a small factor of the")
+	fmt.Println("fault-free machine, while the bottleneck graph is orders of magnitude")
+	fmt.Println("slower — expansion, preserved by pruning, is what buys balancing speed.")
+}
+
+// barbellGraph builds two k-cliques joined by one edge via the public
+// builder API.
+func barbellGraph(k int) *faultexp.Graph {
+	b := faultexp.NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(k+u, k+v)
+		}
+	}
+	b.AddEdge(k-1, k)
+	return b.Build()
+}

@@ -1,0 +1,40 @@
+// Quickstart: build a torus, break it with random faults, prune it back
+// to health, and compare the survivor's expansion with the original —
+// the library's core loop in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"faultexp"
+)
+
+func main() {
+	// A 16×16 torus: 256 nodes, 4-regular, edge expansion ≈ 4/16.
+	g := faultexp.Torus(16, 16)
+	rng := faultexp.NewRNG(42)
+
+	alphaE, exact := faultexp.EdgeExpansion(g, rng.Split())
+	fmt.Printf("fault-free: n=%d, αe=%.4f (exact=%v)\n", g.N(), alphaE.EdgeAlpha, exact)
+
+	// Fail 3% of the nodes at random.
+	pat := faultexp.RandomNodeFaults(g, 0.03, rng.Split())
+	faulty := pat.Apply(g)
+	fmt.Printf("faults: %d nodes failed, %d survive, largest component %.1f%%\n",
+		pat.Count(), faulty.G.N(), 100*faulty.G.GammaLargest())
+
+	// Prune2 (Figure 2 of the paper): carve away every region whose edge
+	// expansion collapsed, keeping a certified-healthy survivor.
+	eps := 0.125 // Theorem 3.4's 1/(2δ) for degree 4
+	res := faultexp.Prune2(faulty.G, alphaE.EdgeAlpha, eps, rng.Split())
+	fmt.Printf("prune2: survivor %d nodes (n/2=%d), culled %d in %d rounds\n",
+		res.SurvivorSize(), g.N()/2, res.CulledTotal, res.Iterations)
+	fmt.Printf("prune2: threshold αe·ε=%.4f, certified quotient %.4f\n",
+		res.Threshold, res.CertifiedQuotient)
+
+	// Measure what the theorems promise: the survivor's expansion is
+	// within a constant factor of the original.
+	nodeAlpha, edgeAlpha := faultexp.ResidualExpansion(res.H.G, rng.Split())
+	fmt.Printf("survivor: α=%.4f αe=%.4f (vs fault-free αe=%.4f)\n",
+		nodeAlpha, edgeAlpha, alphaE.EdgeAlpha)
+}

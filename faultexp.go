@@ -1,0 +1,284 @@
+// Package faultexp is a library for studying how node and edge faults
+// affect the expansion of networks, reproducing Bagchi, Bhargava,
+// Chaudhary, Eppstein and Scheideler, "The Effect of Faults on Network
+// Expansion" (SPAA 2004).
+//
+// The library answers the paper's central question — how many faults can
+// a network sustain so that it still contains a linear-sized connected
+// component with approximately the original expansion? — with working
+// algorithms:
+//
+//   - Prune (Figure 1 / Theorem 2.1): extract a large subnetwork of
+//     certified node expansion from an adversarially-faulted network.
+//   - Prune2 (Figure 2 / Theorem 3.4): the edge-expansion analogue for
+//     random faults, with Lemma 3.3 compactification.
+//   - Span (§1.4): the paper's new parameter controlling random-fault
+//     tolerance, with exact computation, sampling, and the constructive
+//     Theorem 3.6 certificate for d-dimensional meshes.
+//
+// plus the full substrate: graph families (meshes, tori, hypercubes,
+// butterflies, expanders, chain graphs, de Bruijn, shuffle-exchange…),
+// expansion estimation (exact + spectral), fault models and adversaries,
+// percolation sweeps, and fault-free-into-faulty embeddings.
+//
+// # Quick start
+//
+//	g := faultexp.Torus(16, 16)
+//	rng := faultexp.NewRNG(1)
+//	pat := faultexp.RandomNodeFaults(g, 0.01, rng)
+//	faulty := pat.Apply(g)
+//	res := faultexp.Prune2(faulty.G, 0.5, 0.125, rng)
+//	fmt.Println("survivor:", res.SurvivorSize(), "certified quotient:", res.CertifiedQuotient)
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the theorem-by-theorem
+// reproduction results.
+package faultexp
+
+import (
+	"faultexp/internal/agree"
+	"faultexp/internal/balance"
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/embed"
+	"faultexp/internal/expansion"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/perc"
+	"faultexp/internal/route"
+	"faultexp/internal/span"
+	"faultexp/internal/spectral"
+	"faultexp/internal/xrand"
+)
+
+// Graph is an immutable undirected graph in compressed-sparse-row form.
+type Graph = graph.Graph
+
+// Sub is an induced subgraph with provenance back to its parent graph.
+type Sub = graph.Sub
+
+// RNG is the deterministic random generator used across the library.
+type RNG = xrand.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// NewBuilder starts constructing a graph on n vertices.
+func NewBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an undirected edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// --- Graph families (package gen) ---
+
+// Mesh returns the d-dimensional mesh with the given side lengths.
+func Mesh(dims ...int) *Graph { return gen.Mesh(dims...) }
+
+// Torus returns the d-dimensional torus with the given side lengths.
+func Torus(dims ...int) *Graph { return gen.Torus(dims...) }
+
+// CAN returns a CAN-style overlay: a dim-dimensional torus with the
+// given side (§4 of the paper).
+func CAN(dim, side int) *Graph { return gen.CAN(dim, side) }
+
+// Hypercube returns the d-dimensional hypercube.
+func Hypercube(d int) *Graph { return gen.Hypercube(d) }
+
+// Butterfly returns the d-dimensional butterfly network.
+func Butterfly(d int) *Graph { return gen.Butterfly(d) }
+
+// Expander returns a constant-degree expander (Margulis–Gabber–Galil)
+// on m² vertices.
+func Expander(m int) *Graph { return gen.GabberGalil(m) }
+
+// RandomRegular returns a random d-regular graph on n vertices.
+func RandomRegular(n, d int, rng *RNG) *Graph { return gen.RandomRegular(n, d, rng) }
+
+// ChainGraph is the Theorem 2.3 construction (edges replaced by chains).
+type ChainGraph = gen.ChainGraph
+
+// ChainReplace replaces every edge of base with a chain of k vertices.
+func ChainReplace(base *Graph, k int) *ChainGraph { return gen.ChainReplace(base, k) }
+
+// --- Expansion (packages expansion, cuts, spectral) ---
+
+// ExpansionResult describes a located cut witness.
+type ExpansionResult = expansion.Result
+
+// NodeExpansion estimates the graph's node expansion
+// α = min |Γ(U)|/|U| over |U| ≤ n/2 (exact for n ≤ 22; the best
+// heuristic witness otherwise). The boolean reports exactness.
+func NodeExpansion(g *Graph, rng *RNG) (ExpansionResult, bool) {
+	return cuts.EstimateNodeExpansion(g, cuts.Options{RNG: rng})
+}
+
+// EdgeExpansion estimates the graph's edge expansion αe.
+func EdgeExpansion(g *Graph, rng *RNG) (ExpansionResult, bool) {
+	return cuts.EstimateEdgeExpansion(g, cuts.Options{RNG: rng})
+}
+
+// Lambda2 returns the second-smallest eigenvalue of the normalized
+// Laplacian (algebraic connectivity), computed matrix-free by Lanczos.
+func Lambda2(g *Graph, rng *RNG) float64 { return spectral.Lambda2(g, rng) }
+
+// CheegerBounds converts λ₂ into the two-sided conductance bound
+// λ₂/2 ≤ h(G) ≤ √(2λ₂).
+func CheegerBounds(lambda2 float64) (lower, upper float64) {
+	return spectral.CheegerBounds(lambda2)
+}
+
+// --- Faults (package faults) ---
+
+// FaultPattern is a set of faulty nodes.
+type FaultPattern = faults.Pattern
+
+// Adversary selects worst-case fault sets.
+type Adversary = faults.Adversary
+
+// RandomNodeFaults fails each node independently with probability p.
+func RandomNodeFaults(g *Graph, p float64, rng *RNG) FaultPattern {
+	return faults.IIDNodes(g, p, rng)
+}
+
+// AdversarialFaults applies the bottleneck-targeting adversary with
+// budget f — the strategy that makes Theorem 2.1 tight.
+func AdversarialFaults(g *Graph, f int, rng *RNG) FaultPattern {
+	return faults.BottleneckAdversary{}.Select(g, f, rng)
+}
+
+// --- Pruning (package core) ---
+
+// PruneResult is the outcome of a pruning run, with the survivor,
+// cull log, and expansion certificate.
+type PruneResult = core.Result
+
+// Prune runs the Figure 1 algorithm: cull node-expansion bottlenecks of
+// the faulty graph gf below alpha·eps; Theorem 2.1 guarantees
+// |H| ≥ n − k·f/α at eps = 1−1/k.
+func Prune(gf *Graph, alpha, eps float64, rng *RNG) *PruneResult {
+	return core.Prune(gf, alpha, eps, core.Options{Finder: cuts.Options{RNG: rng}})
+}
+
+// Prune2 runs the Figure 2 algorithm: cull connected edge-expansion
+// bottlenecks below alphaE·eps with compactification; Theorem 3.4
+// guarantees |H| ≥ n/2 w.h.p. below the span fault threshold.
+func Prune2(gf *Graph, alphaE, eps float64, rng *RNG) *PruneResult {
+	return core.Prune2(gf, alphaE, eps, core.Options{Finder: cuts.Options{RNG: rng}})
+}
+
+// ResidualExpansion measures the survivor's node and edge expansion.
+func ResidualExpansion(h *Graph, rng *RNG) (nodeAlpha, edgeAlpha float64) {
+	return core.MeasureResidual(h, rng)
+}
+
+// --- Span (package span) ---
+
+// SpanEstimate is the result of a span computation.
+type SpanEstimate = span.Estimate
+
+// ExactSpan computes the true span of a small graph (n ≤ 20) by
+// exhaustive compact-set enumeration.
+func ExactSpan(g *Graph) SpanEstimate { return span.Exact(g) }
+
+// SampledSpan estimates the span of a large graph from random compact
+// sets.
+func SampledSpan(g *Graph, samples int, rng *RNG) SpanEstimate {
+	return span.Sampled(g, samples, rng)
+}
+
+// SpanFaultTolerance returns Theorem 3.4's fault-probability threshold
+// 1/(2e·δ⁴σ).
+func SpanFaultTolerance(maxDegree int, sigma float64) float64 {
+	return span.FaultToleranceFromSpan(maxDegree, sigma)
+}
+
+// MeshSpanCertificate runs the constructive Theorem 3.6 bound for one
+// compact set of a mesh built with Mesh(dims...): a boundary-spanning
+// tree with at most 2(|B|−1) edges.
+func MeshSpanCertificate(g *Graph, dims []int, set []int) (span.MeshCert, error) {
+	return span.MeshBoundaryTree(g, dims, set)
+}
+
+// --- Percolation (package perc) ---
+
+// PercolationMode selects site or bond percolation.
+type PercolationMode = perc.Mode
+
+// Site and Bond are the percolation modes.
+const (
+	Site = perc.Site
+	Bond = perc.Bond
+)
+
+// PercolationCurve runs averaged Newman–Ziff sweeps and returns the
+// whole γ(p) curve.
+func PercolationCurve(g *Graph, mode PercolationMode, trials int, rng *RNG) *perc.Curve {
+	return perc.Sweep(g, mode, trials, rng)
+}
+
+// CriticalProbability estimates the occupation probability at which the
+// expected largest-component fraction reaches target.
+func CriticalProbability(g *Graph, mode PercolationMode, target float64, trials, iters int, rng *RNG) float64 {
+	return perc.CriticalP(g, mode, target, trials, iters, rng)
+}
+
+// --- Load balancing (package balance, §1.3 application) ---
+
+// Diffuse runs the given number of first-order diffusion rounds on a
+// load vector and returns the result (load is not modified).
+func Diffuse(g *Graph, load []float64, rounds int) []float64 {
+	return balance.Diffuse(g, load, rounds)
+}
+
+// RoundsToBalance reports how many diffusion rounds the network needs to
+// bring a load vector within tol of uniform — the §1.3 operational
+// consequence of expansion.
+func RoundsToBalance(g *Graph, load []float64, tol float64, maxRounds int) int {
+	return balance.RoundsToBalance(g, load, tol, maxRounds)
+}
+
+// --- Agreement (package agree, §1.3 application) ---
+
+// Agreement is an almost-everywhere-agreement execution: iterated
+// majority with Byzantine nodes that push the honest minority value.
+type Agreement = agree.Instance
+
+// NewAgreement initializes an agreement run on g with the given
+// Byzantine nodes; honest nodes start true with probability pTrue.
+func NewAgreement(g *Graph, byzantine []int, pTrue float64, rng *RNG) *Agreement {
+	return agree.NewInstance(g, byzantine, pTrue, rng)
+}
+
+// --- Routing (package route, §1.3 application) ---
+
+// RouteResult summarizes a shortest-path routing workload.
+type RouteResult = route.Result
+
+// RouteRandomPairs routes uniformly random source–destination pairs
+// along BFS shortest paths and reports congestion and stretch.
+func RouteRandomPairs(g *Graph, pairs int, rng *RNG) RouteResult {
+	return route.RandomPairs(g, pairs, rng)
+}
+
+// RoutePermutation routes a full random permutation (every vertex sends
+// to a distinct random destination).
+func RoutePermutation(g *Graph, rng *RNG) RouteResult {
+	return route.Permutation(g, rng)
+}
+
+// --- Embedding / emulation (package embed, §1.2) ---
+
+// Embedding maps a guest graph into a host graph with routed paths.
+type Embedding = embed.Embedding
+
+// EmbedMetrics are the load/congestion/dilation of an embedding, plus
+// the Leighton–Maggs–Rao slowdown estimate ℓ+c+d.
+type EmbedMetrics = embed.Metrics
+
+// Emulate embeds the ideal graph into a surviving component of its
+// faulty self (nearest-alive node remap + BFS routing), the §1.2
+// fault-free-on-faulty emulation pipeline.
+func Emulate(ideal *Graph, survivor *Sub) (*Embedding, error) {
+	return embed.EmulateFaultyMesh(ideal, survivor)
+}

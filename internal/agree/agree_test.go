@@ -1,0 +1,139 @@
+package agree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultexp/internal/gen"
+	"faultexp/internal/xrand"
+)
+
+func TestNoFaultsExpanderConverges(t *testing.T) {
+	g := gen.GabberGalil(10) // 100 nodes
+	rng := xrand.New(1)
+	inst := NewInstance(g, nil, 0.65, rng)
+	frac := inst.Run(30)
+	if frac < 0.99 {
+		t.Fatalf("fault-free expander agreement = %v, want ≈1", frac)
+	}
+}
+
+func TestByzantineExpanderAlmostEverywhere(t *testing.T) {
+	g := gen.GabberGalil(10)
+	rng := xrand.New(2)
+	n := g.N()
+	t.Run("five-percent", func(t *testing.T) {
+		byz := rng.SampleK(n, n/20)
+		inst := NewInstance(g, byz, 0.65, rng.Split())
+		frac := inst.Run(30)
+		if frac < 0.9 {
+			t.Fatalf("agreement with 5%% Byzantine = %v, want ≥ 0.9", frac)
+		}
+	})
+}
+
+func TestPathFreezesIntoStripes(t *testing.T) {
+	// Majority dynamics on a path cannot cross stable opposite-value
+	// blocks; global agreement stalls well below 1 for random inputs.
+	g := gen.Path(200)
+	worst := 1.0
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := NewInstance(g, nil, 0.6, xrand.New(10+seed))
+		frac := inst.Run(100)
+		if frac < worst {
+			worst = frac
+		}
+	}
+	if worst > 0.95 {
+		t.Fatalf("path agreement %v — stripes should have frozen below 0.95", worst)
+	}
+}
+
+func TestHonestMajorityTracking(t *testing.T) {
+	g := gen.Complete(11)
+	rng := xrand.New(5)
+	instTrue := NewInstance(g, nil, 1.0, rng.Split())
+	if !instTrue.HonestMajority() {
+		t.Fatal("all-true start must have majority true")
+	}
+	instFalse := NewInstance(g, nil, 0.0, rng.Split())
+	if instFalse.HonestMajority() {
+		t.Fatal("all-false start must have majority false")
+	}
+	// Byzantine push the minority: with all-true honest nodes the
+	// adversary reports false.
+	byz := []int{0, 1}
+	inst := NewInstance(g, byz, 1.0, rng.Split())
+	if got := inst.Run(10); got != 1 {
+		t.Fatalf("clique with 2 Byzantine vs 9 unanimous honest: agreement %v, want 1", got)
+	}
+}
+
+func TestAgreementFractionBounds(t *testing.T) {
+	g := gen.Torus(6, 6)
+	rng := xrand.New(7)
+	inst := NewInstance(g, []int{0, 1, 2}, 0.7, rng)
+	for i := 0; i < 10; i++ {
+		f := inst.AgreementFraction()
+		if f < 0 || f > 1 {
+			t.Fatalf("agreement fraction %v out of [0,1]", f)
+		}
+		inst.Step()
+	}
+}
+
+func TestAllByzantineDegenerate(t *testing.T) {
+	g := gen.Complete(4)
+	byz := []int{0, 1, 2, 3}
+	inst := NewInstance(g, byz, 0.5, xrand.New(9))
+	if got := inst.Run(3); got != 0 {
+		t.Fatalf("no honest nodes: fraction %v, want 0", got)
+	}
+}
+
+// Property: a unanimous honest start is a fixed point when the honest
+// nodes outnumber Byzantine reports at every node (clique with t < n/2−1
+// Byzantine keeps unanimity).
+func TestQuickUnanimityStable(t *testing.T) {
+	f := func(seed uint64, tRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 9 + rng.Intn(8)
+		tByz := int(tRaw) % (n/2 - 1)
+		g := gen.Complete(n)
+		inst := NewInstance(g, rng.SampleK(n, tByz), 1.0, rng.Split())
+		return inst.Run(5) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: agreement fraction is monotone under extra rounds on
+// fault-free expanders (once unanimity is reached it persists).
+func TestQuickConvergencePersists(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := gen.GabberGalil(6)
+		inst := NewInstance(g, nil, 0.7, rng)
+		inst.Run(40)
+		a := inst.AgreementFraction()
+		if a < 1 {
+			return true // not yet unanimous; nothing to check
+		}
+		inst.Run(5)
+		return inst.AgreementFraction() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAgreementExpander(b *testing.B) {
+	g := gen.GabberGalil(16)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := NewInstance(g, rng.SampleK(g.N(), g.N()/20), 0.65, rng.Split())
+		_ = inst.Run(20)
+	}
+}

@@ -1,0 +1,109 @@
+// Package balance implements local load balancing on networks — the
+// paper's §1.3 motivating application: "research on load balancing has
+// shown that if the expansion basically stays the same, the ability of a
+// network to balance single-commodity or multi-commodity load basically
+// stays the same, and this ability can be exploited through simple local
+// algorithms" (citing Ghosh et al. and Anshelevich–Kempe–Kleinberg).
+//
+// The scheme implemented is first-order diffusion (FOS): in each round
+// every node averages with its neighbours,
+//
+//	x_v ← x_v + Σ_{w∈N(v)} (x_w − x_v) / (δ+1),
+//
+// whose convergence rate is governed by the spectral gap — and therefore
+// by the expansion — of the network. Experiment E13 uses it to show the
+// paper's point operationally: a pruned faulty network balances load
+// almost as fast as the fault-free one, while a bottlenecked network of
+// the same size is dramatically slower.
+package balance
+
+import (
+	"math"
+
+	"faultexp/internal/graph"
+)
+
+// Imbalance returns the maximum absolute deviation from the mean load.
+func Imbalance(load []float64) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range load {
+		mean += x
+	}
+	mean /= float64(len(load))
+	worst := 0.0
+	for _, x := range load {
+		if d := math.Abs(x - mean); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Step performs one first-order diffusion round on load (length g.N()),
+// writing the result into out (which may not alias load). The diffusion
+// coefficient 1/(δ+1) keeps the iteration matrix doubly stochastic and
+// positive, so total load is conserved and the iteration converges on
+// any connected graph.
+func Step(g *graph.Graph, load, out []float64) {
+	delta := g.MaxDegree()
+	if delta == 0 {
+		copy(out, load)
+		return
+	}
+	c := 1 / float64(delta+1)
+	for v := 0; v < g.N(); v++ {
+		acc := load[v]
+		for _, w := range g.Neighbors(v) {
+			acc += c * (load[w] - load[v])
+		}
+		out[v] = acc
+	}
+}
+
+// Diffuse runs rounds diffusion steps and returns the resulting load
+// vector (the input is not modified).
+func Diffuse(g *graph.Graph, load []float64, rounds int) []float64 {
+	cur := append([]float64(nil), load...)
+	next := make([]float64, len(load))
+	for i := 0; i < rounds; i++ {
+		Step(g, cur, next)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// RoundsToBalance runs diffusion until the imbalance drops to tol (an
+// absolute deviation) and returns the number of rounds used, or maxRounds
+// if the target was not reached. Total load is conserved throughout.
+func RoundsToBalance(g *graph.Graph, load []float64, tol float64, maxRounds int) int {
+	cur := append([]float64(nil), load...)
+	next := make([]float64, len(load))
+	for r := 0; r < maxRounds; r++ {
+		if Imbalance(cur) <= tol {
+			return r
+		}
+		Step(g, cur, next)
+		cur, next = next, cur
+	}
+	return maxRounds
+}
+
+// PointLoad returns a load vector with total units of load concentrated
+// on node src — the adversarial single-commodity instance.
+func PointLoad(n, src int, total float64) []float64 {
+	load := make([]float64, n)
+	load[src] = total
+	return load
+}
+
+// TotalLoad returns the sum of the load vector (conserved by diffusion).
+func TotalLoad(load []float64) float64 {
+	s := 0.0
+	for _, x := range load {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestImbalance(t *testing.T) {
+	if Imbalance([]float64{1, 1, 1}) != 0 {
+		t.Fatal("uniform load should have zero imbalance")
+	}
+	if got := Imbalance([]float64{4, 0, 0, 0}); got != 3 {
+		t.Fatalf("imbalance = %v, want 3", got)
+	}
+	if Imbalance(nil) != 0 {
+		t.Fatal("empty load")
+	}
+}
+
+func TestStepConservesLoad(t *testing.T) {
+	g := gen.Torus(6, 6)
+	load := PointLoad(g.N(), 0, 100)
+	out := make([]float64, g.N())
+	Step(g, load, out)
+	if !almost(TotalLoad(out), 100, 1e-9) {
+		t.Fatalf("total load changed: %v", TotalLoad(out))
+	}
+	// Load must have spread to neighbours.
+	if out[0] >= 100 {
+		t.Fatal("source kept all load")
+	}
+	moved := 0
+	for _, w := range g.Neighbors(0) {
+		if out[w] > 0 {
+			moved++
+		}
+	}
+	if moved != 4 {
+		t.Fatalf("load reached %d of 4 neighbours", moved)
+	}
+}
+
+func TestDiffuseConvergesOnConnected(t *testing.T) {
+	g := gen.Torus(8, 8)
+	load := PointLoad(g.N(), 5, float64(g.N()))
+	final := Diffuse(g, load, 2000)
+	// Mean load is 1; after many rounds everything is ≈1.
+	for v, x := range final {
+		if !almost(x, 1, 0.01) {
+			t.Fatalf("node %d load %v far from 1", v, x)
+		}
+	}
+}
+
+func TestRoundsToBalanceOrdering(t *testing.T) {
+	// §1.3's point: better expansion ⇒ faster balancing. Expander must
+	// beat the torus, which must beat the barbell, at equal n and equal
+	// initial imbalance.
+	exp := gen.GabberGalil(8) // 64 nodes
+	tor := gen.Torus(8, 8)    // 64 nodes
+	bar := gen.Barbell(32)    // 64 nodes
+	const tol = 0.05
+	const max = 200000
+	re := RoundsToBalance(exp, PointLoad(64, 0, 64), tol, max)
+	rt := RoundsToBalance(tor, PointLoad(64, 0, 64), tol, max)
+	rb := RoundsToBalance(bar, PointLoad(64, 0, 64), tol, max)
+	if !(re < rt && rt < rb) {
+		t.Fatalf("rounds expander=%d torus=%d barbell=%d — expected strictly increasing", re, rt, rb)
+	}
+	if rb == max {
+		t.Fatalf("barbell failed to balance within %d rounds", max)
+	}
+}
+
+func TestRoundsToBalanceAlreadyBalanced(t *testing.T) {
+	g := gen.Cycle(10)
+	load := make([]float64, 10)
+	for i := range load {
+		load[i] = 2
+	}
+	if r := RoundsToBalance(g, load, 0.01, 100); r != 0 {
+		t.Fatalf("balanced input took %d rounds", r)
+	}
+}
+
+func TestDiffuseDisconnectedStaysSeparate(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	load := []float64{10, 0, 0, 0}
+	final := Diffuse(g, load, 500)
+	if !almost(final[0], 5, 0.01) || !almost(final[1], 5, 0.01) {
+		t.Fatalf("component balance wrong: %v", final)
+	}
+	if final[2] != 0 || final[3] != 0 {
+		t.Fatal("load leaked across components")
+	}
+}
+
+// Property: diffusion conserves total load and never increases imbalance.
+func TestQuickDiffusionInvariants(t *testing.T) {
+	g := gen.Torus(5, 5)
+	f := func(raw []uint8) bool {
+		load := make([]float64, g.N())
+		for i := range load {
+			if len(raw) > 0 {
+				load[i] = float64(raw[i%len(raw)])
+			}
+		}
+		before := TotalLoad(load)
+		imbBefore := Imbalance(load)
+		after := Diffuse(g, load, 3)
+		return almost(TotalLoad(after), before, 1e-6*(1+math.Abs(before))) &&
+			Imbalance(after) <= imbBefore+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiffuseStep(b *testing.B) {
+	g := gen.Torus(32, 32)
+	load := PointLoad(g.N(), 0, float64(g.N()))
+	out := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Step(g, load, out)
+	}
+}

@@ -1,0 +1,297 @@
+// Package bitset provides a dense, fixed-capacity bitset used throughout
+// the library for node subsets: boundaries Γ(U), fault masks, subset
+// enumeration, and the subset dynamic programs in the exact expansion and
+// span computations.
+//
+// The zero value of Set is not usable; construct with New. All operations
+// whose receivers and operands must agree in capacity panic on mismatch,
+// because silently truncating node sets would corrupt expansion
+// computations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromSlice returns a set of capacity n containing the given elements.
+func FromSlice(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Len returns the capacity (universe size) of the set.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts element i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes element i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Flip toggles element i and reports whether it is now present.
+func (s *Set) Flip(i int) bool {
+	s.check(i)
+	s.words[i/wordBits] ^= 1 << uint(i%wordBits)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Contains reports whether element i is present.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of elements present.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every element of the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t.
+func (s *Set) CopyFrom(t *Set) {
+	s.compat(t)
+	copy(s.words, t.words)
+}
+
+func (s *Set) compat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Or sets s to s ∪ t.
+func (s *Set) Or(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s to s ∩ t.
+func (s *Set) And(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s to s \ t.
+func (s *Set) AndNot(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Xor sets s to the symmetric difference of s and t.
+func (s *Set) Xor(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] ^= w
+	}
+}
+
+// Complement sets s to the complement of s within the universe.
+func (s *Set) Complement() {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.trim()
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	s.compat(t)
+	for i, w := range t.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.compat(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionCount returns |s ∩ t| without materializing the intersection.
+func (s *Set) IntersectionCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ t| without materializing the difference.
+func (s *Set) DifferenceCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// ForEach calls fn for every element of s in increasing order. If fn
+// returns false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements of s in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Next returns the smallest element ≥ i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int { return s.Next(0) }
+
+// String renders the set as {a, b, c} for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+}
+
+func TestOutOfRangeContains(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestFillComplementTrim(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: Fill Count = %d", n, got)
+		}
+		s.Complement()
+		if !s.Empty() {
+			t.Fatalf("n=%d: complement of full set not empty", n)
+		}
+		s.Complement()
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: double complement Count = %d", n, got)
+		}
+	}
+}
+
+func TestFlip(t *testing.T) {
+	s := New(70)
+	if !s.Flip(69) {
+		t.Fatal("Flip into set should return true")
+	}
+	if s.Flip(69) {
+		t.Fatal("Flip out of set should return false")
+	}
+	if !s.Empty() {
+		t.Fatal("set should be empty after double flip")
+	}
+}
+
+func TestSliceAndForEachOrder(t *testing.T) {
+	s := FromSlice(200, []int{150, 3, 64, 3, 199})
+	want := []int{3, 64, 150, 199}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{1, 2, 3, 4, 5})
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d elements, want 3", count)
+	}
+}
+
+func TestNextMin(t *testing.T) {
+	s := FromSlice(300, []int{5, 100, 299})
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 100}, {100, 100}, {101, 299}, {299, 299},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.Next(300); got != -1 {
+		t.Errorf("Next past end = %d, want -1", got)
+	}
+	if got := s.Min(); got != 5 {
+		t.Errorf("Min = %d, want 5", got)
+	}
+	if got := New(10).Min(); got != -1 {
+		t.Errorf("Min of empty = %d, want -1", got)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(128, []int{1, 2, 3, 64, 100})
+	b := FromSlice(128, []int{3, 64, 99})
+
+	union := a.Clone()
+	union.Or(b)
+	if got := union.Count(); got != 6 {
+		t.Fatalf("union count = %d, want 6", got)
+	}
+	inter := a.Clone()
+	inter.And(b)
+	if got := inter.Count(); got != 2 {
+		t.Fatalf("intersection count = %d, want 2", got)
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", got)
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Count(); got != 3 {
+		t.Fatalf("difference count = %d, want 3", got)
+	}
+	if got := a.DifferenceCount(b); got != 3 {
+		t.Fatalf("DifferenceCount = %d, want 3", got)
+	}
+	if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+		t.Fatal("intersection must be a subset of both operands")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b share elements")
+	}
+	if diff.Intersects(b) {
+		t.Fatal("a\\b must not intersect b")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched capacity should panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+// randomSet builds a set of capacity n from a random generator, returning
+// both the set and a reference map.
+func randomSet(n int, r *rand.Rand) (*Set, map[int]bool) {
+	s := New(n)
+	ref := make(map[int]bool)
+	for i := 0; i < n/2; i++ {
+		x := r.Intn(n)
+		s.Add(x)
+		ref[x] = true
+	}
+	return s, ref
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		s, ref := randomSet(n, r)
+		if s.Count() != len(ref) {
+			t.Fatalf("trial %d: Count=%d ref=%d", trial, s.Count(), len(ref))
+		}
+		for x := 0; x < n; x++ {
+			if s.Contains(x) != ref[x] {
+				t.Fatalf("trial %d: Contains(%d) mismatch", trial, x)
+			}
+		}
+	}
+}
+
+// Property: De Morgan — complement(a ∪ b) == complement(a) ∩ complement(b).
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 512
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		lhs := a.Clone()
+		lhs.Or(b)
+		lhs.Complement()
+		rhs := a.Clone()
+		rhs.Complement()
+		bc := b.Clone()
+		bc.Complement()
+		rhs.And(bc)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Xor is symmetric difference — |a xor b| = |a\b| + |b\a|.
+func TestQuickXorCount(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 512
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		x := a.Clone()
+		x.Xor(b)
+		return x.Count() == a.DifferenceCount(b)+b.DifferenceCount(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x, y := New(1<<16), New(1<<16)
+	for i := 0; i < 1<<16; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 1<<16; i += 5 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	x := New(1 << 16)
+	for i := 0; i < 1<<16; i += 2 {
+		x.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}

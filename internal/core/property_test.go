@@ -1,0 +1,191 @@
+package core
+
+// Property-based tests of the pruning invariants. On graphs small enough
+// for the exact cut finder, Theorem 2.1 is checked end-to-end on random
+// instances; structural invariants (survivor connectivity, partition
+// accounting, termination under extreme thresholds) are checked on
+// arbitrary inputs.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"faultexp/internal/cuts"
+	"faultexp/internal/expansion"
+	"faultexp/internal/faults"
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// randomConnectedGraph builds a connected random graph on n vertices:
+// a random spanning tree plus extra random edges.
+func randomConnectedGraph(n int, extraEdges int, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extraEdges; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// Property: Theorem 2.1 holds on random small graphs with the exact
+// finder — for any random faults within the feasibility budget, Prune's
+// survivor meets both bounds.
+func TestQuickTheorem21RandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 8 + rng.Intn(7) // 8..14: exact finder territory
+		g := randomConnectedGraph(n, n, rng)
+		alpha := expansion.ExactNodeExpansion(g).NodeAlpha
+		if alpha <= 0 {
+			return true // theorem vacuous
+		}
+		k := 2.0
+		fMax := int(alpha * float64(n) / (4 * k))
+		if fMax < 1 {
+			return true // no feasible fault budget at this size
+		}
+		budget := 1 + rng.Intn(fMax)
+		pat := faults.ExactRandomNodes(g, budget, rng.Split())
+		gf := pat.Apply(g)
+		res := Prune(gf.G, alpha, 1-1/k, Options{Finder: cuts.Options{RNG: rng.Split()}})
+		sizeOK, expOK, _, _ := VerifyPruneGuarantee(res, n, budget, alpha, k, rng.Split())
+		return sizeOK && expOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prune's survivor is always connected (a disconnected piece
+// of size ≤ |H|/2 would be a zero-quotient cullable set, so a fixpoint
+// cannot contain one).
+func TestQuickPruneSurvivorConnected(t *testing.T) {
+	f := func(seed uint64, faultsRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(20)
+		g := randomConnectedGraph(n, n/2, rng)
+		budget := int(faultsRaw) % (n / 3)
+		pat := faults.ExactRandomNodes(g, budget, rng.Split())
+		gf := pat.Apply(g)
+		if gf.G.N() < 2 {
+			return true
+		}
+		res := Prune(gf.G, 0.5, 0.5, Options{Finder: cuts.Options{RNG: rng.Split()}})
+		return res.H.G.N() < 2 || res.H.G.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cull accounting always partitions the input — culled sets
+// are disjoint, and |culled| + |survivor| = n.
+func TestQuickPruneAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 8 + rng.Intn(24)
+		g := randomConnectedGraph(n, rng.Intn(2*n), rng)
+		res := Prune2(g, 1.0, 0.5, Options{Finder: cuts.Options{RNG: rng.Split()}})
+		seen := make([]bool, n)
+		total := 0
+		for _, set := range res.Culled {
+			for _, v := range set {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != res.CulledTotal {
+			return false
+		}
+		for _, ov := range res.H.Orig {
+			if seen[ov] {
+				return false
+			}
+			total++
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prune2's certificate is sound — when the loop stops with a
+// finite certificate, re-searching H finds no connected set below the
+// threshold (verified exactly on small survivors).
+func TestQuickPrune2CertificateSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 8 + rng.Intn(8) // exact-verifiable sizes
+		g := randomConnectedGraph(n, n, rng)
+		res := Prune2(g, 0.8, 0.5, Options{Finder: cuts.Options{RNG: rng.Split()}})
+		h := res.H.G
+		if h.N() < 2 || math.IsInf(res.CertifiedQuotient, 1) {
+			return true
+		}
+		// Exact check: the true minimum connected edge quotient of H
+		// must exceed the threshold.
+		best, ok := expansion.ExactMinConnectedEdgeQuotientBelow(h, h.N()/2, res.Threshold)
+		_ = best
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: extreme thresholds and degenerate graphs must not
+// hang, panic, or corrupt accounting.
+func TestPruneExtremeThresholds(t *testing.T) {
+	g := randomConnectedGraph(20, 20, xrand.New(1))
+	// Absurdly high threshold: everything cullable → loop must still
+	// terminate with a tiny (or empty) survivor.
+	res := Prune(g, 1e9, 1, Options{Finder: cuts.Options{RNG: xrand.New(2)}})
+	if res.SurvivorSize()+res.CulledTotal != 20 {
+		t.Fatalf("accounting broken: %d + %d ≠ 20", res.SurvivorSize(), res.CulledTotal)
+	}
+	// Zero threshold: nothing cullable (every set has positive quotient
+	// on a connected graph) → survivor = input.
+	res2 := Prune(g, 0, 0, Options{Finder: cuts.Options{RNG: xrand.New(3)}})
+	if res2.SurvivorSize() != 20 || res2.CulledTotal != 0 {
+		t.Fatalf("zero threshold culled %d", res2.CulledTotal)
+	}
+}
+
+func TestPruneDegenerateInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		b := graph.NewBuilder(n)
+		if n == 2 {
+			b.AddEdge(0, 1)
+		}
+		g := b.Build()
+		res := Prune(g, 1, 0.5, Options{Finder: cuts.Options{RNG: xrand.New(4)}})
+		if res.SurvivorSize()+res.CulledTotal != n {
+			t.Fatalf("n=%d: accounting broken", n)
+		}
+		res2 := Prune2(g, 1, 0.5, Options{Finder: cuts.Options{RNG: xrand.New(5)}})
+		if res2.SurvivorSize()+res2.CulledTotal != n {
+			t.Fatalf("n=%d: prune2 accounting broken", n)
+		}
+	}
+}
+
+func TestUpfalPruneThetaOne(t *testing.T) {
+	// θ=1 requires full original degree: any fault kills its whole
+	// neighbourhood cascade; the call must terminate and account.
+	g := randomConnectedGraph(16, 16, xrand.New(6))
+	pat := faults.ExactRandomNodes(g, 3, xrand.New(7))
+	gf := pat.Apply(g)
+	res := UpfalPrune(gf, func(o int32) int { return g.Degree(int(o)) }, 1.0)
+	if res.SurvivorSize() > gf.G.N() {
+		t.Fatal("survivor larger than input")
+	}
+}

@@ -1,0 +1,493 @@
+// Package cuts locates low-expansion vertex sets — the "∃S_i such that
+// |Γ(S_i)| ≤ α·ε·|S_i|" step of the paper's Prune and Prune2 loops.
+//
+// The paper's algorithms are existential (the authors explicitly do not
+// claim polynomial time, and no constant-factor approximation for graph
+// expansion of unknown topology is known). This package realises the step
+// with a layered strategy:
+//
+//   - exact subset dynamic programming for small graphs (ground truth),
+//   - spectral sweep cuts over the Fiedler vector,
+//   - BFS-ball sweeps from sampled seeds (always-connected candidates),
+//   - greedy local search refinement of the best candidate.
+//
+// Every returned set is an *actual witness* whose expansion is evaluated
+// directly, so the culling certificates produced by the pruning layer are
+// sound regardless of heuristic quality.
+package cuts
+
+import (
+	"sort"
+
+	"faultexp/internal/expansion"
+	"faultexp/internal/graph"
+	"faultexp/internal/spectral"
+	"faultexp/internal/xrand"
+)
+
+// Mode selects which quotient a search minimises.
+type Mode int
+
+const (
+	// NodeMode minimises |Γ(S)|/|S| (Prune's predicate).
+	NodeMode Mode = iota
+	// EdgeMode minimises cut(S)/|S| (Prune2's predicate).
+	EdgeMode
+)
+
+// Options tunes the finder. The zero value selects sensible defaults.
+type Options struct {
+	// ExactMaxN: graphs with at most this many vertices use the exact
+	// subset DP. Default 16; hard cap expansion.MaxExactN.
+	ExactMaxN int
+	// Seeds: number of BFS-ball seed vertices. Default 2·log₂(n)+4.
+	Seeds int
+	// LocalSearch: number of greedy improvement passes. Default 3.
+	LocalSearch int
+	// RNG supplies randomness; required (the finder panics without it).
+	RNG *xrand.RNG
+
+	// Ablation switches (used by experiment E15 to quantify what each
+	// layer of the finder contributes; all false = full suite).
+	DisableSweep       bool // skip spectral sweep candidates
+	DisableBalls       bool // skip BFS-ball candidates
+	DisableLocalSearch bool // skip greedy refinement
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.ExactMaxN == 0 {
+		o.ExactMaxN = 16
+	}
+	if o.ExactMaxN > expansion.MaxExactN {
+		o.ExactMaxN = expansion.MaxExactN
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 4
+		for s := n; s > 1; s >>= 1 {
+			o.Seeds += 2
+		}
+	}
+	if o.LocalSearch == 0 {
+		o.LocalSearch = 3
+	}
+	if o.RNG == nil {
+		panic("cuts: Options.RNG is required")
+	}
+	return o
+}
+
+// FindBest searches for the minimum-quotient set with 1 ≤ |S| ≤ maxSize.
+// If connected is true, only connected candidate sets are returned (the
+// requirement of Prune2). Returns ok=false only when no candidate exists
+// (n < 2 or maxSize < 1).
+func FindBest(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options) (expansion.Result, bool) {
+	n := g.N()
+	if n < 2 || maxSize < 1 {
+		return expansion.Result{}, false
+	}
+	if maxSize > n-1 {
+		maxSize = n - 1
+	}
+	opt = opt.withDefaults(n)
+
+	var best expansion.Result
+	have := false
+	consider := func(set []int) {
+		if len(set) == 0 || len(set) > maxSize {
+			return
+		}
+		if connected && !isConnectedSet(g, set) {
+			return
+		}
+		r := expansion.Evaluate(g, set)
+		if !have || quotient(r, mode) < quotient(best, mode) {
+			best = r
+			have = true
+		}
+	}
+
+	// Disconnected inputs first: every connected component that fits the
+	// size budget is a zero-quotient set (empty boundary), and the
+	// pruning loops rely on such sets never being missed — an adversary
+	// that disconnects a shard must see it culled deterministically.
+	if labels, sizes := g.Components(); len(sizes) > 1 {
+		comps := make([][]int, len(sizes))
+		for v, l := range labels {
+			comps[l] = append(comps[l], v)
+		}
+		for _, comp := range comps {
+			consider(comp)
+		}
+		if have && quotient(best, mode) == 0 {
+			return best, true
+		}
+	}
+
+	if n <= opt.ExactMaxN {
+		if r, ok := exactSearch(g, mode, maxSize, connected); ok {
+			consider(r.Set)
+		}
+	} else {
+		// Each layer draws from its own generator derived from a single
+		// base value, so the layers are randomness-isolated: disabling
+		// one layer (the E15 ablations) leaves the others' candidate
+		// pools bit-identical, and the full suite's pool is exactly the
+		// union of the ablations' pools.
+		base := opt.RNG.Uint64()
+		// Spectral sweep.
+		if !opt.DisableSweep {
+			sweepRNG := xrand.New(base ^ 0xA5A5A5A5A5A5A5A5)
+			for _, set := range sweepCandidates(g, mode, maxSize, connected, opt, sweepRNG) {
+				consider(set)
+			}
+		}
+		// BFS balls.
+		if !opt.DisableBalls {
+			ballRNG := xrand.New(base ^ 0x5A5A5A5A5A5A5A5A)
+			for _, set := range ballCandidates(g, maxSize, opt, ballRNG) {
+				consider(set)
+			}
+		}
+		// Local search refinement of the incumbent (unconstrained mode
+		// only; connectivity-preserving moves are handled by the ball
+		// sweep supplying connected candidates).
+		if have && !connected && !opt.DisableLocalSearch {
+			localRNG := xrand.New(base ^ 0x3C3C3C3C3C3C3C3C)
+			improved := localImprove(g, best.Set, mode, maxSize, opt.LocalSearch, localRNG)
+			consider(improved)
+		}
+	}
+	return best, have
+}
+
+func quotient(r expansion.Result, mode Mode) float64 {
+	if mode == NodeMode {
+		return r.NodeAlpha
+	}
+	return r.EdgeAlpha
+}
+
+func exactSearch(g *graph.Graph, mode Mode, maxSize int, connected bool) (expansion.Result, bool) {
+	if mode == EdgeMode && connected {
+		r, _ := expansion.ExactMinConnectedEdgeQuotientBelow(g, maxSize, 1e18)
+		return r, len(r.Set) > 0
+	}
+	if mode == NodeMode && !connected {
+		r, _ := expansion.ExactMinNodeQuotientBelow(g, maxSize, 1e18)
+		return r, len(r.Set) > 0
+	}
+	// Remaining combinations fall back to the same DPs and filter.
+	if mode == NodeMode {
+		// connected node-mode: use edge DP's connected enumeration seed
+		// then evaluate node quotient via exhaustive scan of connected
+		// sets — reuse the connected-edge DP since the enumeration is
+		// identical; simplest correct approach: enumerate via ESU.
+		best := expansion.Result{}
+		have := false
+		for k := 1; k <= maxSize; k++ {
+			g.EnumerateConnectedSubgraphs(k, func(vs []int) bool {
+				r := expansion.Evaluate(g, vs)
+				if !have || r.NodeAlpha < best.NodeAlpha {
+					cp := append([]int(nil), vs...)
+					best = expansion.Evaluate(g, cp)
+					have = true
+				}
+				return true
+			})
+		}
+		return best, have
+	}
+	// EdgeMode, unconstrained.
+	re, _ := expansion.ExactMinEdgeQuotientBelow(g, maxSize, 1e18)
+	return re, len(re.Set) > 0
+}
+
+// sweepCandidates orders vertices by the Fiedler vector and evaluates
+// every prefix up to maxSize, returning the best prefix and (for the
+// connected variant) the best component of the best prefix.
+func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options, rng *xrand.RNG) [][]int {
+	n := g.N()
+	fied := spectral.Fiedler(g, 0, rng)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return fied.Vector[order[a]] < fied.Vector[order[b]] })
+
+	var cands [][]int
+	for _, dir := range []bool{false, true} {
+		ord := order
+		if dir {
+			ord = make([]int, n)
+			for i := range ord {
+				ord[i] = order[n-1-i]
+			}
+		}
+		if set := bestPrefix(g, ord, mode, maxSize); set != nil {
+			cands = append(cands, set)
+			if connected {
+				cands = append(cands, bestComponentOf(g, set, mode)...)
+			}
+		}
+	}
+	return cands
+}
+
+// bestPrefix scans prefixes of ord up to maxSize, maintaining boundary
+// and cut sizes incrementally, and returns the minimum-quotient prefix.
+func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int) []int {
+	n := g.N()
+	inU := make([]bool, n)
+	cnt := make([]int, n) // #neighbors inside U, for every vertex
+	boundary := 0
+	cut := 0
+	bestK := -1
+	bestQ := 0.0
+	limit := maxSize
+	if limit > n-1 {
+		limit = n - 1
+	}
+	for k := 0; k < limit; k++ {
+		v := ord[k]
+		// add v
+		inside := cnt[v]
+		cut += g.Degree(v) - 2*inside
+		if inside > 0 {
+			boundary-- // v was a boundary vertex
+		}
+		for _, w := range g.Neighbors(v) {
+			cnt[w]++
+			if !inU[w] && cnt[w] == 1 {
+				boundary++
+			}
+		}
+		inU[v] = true
+		var q float64
+		if mode == NodeMode {
+			q = float64(boundary) / float64(k+1)
+		} else {
+			q = float64(cut) / float64(k+1)
+		}
+		if bestK < 0 || q < bestQ {
+			bestK, bestQ = k, q
+		}
+	}
+	if bestK < 0 {
+		return nil
+	}
+	return append([]int(nil), ord[:bestK+1]...)
+}
+
+// bestComponentOf splits set into connected components and returns each
+// as a candidate (for EdgeMode at least one component has quotient no
+// worse than the whole set).
+func bestComponentOf(g *graph.Graph, set []int, mode Mode) [][]int {
+	sub := g.InduceVertices(set)
+	labels, sizes := sub.G.Components()
+	if len(sizes) <= 1 {
+		return nil
+	}
+	comps := make([][]int, len(sizes))
+	for v, l := range labels {
+		comps[l] = append(comps[l], int(sub.Orig[v]))
+	}
+	return comps
+}
+
+// ballCandidates grows BFS balls from sampled seeds and evaluates each
+// prefix of the BFS order (always a connected set).
+func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG) [][]int {
+	n := g.N()
+	seeds := opt.Seeds
+	if seeds > n {
+		seeds = n
+	}
+	var cands [][]int
+	for _, s := range rng.SampleK(n, seeds) {
+		ord := bfsOrder(g, s, maxSize)
+		if set := bestPrefixBoth(g, ord, maxSize); set != nil {
+			cands = append(cands, set...)
+		}
+	}
+	return cands
+}
+
+func bfsOrder(g *graph.Graph, src, limit int) []int {
+	seen := make([]bool, g.N())
+	order := []int{src}
+	seen[src] = true
+	for i := 0; i < len(order) && len(order) < limit; i++ {
+		for _, w := range g.Neighbors(order[i]) {
+			if !seen[w] {
+				seen[w] = true
+				order = append(order, int(w))
+				if len(order) >= limit {
+					break
+				}
+			}
+		}
+	}
+	return order
+}
+
+// bestPrefixBoth returns the best node-quotient and best edge-quotient
+// prefixes of ord in one pass.
+func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int) [][]int {
+	n := g.N()
+	inU := make([]bool, n)
+	cnt := make([]int, n)
+	boundary, cut := 0, 0
+	bestNodeK, bestEdgeK := -1, -1
+	bestNodeQ, bestEdgeQ := 0.0, 0.0
+	limit := len(ord)
+	if limit > maxSize {
+		limit = maxSize
+	}
+	if limit > n-1 {
+		limit = n - 1
+	}
+	for k := 0; k < limit; k++ {
+		v := ord[k]
+		inside := cnt[v]
+		cut += g.Degree(v) - 2*inside
+		if inside > 0 {
+			boundary--
+		}
+		for _, w := range g.Neighbors(v) {
+			cnt[w]++
+			if !inU[w] && cnt[w] == 1 {
+				boundary++
+			}
+		}
+		inU[v] = true
+		qn := float64(boundary) / float64(k+1)
+		qe := float64(cut) / float64(k+1)
+		if bestNodeK < 0 || qn < bestNodeQ {
+			bestNodeK, bestNodeQ = k, qn
+		}
+		if bestEdgeK < 0 || qe < bestEdgeQ {
+			bestEdgeK, bestEdgeQ = k, qe
+		}
+	}
+	var out [][]int
+	if bestNodeK >= 0 {
+		out = append(out, append([]int(nil), ord[:bestNodeK+1]...))
+	}
+	if bestEdgeK >= 0 && bestEdgeK != bestNodeK {
+		out = append(out, append([]int(nil), ord[:bestEdgeK+1]...))
+	}
+	return out
+}
+
+// localImprove greedily moves single vertices in/out of the set while the
+// quotient improves, up to the given number of passes.
+func localImprove(g *graph.Graph, set []int, mode Mode, maxSize int, passes int, rng *xrand.RNG) []int {
+	n := g.N()
+	inU := make([]bool, n)
+	cnt := make([]int, n)
+	size := len(set)
+	for _, v := range set {
+		inU[v] = true
+	}
+	cut, boundary := 0, 0
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if inU[w] {
+				cnt[v]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if inU[v] {
+			cut += g.Degree(v) - cnt[v]
+		} else if cnt[v] > 0 {
+			boundary++
+		}
+	}
+	quot := func(b, c, s int) float64 {
+		if s == 0 {
+			return 1e18
+		}
+		if mode == NodeMode {
+			return float64(b) / float64(s)
+		}
+		return float64(c) / float64(s)
+	}
+
+	add := func(v int) {
+		if cnt[v] > 0 {
+			boundary--
+		}
+		cut += g.Degree(v) - 2*cnt[v]
+		for _, w := range g.Neighbors(v) {
+			if !inU[w] && cnt[w] == 0 {
+				boundary++
+			}
+			cnt[w]++
+		}
+		inU[v] = true
+		size++
+	}
+	remove := func(v int) {
+		inU[v] = false
+		size--
+		cut -= g.Degree(v) - 2*cnt[v]
+		for _, w := range g.Neighbors(v) {
+			cnt[w]--
+			if !inU[w] && cnt[w] == 0 {
+				boundary--
+			}
+		}
+		if cnt[v] > 0 {
+			boundary++
+		}
+	}
+
+	order := rng.Perm(n)
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		cur := quot(boundary, cut, size)
+		for _, v := range order {
+			if inU[v] {
+				if size <= 1 {
+					continue
+				}
+				remove(v)
+				if q := quot(boundary, cut, size); q < cur {
+					cur = q
+					improved = true
+				} else {
+					add(v)
+				}
+			} else {
+				if size >= maxSize || cnt[v] == 0 {
+					continue // only grow along the boundary
+				}
+				add(v)
+				if q := quot(boundary, cut, size); q < cur {
+					cur = q
+					improved = true
+				} else {
+					remove(v)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := make([]int, 0, size)
+	for v := 0; v < n; v++ {
+		if inU[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isConnectedSet(g *graph.Graph, set []int) bool {
+	if len(set) <= 1 {
+		return len(set) == 1
+	}
+	return g.InduceVertices(set).G.IsConnected()
+}

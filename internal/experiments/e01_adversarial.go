@@ -1,0 +1,113 @@
+package experiments
+
+// E1 — Theorem 2.1: for any graph with node expansion α and f adversarial
+// node faults with k·f/α ≤ n/4, Prune(1−1/k) returns H with
+// |H| ≥ n − k·f/α and node expansion ≥ (1−1/k)·α.
+//
+// The experiment sweeps three families (torus, hypercube,
+// random-regular expander), two adversaries (bottleneck-targeting and
+// random), several k, and fault budgets up to the feasibility limit, and
+// checks that neither bound is ever violated.
+
+import (
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E1 builds the Theorem 2.1 experiment.
+func E1() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:       "E1",
+		Title:    "Prune guarantee under adversarial faults",
+		PaperRef: "Theorem 2.1",
+		Expectation: "|H| ≥ n − k·f/α and α(H) ≥ (1−1/k)·α whenever " +
+			"k·f/α ≤ n/4, for every adversary",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+
+		type family struct {
+			name string
+			g    *graph.Graph
+		}
+		var fams []family
+		if cfg.Quick {
+			fams = []family{
+				{"torus-4x4", gen.Torus(4, 4)},
+				{"hypercube-4", gen.Hypercube(4)},
+				{"expander-GG4", gen.GabberGalil(4)},
+			}
+		} else {
+			fams = []family{
+				{"torus-8x8", gen.Torus(8, 8)},
+				{"hypercube-6", gen.Hypercube(6)},
+				{"expander-GG8", gen.GabberGalil(8)},
+				{"rr4-n64", gen.ConnectedRandomRegular(64, 4, rng.Split())},
+			}
+		}
+		// At the quick sizes (n=16, α=3/4) the k·f/α ≤ n/4 feasibility
+		// window admits k ∈ {2, 3} with f = 1; larger k needs the full
+		// sizes.
+		ks := []float64{2, 3}
+		if !cfg.Quick {
+			ks = []float64{2, 4}
+		}
+		advs := []faults.Adversary{faults.BottleneckAdversary{}, faults.RandomAdversary{}}
+
+		tbl := stats.NewTable("E1: Theorem 2.1 bounds vs measured (Prune)",
+			"family", "n", "alpha", "adversary", "k", "f", "|H|", "sizeBound",
+			"alpha(H)", "expBound", "ok")
+		violations := 0
+		runs := 0
+		for _, fam := range fams {
+			alpha := measuredNodeAlpha(fam.g, rng.Split())
+			n := fam.g.N()
+			for _, k := range ks {
+				fMax := int(alpha * float64(n) / (4 * k))
+				if fMax < 1 {
+					fMax = 1
+				}
+				budgets := []int{fMax}
+				if !cfg.Quick && fMax >= 2 {
+					budgets = []int{fMax / 2, fMax}
+				}
+				for _, f := range budgets {
+					if f < 1 || !core.Theorem21Feasible(n, f, alpha, k) {
+						continue
+					}
+					for _, adv := range advs {
+						pat := adv.Select(fam.g, f, rng.Split())
+						gf := pat.Apply(fam.g)
+						res := core.Prune(gf.G, alpha, 1-1/k,
+							core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+						sizeOK, expOK, sizeBound, expBound :=
+							core.VerifyPruneGuarantee(res, n, pat.Count(), alpha, k, rng.Split())
+						resAlpha, _ := core.MeasureResidual(res.H.G, rng.Split())
+						ok := "yes"
+						if !sizeOK || !expOK {
+							ok = "NO"
+							violations++
+						}
+						runs++
+						tbl.AddRow(fam.name, fmtI(n), fmtF(alpha), adv.Name(),
+							fmtF(k), fmtI(pat.Count()), fmtI(res.SurvivorSize()),
+							fmtF(sizeBound), fmtF(resAlpha), fmtF(expBound), ok)
+					}
+				}
+			}
+		}
+		tbl.AddNote("sizeBound = n − k·f/α; expBound = (1−1/k)·α; α measured by the exact/heuristic estimator")
+		rep.AddTable(tbl)
+		rep.Checkf(violations == 0, "theorem-2.1-bounds",
+			"%d/%d runs satisfied both Theorem 2.1 bounds", runs-violations, runs)
+		rep.Checkf(runs >= 8, "coverage", "%d (family, adversary, k, f) combinations exercised", runs)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,63 @@
+package experiments
+
+// E2 — Claim 2.4: the chain-replacement graph H (every edge of a
+// constant-expansion base replaced by a k-node chain) has node expansion
+// Θ(1/k). The experiment measures H's expansion across k and fits the
+// scaling exponent: the paper predicts slope ≈ −1 in log–log.
+
+import (
+	"faultexp/internal/gen"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E2 builds the Claim 2.4 experiment.
+func E2() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E2",
+		Title:       "Chain-replacement expansion scales as Θ(1/k)",
+		PaperRef:    "Claim 2.4",
+		Expectation: "measured α(H_k) ∝ k^{−1}: log–log slope ≈ −1, ratio α·k bounded",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		base := gen.GabberGalil(cfg.Pick(4, 6))
+		ks := []int{2, 4, 8}
+		if !cfg.Quick {
+			ks = []int{2, 4, 8, 16}
+		}
+		tbl := stats.NewTable("E2: chain graph expansion vs k (Claim 2.4)",
+			"k", "N", "alpha(H)", "alpha·k", "2/k(ref)")
+		var xs, ys []float64
+		var ratios []float64
+		for _, k := range ks {
+			cg := gen.ChainReplace(base, k)
+			alpha := measuredNodeAlpha(cg.G, rng.Split())
+			xs = append(xs, float64(k))
+			ys = append(ys, alpha)
+			ratios = append(ratios, alpha*float64(k))
+			tbl.AddRow(fmtI(k), fmtI(cg.G.N()), fmtF(alpha),
+				fmtF(alpha*float64(k)), fmtF(2/float64(k)))
+		}
+		slope, coeff, r2 := stats.PowerLawFit(xs, ys)
+		tbl.AddNote("power-law fit: α ≈ %.3g·k^%.3g (R²=%.3f)", coeff, slope, r2)
+		rep.AddTable(tbl)
+
+		rep.Checkf(slope > -1.6 && slope < -0.5, "theta-1-over-k-slope",
+			"log–log slope %.3f within (−1.6, −0.5) around the predicted −1", slope)
+		lo, hi := ratios[0], ratios[0]
+		for _, r := range ratios {
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		rep.Checkf(hi/lo < 6, "constant-band",
+			"α·k stays within a constant band: [%.3g, %.3g]", lo, hi)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,85 @@
+package experiments
+
+// E3 — Theorem 2.3: there are graphs of expansion α (the chain graphs)
+// that an adversary shatters into sublinear components with only c·α·N
+// faults — removing the central node of every chain. The experiment
+// verifies the shatter bound (no component exceeds δ·k/2+1) and that the
+// fault budget really is Θ(α·N).
+
+import (
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E3 builds the Theorem 2.3 experiment.
+func E3() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E3",
+		Title:       "Chain-center adversary shatters with Θ(α·N) faults",
+		PaperRef:    "Theorem 2.3",
+		Expectation: "after δn/2 chain-center faults, every component ≤ δ·k/2+1 (sublinear); budget/(α·N) bounded",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		base := gen.GabberGalil(cfg.Pick(4, 6))
+		ks := []int{2, 4, 8}
+		if !cfg.Quick {
+			ks = []int{2, 4, 8, 16}
+		}
+		tbl := stats.NewTable("E3: shattering chain graphs (Theorem 2.3)",
+			"k", "N", "faults", "faults/N", "gammaBefore", "gammaAfter",
+			"maxComp", "shatterBound", "ok")
+		allOK := true
+		var budgetRatios []float64
+		for _, k := range ks {
+			cg := gen.ChainReplace(base, k)
+			n := cg.G.N()
+			adv := faults.ChainCenterAdversary{CG: cg}
+			pat := adv.Select(cg.G, len(cg.Centers), rng.Split())
+			sub := pat.Apply(cg.G)
+			sizes := sub.G.ComponentSizes()
+			maxComp := 0
+			if len(sizes) > 0 {
+				maxComp = sizes[0]
+			}
+			bound := cg.ExpectedShatterSize()
+			ok := maxComp <= bound
+			if !ok {
+				allOK = false
+			}
+			// The paper's accounting: the budget is (1/k)·N up to
+			// constants, and α = Θ(1/k), so budget/(α·N) should sit in a
+			// constant band across k.
+			alpha := 2 / float64(k) // Claim 2.4 reference value
+			budgetRatios = append(budgetRatios, float64(pat.Count())/(alpha*float64(n)))
+			okStr := "yes"
+			if !ok {
+				okStr = "NO"
+			}
+			tbl.AddRow(fmtI(k), fmtI(n), fmtI(pat.Count()),
+				fmtF(float64(pat.Count())/float64(n)),
+				fmtF(cg.G.GammaLargest()), fmtF(sub.G.GammaLargest()),
+				fmtI(maxComp), fmtI(bound), okStr)
+		}
+		tbl.AddNote("shatterBound = δ·k/2+1 with δ the base expander's degree")
+		rep.AddTable(tbl)
+		rep.Checkf(allOK, "sublinear-components",
+			"all components within the δ·k/2+1 shatter bound")
+		lo, hi := budgetRatios[0], budgetRatios[0]
+		for _, r := range budgetRatios {
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		rep.Checkf(hi/lo < 4, "theta-alpha-n-budget",
+			"fault budget / (α·N) in constant band [%.3g, %.3g] across k", lo, hi)
+		return rep
+	}
+	return e
+}

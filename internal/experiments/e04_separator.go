@@ -1,0 +1,97 @@
+package experiments
+
+// E4 — Theorem 2.5: every graph of uniform expansion α(·) can be broken
+// into components smaller than ε·n by removing O(log(1/ε)/ε · α(n) · n)
+// nodes via the recursive separator process. The experiment runs the
+// process on 2-D meshes (uniform expansion Θ(1/√n) per side m: α ≈ 2/m)
+// and checks (a) every fragment ends below ε·n and (b) the fault budget,
+// normalized by α(n)·n·log(1/ε)/ε, stays in a constant band as n grows —
+// i.e. the attack really only needs ω(α(n)·n) faults.
+
+import (
+	"math"
+
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E4 builds the Theorem 2.5 experiment.
+func E4() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E4",
+		Title:       "Recursive separator attack on uniform-expansion graphs",
+		PaperRef:    "Theorem 2.5",
+		Expectation: "meshes shatter below ε·n with O(log(1/ε)/ε·α(n)·n) faults; normalized budget flat in n",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		sides := []int{8, 12}
+		if !cfg.Quick {
+			sides = []int{8, 12, 16, 24}
+		}
+		epss := []float64{0.25}
+		if !cfg.Quick {
+			epss = []float64{0.25, 0.1}
+		}
+		tbl := stats.NewTable("E4: separator attack on m×m meshes (Theorem 2.5)",
+			"m", "n", "eps", "faults", "alpha(n)·n", "normalized", "maxFrag", "limit", "ok")
+		allOK := true
+		perEps := map[float64][]float64{}
+		for _, m := range sides {
+			g := gen.Mesh(m, m)
+			n := g.N()
+			alphaN := 2 / float64(m) // uniform-expansion reference for the mesh
+			for _, eps := range epss {
+				pat, fragSizes := faults.SeparatorAttack(g, eps, rng.Split())
+				limit := int(eps * float64(n))
+				maxFrag := 0
+				for _, s := range fragSizes {
+					if s > maxFrag {
+						maxFrag = s
+					}
+				}
+				ok := maxFrag < limit || limit <= 1
+				if !ok {
+					allOK = false
+				}
+				scale := math.Log(1/eps) / eps * alphaN * float64(n)
+				normalized := float64(pat.Count()) / scale
+				perEps[eps] = append(perEps[eps], normalized)
+				okStr := "yes"
+				if !ok {
+					okStr = "NO"
+				}
+				tbl.AddRow(fmtI(m), fmtI(n), fmtF(eps), fmtI(pat.Count()),
+					fmtF(alphaN*float64(n)), fmtF(normalized), fmtI(maxFrag),
+					fmtI(limit), okStr)
+			}
+		}
+		tbl.AddNote("normalized = faults / (log(1/ε)/ε · α(n) · n) — Theorem 2.5 predicts O(1)")
+		rep.AddTable(tbl)
+		rep.Checkf(allOK, "fragments-below-eps-n", "every fragment ended below ε·n")
+		// Flatness: within each ε, the normalized budget must not grow
+		// with n (allow a generous constant band).
+		flat := true
+		for _, xs := range perEps {
+			lo, hi := xs[0], xs[0]
+			for _, x := range xs {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			if lo > 0 && hi/lo > 5 {
+				flat = false
+			}
+		}
+		rep.Checkf(flat, "budget-is-O(alpha-n)",
+			"normalized budgets flat across sizes (band < 5×)")
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,116 @@
+package experiments
+
+// E8 — the §1.1 survey table: estimated critical (survival) probabilities
+// for the classic families, against the literature values the paper
+// quotes:
+//
+//	complete graph K_n          p* = 1/(n−1)        (Erdős–Rényi)
+//	random graph, d·n/2 edges   p* = 1/d            (Erdős–Rényi)
+//	2-D mesh (bond)             p* = 1/2            (Kesten)
+//	hypercube of dimension d    p* = 1/d            (Ajtai–Komlós–Szemerédi)
+//	butterfly                   0.337 < p* < 0.436  (Karlin–Nelson–Tamaki)
+//
+// Finite-size estimates drift above the asymptotic values (the giant
+// component needs a constant fraction, which at moderate n requires p a
+// constant factor past the threshold), so the checks use generous bands
+// — this experiment also calibrates the threshold estimator used by E10.
+
+import (
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/perc"
+	"faultexp/internal/stats"
+)
+
+// E8 builds the percolation-survey experiment.
+func E8() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E8",
+		Title:       "Percolation thresholds of the classic families",
+		PaperRef:    "§1.1 survey",
+		Expectation: "estimated thresholds land in the literature bands; ordering preserved",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		trials := cfg.Pick(10, 40)
+		iters := cfg.Pick(9, 13)
+		target := 0.20 // γ must reach 20% of all nodes
+
+		type entry struct {
+			name    string
+			g       *graph.Graph
+			mode    perc.Mode
+			paperLo float64 // literature band (asymptotic value ± finite-size allowance)
+			paperHi float64
+			ref     string
+		}
+		var entries []entry
+		// Bands are centred on the literature value with a finite-size
+		// allowance on both sides: at the sizes below, the γ-crossing
+		// estimator can land up to ~35% under the asymptotic threshold
+		// (supercritical fluctuations reach the γ target early) and a
+		// constant factor above it (the giant component must hold 20% of
+		// *all* nodes, not merely exist).
+		if cfg.Quick {
+			entries = []entry{
+				{"complete-K64", gen.Complete(64), perc.Bond, 0.5 / 63, 6.0 / 63, "1/(n-1)"},
+				{"random-d4-n128", gen.GNM(128, 256, rng.Split()), perc.Bond, 0.15, 0.75, "1/d=0.25"},
+				{"mesh2d-16", gen.Torus(16, 16), perc.Bond, 0.32, 0.65, "0.5 (Kesten)"},
+				{"hypercube-7", gen.Hypercube(7), perc.Bond, 0.8 / 7, 4.0 / 7, "1/d≈0.14"},
+				{"butterfly-5", gen.Butterfly(5), perc.Bond, 0.30, 0.70, "(0.337,0.436)"},
+			}
+		} else {
+			entries = []entry{
+				{"complete-K256", gen.Complete(256), perc.Bond, 0.5 / 255, 6.0 / 255, "1/(n-1)"},
+				{"random-d4-n512", gen.GNM(512, 1024, rng.Split()), perc.Bond, 0.15, 0.75, "1/d=0.25"},
+				{"mesh2d-32", gen.Torus(32, 32), perc.Bond, 0.35, 0.60, "0.5 (Kesten)"},
+				{"hypercube-10", gen.Hypercube(10), perc.Bond, 0.05, 0.4, "1/d=0.1"},
+				{"butterfly-7", gen.Butterfly(7), perc.Bond, 0.30, 0.65, "(0.337,0.436)"},
+			}
+		}
+		tbl := stats.NewTable("E8: percolation thresholds vs literature (§1.1)",
+			"family", "n", "mode", "estimate", "band", "ok")
+		allOK := true
+		ests := map[string]float64{}
+		for _, en := range entries {
+			est := perc.CriticalP(en.g, en.mode, target, trials, iters, rng.Split())
+			ok := est >= en.paperLo && est <= en.paperHi
+			if !ok {
+				allOK = false
+			}
+			ests[en.name] = est
+			okStr := "yes"
+			if !ok {
+				okStr = "NO"
+			}
+			tbl.AddRow(en.name, fmtI(en.g.N()), en.mode.String(), fmtF(est),
+				"["+fmtF(en.paperLo)+","+fmtF(en.paperHi)+"] ("+en.ref+")", okStr)
+		}
+		tbl.AddNote("estimate = smallest p with E[γ(G^(p))] ≥ %.2f, by Monte-Carlo bisection (%d trials/point)", target, trials)
+		rep.AddTable(tbl)
+		rep.Checkf(allOK, "thresholds-in-band", "all five families inside their literature bands")
+		// Ordering check: complete ≪ hypercube < mesh (the survey's
+		// qualitative ranking).
+		ordered := true
+		var complete, hyper, mesh float64
+		for name, v := range ests {
+			switch {
+			case len(name) > 8 && name[:8] == "complete":
+				complete = v
+			case len(name) > 9 && name[:9] == "hypercube":
+				hyper = v
+			case len(name) > 6 && name[:6] == "mesh2d":
+				mesh = v
+			}
+		}
+		if !(complete < hyper && hyper < mesh) {
+			ordered = false
+		}
+		rep.Checkf(ordered, "qualitative-ordering",
+			"p*(complete)=%.4g < p*(hypercube)=%.4g < p*(mesh)=%.4g", complete, hyper, mesh)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,102 @@
+package experiments
+
+// E9 — the §4 discussion: after random faults and pruning, the surviving
+// mesh component still routes with short detours — path dilation
+// O(α⁻¹·log n) — which generalizes the Raghavan/Kaklamanis/Mathies line
+// of 2-D results to higher dimensions. The experiment injects random
+// faults into d-dimensional tori (d = 2, 3), prunes, embeds the ideal
+// torus into the survivor (§1.2 machinery), and tracks load, congestion,
+// and dilation; the check is that dilation stays within a small multiple
+// of log n across sizes and dimensions.
+
+import (
+	"math"
+
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/embed"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E9 builds the §4 dilation experiment.
+func E9() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E9",
+		Title:       "Faulty-mesh emulation: dilation stays O(log n)",
+		PaperRef:    "§4 (with §1.2 embedding machinery)",
+		Expectation: "after faults+prune, embedding the ideal torus has dilation ≤ C·log₂ n with small C, for d = 2 and 3",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		type fam struct {
+			name string
+			g    *graph.Graph
+		}
+		fams := []fam{
+			{"torus2d-10x10", gen.Torus(10, 10)},
+			{"torus3d-5x5x5", gen.Torus(5, 5, 5)},
+		}
+		if !cfg.Quick {
+			fams = []fam{
+				{"torus2d-16x16", gen.Torus(16, 16)},
+				{"torus2d-24x24", gen.Torus(24, 24)},
+				{"torus3d-8x8x8", gen.Torus(8, 8, 8)},
+				{"torus3d-10x10x10", gen.Torus(10, 10, 10)},
+			}
+		}
+		p := 0.02
+		trials := cfg.Pick(2, 5)
+		tbl := stats.NewTable("E9: emulation metrics after faults+prune (§4, §1.2)",
+			"family", "n", "p", "load", "congestion", "dilation", "slowdown", "log2n", "dil/log2n")
+		maxRatio := 0.0
+		for _, f := range fams {
+			n := f.g.N()
+			log2n := math.Log2(float64(n))
+			worst := embed.Metrics{}
+			for t := 0; t < trials; t++ {
+				pat := faults.IIDNodes(f.g, p, rng.Split())
+				gf := pat.Apply(f.g)
+				alphaE := measuredEdgeAlpha(f.g, rng.Split())
+				res := core.Prune2(gf.G, alphaE, 0.1,
+					core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+				host := res.H.LargestComponentSub()
+				if host.G.N() == 0 {
+					continue
+				}
+				emb, err := embed.EmulateFaultyMesh(f.g, host)
+				if err != nil {
+					continue
+				}
+				m := emb.Evaluate()
+				if m.Dilation > worst.Dilation {
+					worst.Dilation = m.Dilation
+				}
+				if m.Load > worst.Load {
+					worst.Load = m.Load
+				}
+				if m.Congestion > worst.Congestion {
+					worst.Congestion = m.Congestion
+				}
+			}
+			worst.Slowdown = worst.Load + worst.Congestion + worst.Dilation
+			ratio := float64(worst.Dilation) / log2n
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+			tbl.AddRow(f.name, fmtI(n), fmtF(p), fmtI(worst.Load),
+				fmtI(worst.Congestion), fmtI(worst.Dilation),
+				fmtI(worst.Slowdown), fmtF(log2n), fmtF(ratio))
+		}
+		tbl.AddNote("worst metrics over %d random-fault trials at p=%.2f; prune = Prune2(ε=0.1)", trials, p)
+		rep.AddTable(tbl)
+		rep.Checkf(maxRatio > 0 && maxRatio <= 2.0, "dilation-O(log-n)",
+			"max dilation/log₂n = %.3f ≤ 2 across dimensions and sizes", maxRatio)
+		return rep
+	}
+	return e
+}

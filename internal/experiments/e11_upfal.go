@@ -1,0 +1,86 @@
+package experiments
+
+// E11 — baseline comparison with Upfal [28]-style pruning. Upfal's
+// technique keeps n − O(f) nodes after f adversarial faults in an
+// expander, but — as the paper's §1.1 points out — "Upfal's pruning does
+// not guarantee a large component of good expansion." The experiment
+// runs both pruners on (a) a faulty expander, where both should retain
+// almost everything, and (b) a planted-bottleneck graph, where Upfal
+// keeps the bottleneck (terrible expansion) while Prune certifies good
+// expansion at a modest extra node cost.
+
+import (
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E11 builds the Upfal-baseline experiment.
+func E11() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E11",
+		Title:       "Prune vs size-only (Upfal-style) pruning",
+		PaperRef:    "§1.1 (Upfal [28] comparison)",
+		Expectation: "both keep n−O(f) on expanders; on bottlenecked graphs only Prune's survivor has good expansion",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+
+		tbl := stats.NewTable("E11: survivor size and expansion, Prune vs Upfal",
+			"scenario", "n", "f", "|H|prune", "|H|upfal", "alphaPrune", "alphaUpfal")
+
+		// (a) expander with random adversarial faults.
+		exp := gen.GabberGalil(cfg.Pick(6, 10))
+		f := cfg.Pick(3, 10)
+		pat := faults.ExactRandomNodes(exp, f, rng.Split())
+		gf := pat.Apply(exp)
+		alphaExp := measuredNodeAlpha(exp, rng.Split())
+		pr := core.Prune(gf.G, alphaExp, 0.5,
+			core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+		up := core.UpfalPrune(gf, func(o int32) int { return exp.Degree(int(o)) }, 0.51)
+		aPr, _ := core.MeasureResidual(pr.H.G, rng.Split())
+		aUp, _ := core.MeasureResidual(up.H.G, rng.Split())
+		tbl.AddRow("expander+faults", fmtI(exp.N()), fmtI(f),
+			fmtI(pr.SurvivorSize()), fmtI(up.SurvivorSize()), fmtF(aPr), fmtF(aUp))
+		expanderOK := pr.SurvivorSize() >= exp.N()-8*f && up.SurvivorSize() >= exp.N()-8*f
+
+		// (b) planted bottleneck: two expanders joined by one edge. No
+		// faults needed — the topology itself is the trap.
+		side := gen.GabberGalil(cfg.Pick(5, 8))
+		n := side.N()
+		b := graph.NewBuilder(2 * n)
+		side.ForEachEdge(func(u, v int) {
+			b.AddEdge(u, v)
+			b.AddEdge(n+u, n+v)
+		})
+		b.AddEdge(0, n)
+		planted := b.Build()
+		alphaSide := measuredNodeAlpha(side, rng.Split())
+		sub := graph.Identity(planted)
+		pr2 := core.Prune(planted, alphaSide, 0.5,
+			core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+		up2 := core.UpfalPrune(sub, func(o int32) int { return planted.Degree(int(o)) }, 0.51)
+		aPr2, _ := core.MeasureResidual(pr2.H.G, rng.Split())
+		aUp2, _ := core.MeasureResidual(up2.H.G, rng.Split())
+		tbl.AddRow("planted-bottleneck", fmtI(planted.N()), "0",
+			fmtI(pr2.SurvivorSize()), fmtI(up2.SurvivorSize()), fmtF(aPr2), fmtF(aUp2))
+
+		tbl.AddNote("Upfal-style: drop nodes below 51%% of original degree, keep largest component")
+		rep.AddTable(tbl)
+
+		rep.Checkf(expanderOK, "both-keep-n-minus-Of",
+			"expander scenario: prune kept %d, upfal kept %d of %d (f=%d)",
+			pr.SurvivorSize(), up.SurvivorSize(), exp.N(), f)
+		rep.Checkf(up2.SurvivorSize() == planted.N(), "upfal-keeps-bottleneck",
+			"size-only pruning kept the whole bottlenecked graph (%d nodes)", up2.SurvivorSize())
+		rep.Checkf(aPr2 > 3*aUp2, "prune-certifies-expansion",
+			"Prune survivor α=%.4g ≥ 3× Upfal survivor α=%.4g", aPr2, aUp2)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,82 @@
+package experiments
+
+// E13 (extension) — the §1.3 application, made operational: "if the
+// expansion basically stays the same, the ability of a network to
+// balance load basically stays the same." We balance a point load by
+// first-order diffusion on (a) the fault-free torus, (b) the pruned
+// survivor of its faulty self, and (c) a bottleneck graph of the same
+// size, and compare rounds-to-balance. The paper predicts (b) ≈ (a) ≪
+// (c): pruning preserves the operational consequence of expansion.
+
+import (
+	"faultexp/internal/balance"
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E13 builds the load-balancing application experiment.
+func E13() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E13",
+		Title:       "Pruned survivors balance load like the fault-free network",
+		PaperRef:    "§1.3 (application; extension experiment)",
+		Expectation: "rounds-to-balance: pruned ≤ 4× fault-free; bottleneck graph ≥ 5× fault-free",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		m := cfg.Pick(8, 16)
+		g := gen.Torus(m, m)
+		n := g.N()
+		const tol = 0.05
+		maxRounds := 500000
+
+		// (a) fault-free torus.
+		ideal := balance.RoundsToBalance(g, balance.PointLoad(n, 0, float64(n)), tol, maxRounds)
+
+		// (b) faulty + pruned survivor (worst over trials).
+		trials := cfg.Pick(3, 6)
+		alphaE := measuredEdgeAlpha(g, rng.Split())
+		prunedWorst := 0
+		for t := 0; t < trials; t++ {
+			pat := faults.IIDNodes(g, 0.03, rng.Split())
+			gf := pat.Apply(g)
+			res := core.Prune2(gf.G, alphaE, 0.1,
+				core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+			h := res.H.LargestComponentSub().G
+			if h.N() < 2 {
+				continue
+			}
+			src := 0
+			r := balance.RoundsToBalance(h, balance.PointLoad(h.N(), src, float64(h.N())), tol, maxRounds)
+			if r > prunedWorst {
+				prunedWorst = r
+			}
+		}
+
+		// (c) bottleneck graph of the same size: barbell of two cliques.
+		bar := gen.Barbell(n / 2)
+		barRounds := balance.RoundsToBalance(bar, balance.PointLoad(n, 0, float64(n)), tol, maxRounds)
+
+		tbl := stats.NewTable("E13: diffusion rounds to imbalance ≤ 0.05 (§1.3)",
+			"network", "n", "rounds", "vs fault-free")
+		tbl.AddRow("torus (fault-free)", fmtI(n), fmtI(ideal), "1.0x")
+		tbl.AddRow("torus faulty+pruned (worst)", fmtI(n), fmtI(prunedWorst),
+			fmtF(float64(prunedWorst)/float64(ideal))+"x")
+		tbl.AddRow("barbell (bottleneck)", fmtI(n), fmtI(barRounds),
+			fmtF(float64(barRounds)/float64(ideal))+"x")
+		tbl.AddNote("point load, first-order diffusion with coefficient 1/(δ+1); p=0.03 faults")
+		rep.AddTable(tbl)
+
+		rep.Checkf(prunedWorst > 0 && prunedWorst <= 4*ideal, "pruned-balances-like-ideal",
+			"pruned survivor: %d rounds vs fault-free %d (≤ 4×)", prunedWorst, ideal)
+		rep.Checkf(barRounds >= 5*ideal, "bottleneck-is-slow",
+			"bottleneck graph: %d rounds vs fault-free %d (≥ 5×)", barRounds, ideal)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,87 @@
+package experiments
+
+// E16 (extension) — the expansion→distance link quoted in the paper's
+// conclusion: "the distance of nodes in a graph of expansion α is
+// O(α⁻¹·log n) [20]". This is the lemma that converts Prune2's certified
+// expansion into the §4 dilation claim, so we validate it directly: for
+// every family (and for pruned faulty survivors), the exact diameter
+// must respect the ball-growth bound 2·⌈log_{1+α}(n/2)⌉+1 computed from
+// the *measured* expansion — and the ratio should be comfortably below 1.
+
+import (
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/expansion"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/stats"
+)
+
+// E16 builds the diameter-vs-expansion experiment.
+func E16() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E16",
+		Title:       "Diameter respects the O(α⁻¹·log n) ball-growth bound",
+		PaperRef:    "§4 conclusion (Leighton–Rao [20]; extension experiment)",
+		Expectation: "exact diameter ≤ 2·⌈log_{1+α}(n/2)⌉+1 with measured α, on every family and pruned survivor",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		type fam struct {
+			name string
+			g    *graph.Graph
+		}
+		fams := []fam{
+			{"torus", gen.Torus(cfg.Pick(8, 16), cfg.Pick(8, 16))},
+			{"hypercube", gen.Hypercube(cfg.Pick(5, 8))},
+			{"expander", gen.GabberGalil(cfg.Pick(6, 12))},
+			{"chain-k4", gen.ChainReplace(gen.GabberGalil(4), 4).G},
+			{"butterfly", gen.Butterfly(cfg.Pick(4, 6))},
+			{"cycle", gen.Cycle(cfg.Pick(32, 128))},
+		}
+		// Pruned survivor of a faulty torus (the §4 use case).
+		{
+			t := gen.Torus(cfg.Pick(8, 12), cfg.Pick(8, 12))
+			pat := faults.IIDNodes(t, 0.03, rng.Split())
+			alphaE := measuredEdgeAlpha(t, rng.Split())
+			res := core.Prune2(pat.Apply(t).G, alphaE, 0.1,
+				core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+			h := res.H.LargestComponentSub().G
+			if h.N() > 2 {
+				fams = append(fams, fam{"pruned-faulty-torus", h})
+			}
+		}
+		tbl := stats.NewTable("E16: exact diameter vs ball-growth bound (α measured)",
+			"family", "n", "alpha", "diameter", "bound", "diam/bound")
+		allOK := true
+		maxRatio := 0.0
+		for _, f := range fams {
+			alpha := measuredNodeAlpha(f.g, rng.Split())
+			if alpha <= 0 {
+				continue
+			}
+			diam := expansion.ExactDiameter(f.g)
+			bound := expansion.DiameterUpperBound(alpha, f.g.N())
+			ratio := float64(diam) / float64(bound)
+			if diam < 0 || diam > bound {
+				allOK = false
+			}
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+			tbl.AddRow(f.name, fmtI(f.g.N()), fmtF(alpha), fmtI(diam),
+				fmtI(bound), fmtF(ratio))
+		}
+		tbl.AddNote("bound = 2·⌈log_{1+α}(n/2)⌉+1; α from the exact/heuristic estimator")
+		rep.AddTable(tbl)
+		rep.Checkf(allOK, "ball-growth-bound-holds",
+			"every exact diameter within the bound (max ratio %.3f)", maxRatio)
+		rep.Checkf(maxRatio < 1, "bound-not-tight-violated",
+			"ratios stay below 1 — the bound holds with slack, as a worst-case bound should")
+		return rep
+	}
+	return e
+}

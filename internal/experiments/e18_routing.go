@@ -1,0 +1,85 @@
+package experiments
+
+// E18 (extension) — the §1.3 routing application: "the ability of a
+// network to route information is preserved because it is closely
+// related to its expansion [26]". Random-pairs shortest-path routing on
+// the fault-free torus, the pruned faulty torus, and a bottleneck
+// control of the same size: per-pair congestion on the pruned survivor
+// must stay within a small factor of fault-free, while the bottleneck
+// funnels a constant fraction of all traffic over one edge.
+
+import (
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/harness"
+	"faultexp/internal/route"
+	"faultexp/internal/stats"
+)
+
+// E18 builds the routing-congestion experiment.
+func E18() *harness.Experiment {
+	e := &harness.Experiment{
+		ID:          "E18",
+		Title:       "Routing congestion is preserved by pruning",
+		PaperRef:    "§1.3 (routing application; extension experiment)",
+		Expectation: "per-pair congestion: pruned ≤ 3× fault-free; bottleneck ≥ 4× fault-free",
+	}
+	e.Run = func(cfg harness.Config) *harness.Report {
+		rep := e.NewReport()
+		rng := cfg.RNG()
+		m := cfg.Pick(10, 16)
+		g := gen.Torus(m, m)
+		n := g.N()
+		pairs := cfg.Pick(200, 800)
+
+		ideal := route.RandomPairs(g, pairs, rng.Split())
+
+		// Pruned faulty torus (worst per-pair congestion over trials).
+		alphaE := measuredEdgeAlpha(g, rng.Split())
+		trials := cfg.Pick(3, 6)
+		prunedWorst := 0.0
+		var prunedRes route.Result
+		for t := 0; t < trials; t++ {
+			pat := faults.IIDNodes(g, 0.03, rng.Split())
+			res := core.Prune2(pat.Apply(g).G, alphaE, 0.1,
+				core.Options{Finder: cuts.Options{RNG: rng.Split()}})
+			h := res.H.LargestComponentSub().G
+			if h.N() < n/2 {
+				continue
+			}
+			r := route.RandomPairs(h, pairs, rng.Split())
+			if r.CongestionPerPair() > prunedWorst {
+				prunedWorst = r.CongestionPerPair()
+				prunedRes = r
+			}
+		}
+
+		bar := gen.Barbell(n / 2)
+		barRes := route.RandomPairs(bar, pairs, rng.Split())
+
+		tbl := stats.NewTable("E18: random-pairs routing congestion (§1.3)",
+			"network", "n", "pairs", "congestion", "cong/pair", "avgLen", "maxLen")
+		add := func(name string, nn int, r route.Result) {
+			tbl.AddRow(name, fmtI(nn), fmtI(r.Pairs), fmtI(r.Congestion),
+				fmtF(r.CongestionPerPair()), fmtF(r.AvgLen()), fmtI(r.MaxLen))
+		}
+		add("torus (fault-free)", n, ideal)
+		add("torus faulty+pruned (worst)", n, prunedRes)
+		add("barbell (bottleneck)", bar.N(), barRes)
+		tbl.AddNote("BFS shortest-path routing of uniformly random pairs; p=0.03 faults")
+		rep.AddTable(tbl)
+
+		idealCPP := ideal.CongestionPerPair()
+		rep.Checkf(prunedWorst > 0 && prunedWorst <= 3*idealCPP,
+			"pruned-routes-like-ideal",
+			"pruned cong/pair %.4f vs fault-free %.4f (≤ 3×)", prunedWorst, idealCPP)
+		rep.Checkf(barRes.CongestionPerPair() >= 4*idealCPP,
+			"bottleneck-congests",
+			"bottleneck cong/pair %.4f vs fault-free %.4f (≥ 4×)",
+			barRes.CongestionPerPair(), idealCPP)
+		return rep
+	}
+	return e
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"faultexp/internal/harness"
+)
+
+func runQuick(t *testing.T, id string) *harness.Report {
+	t.Helper()
+	reg := Registry()
+	exp, ok := reg.Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	cfg := harness.Config{Quick: true, Seed: 20040627} // SPAA'04 began June 27 2004
+	rep := exp.Run(cfg)
+	if rep == nil {
+		t.Fatalf("%s returned nil report", id)
+	}
+	for _, c := range rep.Checks {
+		if !c.OK {
+			var b strings.Builder
+			rep.Render(&b)
+			t.Errorf("%s check %q failed: %s\nfull report:\n%s", id, c.Name, c.Detail, b.String())
+		}
+	}
+	if len(rep.Tables) == 0 {
+		t.Errorf("%s produced no tables", id)
+	}
+	return rep
+}
+
+func TestE1(t *testing.T)  { runQuick(t, "E1") }
+func TestE2(t *testing.T)  { runQuick(t, "E2") }
+func TestE3(t *testing.T)  { runQuick(t, "E3") }
+func TestE4(t *testing.T)  { runQuick(t, "E4") }
+func TestE5(t *testing.T)  { runQuick(t, "E5") }
+func TestE6(t *testing.T)  { runQuick(t, "E6") }
+func TestE7(t *testing.T)  { runQuick(t, "E7") }
+func TestE8(t *testing.T)  { runQuick(t, "E8") }
+func TestE9(t *testing.T)  { runQuick(t, "E9") }
+func TestE10(t *testing.T) { runQuick(t, "E10") }
+func TestE11(t *testing.T) { runQuick(t, "E11") }
+func TestE12(t *testing.T) { runQuick(t, "E12") }
+func TestE13(t *testing.T) { runQuick(t, "E13") }
+func TestE14(t *testing.T) { runQuick(t, "E14") }
+func TestE15(t *testing.T) { runQuick(t, "E15") }
+func TestE16(t *testing.T) { runQuick(t, "E16") }
+func TestE17(t *testing.T) { runQuick(t, "E17") }
+func TestE18(t *testing.T) { runQuick(t, "E18") }
+func TestE19(t *testing.T) { runQuick(t, "E19") }
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Expectation == "" || e.Run == nil {
+			t.Errorf("experiment %q incompletely specified", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	reg := Registry()
+	if got := len(reg.All()); got != 19 {
+		t.Fatalf("registry holds %d experiments", got)
+	}
+	if _, ok := reg.Get("e7"); !ok {
+		t.Fatal("lookup should be case-insensitive")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	// Same seed → identical tables (the whole pipeline is deterministic).
+	reg := Registry()
+	exp, _ := reg.Get("E2")
+	cfg := harness.Config{Quick: true, Seed: 7}
+	a := exp.Run(cfg)
+	b := exp.Run(cfg)
+	var sa, sb strings.Builder
+	a.Render(&sa)
+	b.Render(&sb)
+	if sa.String() != sb.String() {
+		t.Fatal("same seed produced different reports")
+	}
+}

@@ -1,0 +1,240 @@
+// Package faults implements the paper's fault models: random node/edge
+// faults (each element fails independently with probability p, §3) and
+// adversarial node faults (§2), including the specific adversaries the
+// paper's lower-bound proofs construct — the chain-center adversary of
+// Theorem 2.3 and the recursive separator adversary of Theorem 2.5 —
+// plus generic attack strategies (bottleneck-targeting, degree-targeting,
+// random baseline) for the experiment harness.
+package faults
+
+import (
+	"faultexp/internal/cuts"
+	"faultexp/internal/expansion"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// Pattern is a set of faulty nodes of some graph.
+type Pattern struct {
+	Nodes []int
+}
+
+// Count returns the number of faulty nodes.
+func (p Pattern) Count() int { return len(p.Nodes) }
+
+// Apply removes the faulty nodes from g, returning the surviving induced
+// subgraph with provenance.
+func (p Pattern) Apply(g *graph.Graph) *graph.Sub {
+	return g.RemoveVertices(p.Nodes)
+}
+
+// IIDNodes makes each node faulty independently with probability prob.
+func IIDNodes(g *graph.Graph, prob float64, rng *xrand.RNG) Pattern {
+	var nodes []int
+	for v := 0; v < g.N(); v++ {
+		if rng.Bool(prob) {
+			nodes = append(nodes, v)
+		}
+	}
+	return Pattern{Nodes: nodes}
+}
+
+// ExactRandomNodes picks exactly f faulty nodes uniformly at random.
+func ExactRandomNodes(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
+	if f > g.N() {
+		f = g.N()
+	}
+	return Pattern{Nodes: rng.SampleK(g.N(), f)}
+}
+
+// IIDEdges returns the edges that fail when each edge fails independently
+// with probability prob (i.e. survives with probability 1−prob).
+func IIDEdges(g *graph.Graph, prob float64, rng *xrand.RNG) [][2]int32 {
+	var out [][2]int32
+	g.ForEachEdge(func(u, v int) {
+		if rng.Bool(prob) {
+			out = append(out, [2]int32{int32(u), int32(v)})
+		}
+	})
+	return out
+}
+
+// Adversary selects up to f nodes to fail on a given graph.
+type Adversary interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Select returns at most f faulty nodes.
+	Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern
+}
+
+// RandomAdversary fails f uniformly random nodes — the baseline every
+// targeted strategy is compared against.
+type RandomAdversary struct{}
+
+// Name implements Adversary.
+func (RandomAdversary) Name() string { return "random" }
+
+// Select implements Adversary.
+func (RandomAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
+	return ExactRandomNodes(g, f, rng)
+}
+
+// DegreeAdversary fails the f highest-degree nodes.
+type DegreeAdversary struct{}
+
+// Name implements Adversary.
+func (DegreeAdversary) Name() string { return "max-degree" }
+
+// Select implements Adversary.
+func (DegreeAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
+	n := g.N()
+	if f > n {
+		f = n
+	}
+	idx := rng.Perm(n) // random tie-breaking
+	// partial selection sort of top-f by degree
+	for i := 0; i < f; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if g.Degree(idx[j]) > g.Degree(idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return Pattern{Nodes: append([]int(nil), idx[:f]...)}
+}
+
+// BottleneckAdversary finds a low-node-expansion set U (the graph's
+// bottleneck) and fails its neighbourhood Γ(U), disconnecting U from the
+// rest — the attack that makes Theorem 2.1's bound tight on bottlenecked
+// topologies.
+type BottleneckAdversary struct{}
+
+// Name implements Adversary.
+func (BottleneckAdversary) Name() string { return "bottleneck" }
+
+// Select implements Adversary.
+func (BottleneckAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
+	if f <= 0 || g.N() < 2 {
+		return Pattern{}
+	}
+	// Find the set whose boundary fits the budget and maximizes the
+	// disconnected mass: scan the finder's best cut; if its boundary is
+	// larger than f, shrink via BFS-ball candidates.
+	opt := cuts.Options{RNG: rng}
+	best, ok := cuts.FindBest(g, cuts.NodeMode, g.N()/2, false, opt)
+	if !ok {
+		return ExactRandomNodes(g, f, rng)
+	}
+	inU := expansion.Mask(g.N(), best.Set)
+	boundary := expansion.Boundary(g, inU)
+	if len(boundary) <= f {
+		// Spend the remaining budget on random nodes outside U∪Γ(U).
+		pat := append([]int(nil), boundary...)
+		extra := f - len(boundary)
+		if extra > 0 {
+			taken := make(map[int]bool, len(pat))
+			for _, v := range pat {
+				taken[v] = true
+			}
+			for _, v := range rng.Perm(g.N()) {
+				if extra == 0 {
+					break
+				}
+				if !taken[v] && !inU[v] {
+					pat = append(pat, v)
+					taken[v] = true
+					extra--
+				}
+			}
+		}
+		return Pattern{Nodes: pat}
+	}
+	// Budget too small for the global bottleneck: cut off the largest
+	// BFS ball whose boundary fits.
+	bestBall := []int(nil)
+	for _, seed := range rng.SampleK(g.N(), min(8, g.N())) {
+		ball := bfsBallWithBoundaryBudget(g, seed, f)
+		if len(ball) > len(bestBall) {
+			bestBall = ball
+		}
+	}
+	if bestBall == nil {
+		return ExactRandomNodes(g, f, rng)
+	}
+	return Pattern{Nodes: expansion.Boundary(g, expansion.Mask(g.N(), bestBall))}
+}
+
+// bfsBallWithBoundaryBudget grows a BFS ball from seed and returns the
+// largest prefix whose boundary size is at most f.
+func bfsBallWithBoundaryBudget(g *graph.Graph, seed, f int) []int {
+	n := g.N()
+	inU := make([]bool, n)
+	cnt := make([]int, n)
+	boundary := 0
+	order := []int{seed}
+	seen := make([]bool, n)
+	seen[seed] = true
+	var best []int
+	add := func(v int) {
+		if cnt[v] > 0 {
+			boundary--
+		}
+		for _, w := range g.Neighbors(v) {
+			if !inU[w] && cnt[w] == 0 {
+				boundary++
+			}
+			cnt[w]++
+		}
+		inU[v] = true
+	}
+	for i := 0; i < len(order) && len(order) <= n/2; i++ {
+		v := order[i]
+		add(v)
+		if boundary <= f && i+1 <= n/2 {
+			best = append(best[:0], order[:i+1]...)
+		}
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				order = append(order, int(w))
+			}
+		}
+	}
+	return append([]int(nil), best...)
+}
+
+// ChainCenterAdversary is the Theorem 2.3 attack on a chain-replaced
+// graph: fail the central node of every chain (or of the first f chains
+// if the budget is smaller), shattering the graph into components of
+// size ≈ δ·k/2.
+type ChainCenterAdversary struct {
+	CG *gen.ChainGraph
+}
+
+// Name implements Adversary.
+func (ChainCenterAdversary) Name() string { return "chain-center" }
+
+// Select implements Adversary.
+func (a ChainCenterAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
+	centers := a.CG.CenterSet()
+	if f < len(centers) {
+		// Fail a random subset of centers when the budget is short.
+		idx := rng.SampleK(len(centers), f)
+		sel := make([]int, f)
+		for i, j := range idx {
+			sel[i] = centers[j]
+		}
+		return Pattern{Nodes: sel}
+	}
+	return Pattern{Nodes: centers}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

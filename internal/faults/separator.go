@@ -1,0 +1,88 @@
+package faults
+
+// The recursive separator adversary of Theorem 2.5: on a graph of
+// uniform expansion α(·), repeatedly take the largest surviving
+// fragment, find its minimum-expansion set U, and fail Γ(U) — splitting
+// the fragment — until every fragment has fewer than ε·n vertices. The
+// theorem shows this needs only O(log(1/ε)/ε · α(n) · n) faults, i.e.
+// ω(α(n)·n) faults suffice to shatter *every* uniform-expansion graph.
+
+import (
+	"faultexp/internal/cuts"
+	"faultexp/internal/expansion"
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// SeparatorAttack runs the Theorem 2.5 process on g until every fragment
+// is smaller than epsilon·n, and returns the faulted nodes (in g's
+// coordinates) together with the final fragment sizes.
+func SeparatorAttack(g *graph.Graph, epsilon float64, rng *xrand.RNG) (Pattern, []int) {
+	n := g.N()
+	limit := int(epsilon * float64(n))
+	if limit < 1 {
+		limit = 1
+	}
+	var faulted []int
+	// Fragments are vertex lists in g's coordinates.
+	fragments := [][]int{}
+	{
+		labels, sizes := g.Components()
+		comps := make([][]int, len(sizes))
+		for v, l := range labels {
+			comps[l] = append(comps[l], v)
+		}
+		fragments = comps
+	}
+	opt := cuts.Options{RNG: rng}
+	for {
+		// Pick the largest fragment.
+		bi := -1
+		for i, fr := range fragments {
+			if bi < 0 || len(fr) > len(fragments[bi]) {
+				bi = i
+			}
+		}
+		if bi < 0 || len(fragments[bi]) < limit {
+			break
+		}
+		frag := fragments[bi]
+		fragments = append(fragments[:bi], fragments[bi+1:]...)
+		sub := g.InduceVertices(frag)
+		if sub.G.N() < 2 {
+			continue
+		}
+		// Minimum node-expansion set of the fragment, |U| ≤ |frag|/2.
+		best, ok := cuts.FindBest(sub.G, cuts.NodeMode, sub.G.N()/2, false, opt)
+		if !ok {
+			continue
+		}
+		inU := expansion.Mask(sub.G.N(), best.Set)
+		boundary := expansion.Boundary(sub.G, inU)
+		// Fault the boundary (in g coordinates).
+		for _, b := range boundary {
+			faulted = append(faulted, int(sub.Orig[b]))
+		}
+		// Split the remainder of the fragment into components.
+		keep := make([]bool, sub.G.N())
+		for i := range keep {
+			keep[i] = true
+		}
+		for _, b := range boundary {
+			keep[b] = false
+		}
+		rest := sub.G.Induce(keep)
+		labels, sizes := rest.G.Components()
+		comps := make([][]int, len(sizes))
+		for v, l := range labels {
+			orig := int(sub.Orig[rest.Orig[v]])
+			comps[l] = append(comps[l], orig)
+		}
+		fragments = append(fragments, comps...)
+	}
+	sizes := make([]int, len(fragments))
+	for i, fr := range fragments {
+		sizes[i] = len(fr)
+	}
+	return Pattern{Nodes: faulted}, sizes
+}

@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// Butterfly returns the d-dimensional (unwrapped) butterfly: levels
+// 0..d, each with 2^d rows, so (d+1)·2^d vertices. Vertex (level, row)
+// has a straight edge to (level+1, row) and a cross edge to
+// (level+1, row ⊕ 2^level). This is the network of the Karlin–Nelson–
+// Tamaki percolation bounds quoted in the paper's §1.1.
+func Butterfly(d int) *graph.Graph {
+	rows := 1 << uint(d)
+	n := (d + 1) * rows
+	b := graph.NewBuilder(n)
+	id := func(level, row int) int { return level*rows + row }
+	for l := 0; l < d; l++ {
+		for r := 0; r < rows; r++ {
+			b.AddEdge(id(l, r), id(l+1, r))
+			b.AddEdge(id(l, r), id(l+1, r^(1<<uint(l))))
+		}
+	}
+	return b.Build()
+}
+
+// ButterflyID returns the vertex index of (level, row) in Butterfly(d).
+func ButterflyID(d, level, row int) int { return level*(1<<uint(d)) + row }
+
+// WrappedButterfly returns the wrapped butterfly: levels 0..d-1 with the
+// last level connected back to level 0, giving a d·2^d-vertex 4-regular
+// graph.
+func WrappedButterfly(d int) *graph.Graph {
+	rows := 1 << uint(d)
+	n := d * rows
+	b := graph.NewBuilder(n)
+	id := func(level, row int) int { return (level%d)*rows + row }
+	for l := 0; l < d; l++ {
+		for r := 0; r < rows; r++ {
+			b.AddEdge(id(l, r), id(l+1, r))
+			b.AddEdge(id(l, r), id(l+1, r^(1<<uint(l%d))))
+		}
+	}
+	return b.Build()
+}
+
+// CCC returns the cube-connected-cycles network of dimension d: each
+// hypercube vertex is expanded into a d-cycle, giving d·2^d vertices of
+// degree 3.
+func CCC(d int) *graph.Graph {
+	if d < 3 {
+		panic("gen: CCC needs d >= 3")
+	}
+	rows := 1 << uint(d)
+	n := d * rows
+	b := graph.NewBuilder(n)
+	id := func(x, i int) int { return x*d + i }
+	for x := 0; x < rows; x++ {
+		for i := 0; i < d; i++ {
+			b.AddEdge(id(x, i), id(x, (i+1)%d))
+			y := x ^ (1 << uint(i))
+			if y > x {
+				b.AddEdge(id(x, i), id(y, i))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// DeBruijn returns the (undirected, simplified) binary de Bruijn graph on
+// 2^d vertices: x is joined to 2x mod n and 2x+1 mod n. Self-loops are
+// dropped, so degree is at most 4.
+func DeBruijn(d int) *graph.Graph {
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		b.AddEdge(x, (2*x)%n)
+		b.AddEdge(x, (2*x+1)%n)
+	}
+	return b.Build()
+}
+
+// ShuffleExchange returns the binary shuffle-exchange network on 2^d
+// vertices: exchange edges x↔(x⊕1) and shuffle edges x↔rot_left(x).
+func ShuffleExchange(d int) *graph.Graph {
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	mask := n - 1
+	for x := 0; x < n; x++ {
+		b.AddEdge(x, x^1)
+		shuf := ((x << 1) | (x >> uint(d-1))) & mask
+		b.AddEdge(x, shuf)
+	}
+	return b.Build()
+}
+
+// MultibutterflyMeta describes a generated multibutterfly: the graph plus
+// the location of its inputs and outputs.
+type MultibutterflyMeta struct {
+	G       *graph.Graph
+	D       int   // number of levels below the input level
+	Inputs  []int // vertex ids of level-0 nodes
+	Outputs []int // vertex ids of level-d nodes
+}
+
+// Multibutterfly builds a d-dimensional multibutterfly with splitter
+// multiplicity mult (mult ≥ 2): like a butterfly, each level splits every
+// block of rows into upper and lower halves, but instead of a single
+// fixed wiring each node connects to mult random targets in the upper
+// half and mult in the lower half of its block — the randomly-wired
+// splitter networks of Leighton–Maggs [17], the paper's §1.1 baseline for
+// adversarial fault tolerance.
+func Multibutterfly(d, mult int, rng *xrand.RNG) *MultibutterflyMeta {
+	if mult < 1 {
+		panic("gen: multibutterfly multiplicity must be >= 1")
+	}
+	rows := 1 << uint(d)
+	n := (d + 1) * rows
+	b := graph.NewBuilder(n)
+	id := func(level, row int) int { return level*rows + row }
+	for l := 0; l < d; l++ {
+		blockSize := rows >> uint(l) // rows per block at this level
+		half := blockSize / 2
+		for blockStart := 0; blockStart < rows; blockStart += blockSize {
+			// Each node in the block gets mult random neighbors in the
+			// upper target half and mult in the lower target half of the
+			// next level. Using random matchings per multiplicity keeps
+			// in-degrees balanced, mirroring the splitter construction.
+			for m := 0; m < mult; m++ {
+				upPerm := rng.Perm(half)
+				downPerm := rng.Perm(half)
+				for i := 0; i < blockSize; i++ {
+					row := blockStart + i
+					up := blockStart + upPerm[(i+m)%half]
+					down := blockStart + half + downPerm[(i*2+m)%half]
+					b.AddEdge(id(l, row), id(l+1, up))
+					b.AddEdge(id(l, row), id(l+1, down))
+				}
+			}
+		}
+	}
+	meta := &MultibutterflyMeta{G: b.Build(), D: d}
+	for r := 0; r < rows; r++ {
+		meta.Inputs = append(meta.Inputs, id(0, r))
+		meta.Outputs = append(meta.Outputs, id(d, r))
+	}
+	return meta
+}

@@ -1,0 +1,89 @@
+package gen
+
+import "faultexp/internal/graph"
+
+// ChainGraph is the Theorem 2.3 construction: a base graph G with every
+// edge replaced by a chain of K fresh vertices. It records enough
+// provenance to drive the paper's adversary (remove the central node of
+// every chain) and to compare measured expansion with the Θ(1/K) claim.
+type ChainGraph struct {
+	G    *graph.Graph // the expanded graph H
+	Base *graph.Graph // the original expander G
+	K    int          // chain length (number of internal nodes per edge)
+
+	// BaseNode[v] is the id, in G, of base vertex v (base vertices come
+	// first, so BaseNode[v] == v; kept explicit for clarity in callers).
+	BaseNode []int
+	// Centers[e] is the central chain node of the e-th base edge. For
+	// even K this is the K/2-th node of the chain (1-based), matching the
+	// paper's "remove the central node of each chain".
+	Centers []int
+	// Chains[e] lists the K chain nodes of base edge e in path order
+	// (from the lower-id endpoint to the higher-id endpoint).
+	Chains [][]int
+}
+
+// ChainReplace builds the Theorem 2.3 graph H from base graph g by
+// replacing each edge with a chain of k internal vertices (k ≥ 1). The
+// resulting vertex count is n + m·k where n, m are the base's vertex and
+// edge counts. The paper takes k even; any k ≥ 1 is accepted here.
+func ChainReplace(g *graph.Graph, k int) *ChainGraph {
+	if k < 1 {
+		panic("gen: ChainReplace needs k >= 1")
+	}
+	n := g.N()
+	m := g.M()
+	total := n + m*k
+	b := graph.NewBuilder(total)
+	cg := &ChainGraph{
+		Base:     g,
+		K:        k,
+		BaseNode: make([]int, n),
+		Centers:  make([]int, 0, m),
+		Chains:   make([][]int, 0, m),
+	}
+	for v := 0; v < n; v++ {
+		cg.BaseNode[v] = v
+	}
+	next := n
+	g.ForEachEdge(func(u, v int) {
+		chain := make([]int, k)
+		prev := u
+		for i := 0; i < k; i++ {
+			chain[i] = next
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, v)
+		cg.Chains = append(cg.Chains, chain)
+		// Central node: position ⌈k/2⌉ in 1-based path order, i.e. index
+		// (k-1)/2 for odd k and k/2-1..k/2 both central for even k — we
+		// take index k/2 ("the" central node for even k per the paper).
+		ci := k / 2
+		if ci >= k {
+			ci = k - 1
+		}
+		cg.Centers = append(cg.Centers, chain[ci])
+	})
+	cg.G = b.Build()
+	return cg
+}
+
+// CenterSet returns the set of all chain-center vertices, the adversary's
+// target in Theorems 2.3 and 3.1: removing them costs |E(G)| = δn/2 nodes
+// and shatters H into components of ≈ δ·k/2 + 1 vertices each.
+func (cg *ChainGraph) CenterSet() []int {
+	out := make([]int, len(cg.Centers))
+	copy(out, cg.Centers)
+	return out
+}
+
+// ExpectedShatterSize returns the paper's bound on the component size
+// after removing all chain centers: each surviving component consists of
+// one base vertex plus at most δ·k/2 chain stubs around it — plus the
+// detached half-chains. The dominant term is δ·k/2 for base degree δ.
+func (cg *ChainGraph) ExpectedShatterSize() int {
+	delta := cg.Base.MaxDegree()
+	return delta*cg.K/2 + 1
+}

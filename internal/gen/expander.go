@@ -1,0 +1,33 @@
+package gen
+
+import "faultexp/internal/graph"
+
+// GabberGalil returns the Margulis–Gabber–Galil expander on the vertex
+// set Z_m × Z_m (n = m² vertices): (x, y) is joined to
+//
+//	(x+2y, y), (x+2y+1, y), (x, y+2x), (x, y+2x+1)
+//
+// and the reverse images of those maps, all arithmetic mod m. The graph
+// is 8-regular (as a multigraph; after simplification degrees can drop
+// slightly) with second adjacency eigenvalue at most 5√2 < 8, hence
+// constant edge and node expansion — a deterministic stand-in for the
+// "infinite family of constant-degree expanders G(n)" that Theorems 2.3
+// and 3.1 start from.
+func GabberGalil(m int) *graph.Graph {
+	if m < 2 {
+		panic("gen: GabberGalil needs m >= 2")
+	}
+	n := m * m
+	b := graph.NewBuilder(n)
+	id := func(x, y int) int { return x*m + y }
+	for x := 0; x < m; x++ {
+		for y := 0; y < m; y++ {
+			v := id(x, y)
+			b.AddEdge(v, id((x+2*y)%m, y))
+			b.AddEdge(v, id((x+2*y+1)%m, y))
+			b.AddEdge(v, id(x, (y+2*x)%m))
+			b.AddEdge(v, id(x, (y+2*x+1)%m))
+		}
+	}
+	return b.Build()
+}

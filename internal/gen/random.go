@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"fmt"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// GNP returns an Erdős–Rényi random graph G(n, p): each of the n(n-1)/2
+// possible edges is present independently with probability p. For sparse
+// p the generator uses geometric skipping, so the cost is proportional to
+// the number of edges produced, not to n².
+func GNP(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Iterate over edge slots in row-major order of the strict upper
+	// triangle, jumping geometrically between present edges.
+	v, w := 1, -1
+	for v < n {
+		w += 1 + rng.Geometric(p)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// GNM returns a uniform random graph with exactly m distinct edges. This
+// is the paper's "random graph with d·n/2 edges" family from §1.1 (take
+// m = d·n/2), whose critical survival probability is 1/d.
+func GNM(n, m int, rng *xrand.RNG) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("gen: GNM m=%d exceeds max %d", m, maxM))
+	}
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int32]bool, m*2)
+	for len(seen) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices via
+// the configuration model with edge-swap repair: stubs are paired
+// uniformly, then self-loops and parallel edges are eliminated by random
+// double-edge swaps that preserve the degree sequence. The result is
+// d-regular and approximately uniform — amply good for the expander-family
+// experiments, where only the (w.h.p. constant) expansion matters.
+//
+// n·d must be even. Panics if d >= n.
+func RandomRegular(n, d int, rng *xrand.RNG) *graph.Graph {
+	if n*d%2 != 0 {
+		panic("gen: RandomRegular requires n*d even")
+	}
+	if d >= n {
+		panic("gen: RandomRegular requires d < n")
+	}
+	if d == 0 {
+		return graph.NewBuilder(n).Build()
+	}
+	type edge struct{ u, v int32 }
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	var edges []edge
+	edgeSet := make(map[[2]int32]int, n*d/2) // key -> index in edges
+	key := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, edge{stubs[i], stubs[i+1]})
+	}
+	// Index the good edges; bad ones (loops/duplicates) go to a worklist.
+	var bad []int
+	for i, e := range edges {
+		if e.u == e.v {
+			bad = append(bad, i)
+			continue
+		}
+		k := key(e.u, e.v)
+		if _, dup := edgeSet[k]; dup {
+			bad = append(bad, i)
+			continue
+		}
+		edgeSet[k] = i
+	}
+	// Repair each bad edge by swapping with a random good edge such that
+	// the two replacement edges are both new and loop-free.
+	maxTries := 200 * (len(bad) + 1) * (d + 1)
+	tries := 0
+	for len(bad) > 0 {
+		if tries++; tries > maxTries {
+			// Extremely unlikely for sane (n, d); restart from scratch
+			// with fresh randomness rather than looping forever.
+			return RandomRegular(n, d, rng)
+		}
+		bi := bad[len(bad)-1]
+		be := edges[bi]
+		gi := rng.Intn(len(edges))
+		ge := edges[gi]
+		if gi == bi || ge.u == ge.v {
+			continue
+		}
+		if _, ok := edgeSet[key(ge.u, ge.v)]; !ok {
+			continue // the partner must currently be a good edge
+		}
+		// Proposed rewiring: (be.u, ge.u) and (be.v, ge.v).
+		a1, b1 := be.u, ge.u
+		a2, b2 := be.v, ge.v
+		if a1 == b1 || a2 == b2 {
+			continue
+		}
+		k1, k2 := key(a1, b1), key(a2, b2)
+		if k1 == k2 {
+			continue
+		}
+		if _, ok := edgeSet[k1]; ok {
+			continue
+		}
+		if _, ok := edgeSet[k2]; ok {
+			continue
+		}
+		delete(edgeSet, key(ge.u, ge.v))
+		edges[bi] = edge{a1, b1}
+		edges[gi] = edge{a2, b2}
+		edgeSet[k1] = bi
+		edgeSet[k2] = gi
+		bad = bad[:len(bad)-1]
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e.u), int(e.v))
+	}
+	g := b.Build()
+	if g.M() != n*d/2 {
+		// Defensive: the repair loop guarantees simplicity, so a short
+		// count means a bug — fail loudly rather than silently degrade.
+		panic(fmt.Sprintf("gen: RandomRegular produced %d edges, want %d", g.M(), n*d/2))
+	}
+	return g
+}
+
+// ConnectedRandomRegular retries RandomRegular until the sample is
+// connected (random d-regular graphs with d ≥ 3 are connected w.h.p., so
+// very few retries happen in practice).
+func ConnectedRandomRegular(n, d int, rng *xrand.RNG) *graph.Graph {
+	for {
+		g := RandomRegular(n, d, rng)
+		if g.IsConnected() {
+			return g
+		}
+	}
+}

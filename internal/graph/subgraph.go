@@ -1,0 +1,115 @@
+package graph
+
+// This file implements induced subgraphs with node provenance. Fault
+// injection and pruning both work by carving induced subgraphs out of a
+// parent graph; the Sub type keeps the mapping back to original vertex
+// IDs so that experiment reports can speak in terms of the fault-free
+// network's coordinates.
+
+// Sub is an induced subgraph together with its provenance: Orig maps each
+// subgraph vertex to the vertex ID it had in the parent graph.
+type Sub struct {
+	G    *Graph
+	Orig []int32 // Orig[newID] = oldID
+}
+
+// Induce returns the subgraph induced by keep (keep[v] == true means v
+// survives), with provenance mapping.
+func (g *Graph) Induce(keep []bool) *Sub {
+	if len(keep) != g.N() {
+		panic("graph: Induce mask length mismatch")
+	}
+	newID := make([]int32, g.N())
+	orig := make([]int32, 0)
+	for v := 0; v < g.N(); v++ {
+		if keep[v] {
+			newID[v] = int32(len(orig))
+			orig = append(orig, int32(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	b := NewBuilder(len(orig))
+	for _, ov := range orig {
+		for _, w := range g.Neighbors(int(ov)) {
+			if int32(ov) < w && keep[w] {
+				b.AddEdge(int(newID[ov]), int(newID[w]))
+			}
+		}
+	}
+	return &Sub{G: b.Build(), Orig: orig}
+}
+
+// InduceVertices returns the subgraph induced by the given vertex set.
+func (g *Graph) InduceVertices(vs []int) *Sub {
+	keep := make([]bool, g.N())
+	for _, v := range vs {
+		keep[v] = true
+	}
+	return g.Induce(keep)
+}
+
+// RemoveVertices returns the subgraph obtained by deleting the given
+// vertices (the complement of InduceVertices).
+func (g *Graph) RemoveVertices(vs []int) *Sub {
+	keep := make([]bool, g.N())
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, v := range vs {
+		keep[v] = false
+	}
+	return g.Induce(keep)
+}
+
+// RemoveEdges returns a new graph with the listed undirected edges
+// deleted (vertex set unchanged). Unknown edges are ignored.
+func (g *Graph) RemoveEdges(edges [][2]int32) *Graph {
+	drop := make(map[[2]int32]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		drop[[2]int32{u, v}] = true
+	}
+	b := NewBuilder(g.N())
+	g.ForEachEdge(func(u, v int) {
+		if !drop[[2]int32{int32(u), int32(v)}] {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Build()
+}
+
+// OrigSet converts a set of subgraph vertex IDs to parent-graph IDs.
+func (s *Sub) OrigSet(vs []int) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = int(s.Orig[v])
+	}
+	return out
+}
+
+// LargestComponentSub returns the subgraph induced (within s) by the
+// largest connected component of s.G, with provenance composed back to
+// the original graph.
+func (s *Sub) LargestComponentSub() *Sub {
+	members, _ := s.G.LargestComponent()
+	inner := s.G.InduceVertices(members)
+	orig := make([]int32, len(inner.Orig))
+	for i, mid := range inner.Orig {
+		orig[i] = s.Orig[mid]
+	}
+	return &Sub{G: inner.G, Orig: orig}
+}
+
+// Identity returns a Sub wrapping g with the identity provenance, useful
+// as the starting point of pruning pipelines.
+func Identity(g *Graph) *Sub {
+	orig := make([]int32, g.N())
+	for i := range orig {
+		orig[i] = int32(i)
+	}
+	return &Sub{G: g, Orig: orig}
+}

@@ -1,0 +1,194 @@
+package graph
+
+// This file contains the traversal machinery: BFS, connected components,
+// distances, and eccentricity estimates. All of it operates on the
+// immutable CSR representation and allocates its own scratch space, so
+// concurrent traversals of the same graph are safe.
+
+// BFSFrom performs a breadth-first search from src and calls visit for
+// every reached vertex with its hop distance. If visit returns false the
+// search stops early.
+func (g *Graph) BFSFrom(src int, visit func(v, dist int) bool) {
+	seen := make([]bool, g.N())
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	seen[src] = true
+	dist := 0
+	for len(queue) > 0 {
+		var next []int32
+		for _, u := range queue {
+			if !visit(int(u), dist) {
+				return
+			}
+			for _, w := range g.Neighbors(int(u)) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		queue = next
+		dist++
+	}
+}
+
+// BFSDistances returns hop distances from src; unreachable vertices get -1.
+func (g *Graph) BFSDistances(src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] < 0 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Components labels every vertex with a component ID in [0, k) and
+// returns the labels together with the size of each component.
+func (g *Graph) Components() (labels []int32, sizes []int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(len(sizes))
+		labels[s] = id
+		queue = append(queue[:0], int32(s))
+		count := 0
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			count++
+			for _, w := range g.Neighbors(int(u)) {
+				if labels[w] < 0 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, count)
+	}
+	return labels, sizes
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and
+// singleton graph count as connected).
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, sizes := g.Components()
+	return len(sizes) == 1
+}
+
+// LargestComponent returns the vertex set of a largest connected
+// component (ties broken by lowest component id) and its size.
+func (g *Graph) LargestComponent() (members []int, size int) {
+	labels, sizes := g.Components()
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	if len(sizes) == 0 {
+		return nil, 0
+	}
+	members = make([]int, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			members = append(members, v)
+		}
+	}
+	return members, sizes[best]
+}
+
+// GammaLargest returns the fraction of all n vertices contained in the
+// largest connected component — γ(G) in the paper's notation.
+func (g *Graph) GammaLargest() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	_, sizes := g.Components()
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return float64(best) / float64(g.N())
+}
+
+// ComponentSizes returns the multiset of component sizes, descending.
+func (g *Graph) ComponentSizes() []int {
+	_, sizes := g.Components()
+	// insertion sort desc (few components in practice)
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	return sizes
+}
+
+// Eccentricity returns the maximum BFS distance from src within its
+// component.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.BFSDistances(src) {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// ApproxDiameter lower-bounds the diameter by the standard double-sweep
+// heuristic: BFS from src, then BFS from the farthest vertex found. For
+// trees the result is exact; for general graphs it is a lower bound that
+// is very tight in practice.
+func (g *Graph) ApproxDiameter(src int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := g.BFSDistances(src)
+	far, fd := src, int32(0)
+	for v, d := range dist {
+		if d > fd {
+			far, fd = v, d
+		}
+	}
+	ecc := 0
+	for _, d := range g.BFSDistances(far) {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Distance returns the hop distance between u and v, or -1 if
+// disconnected.
+func (g *Graph) Distance(u, v int) int {
+	if u == v {
+		return 0
+	}
+	d := g.BFSDistances(u)
+	return int(d[v])
+}

@@ -1,0 +1,195 @@
+// Package harness is the experiment framework: a registry of the paper's
+// reproduction experiments (E1–E12, one per theorem/claim — see
+// DESIGN.md §2), a configuration that scales workloads between quick
+// (CI/bench) and full (EXPERIMENTS.md) sizes, a bounded parallel runner
+// for Monte-Carlo sweeps, and a report type that couples result tables
+// with named pass/fail *shape checks* — the falsifiable statements each
+// experiment makes about the paper's predictions.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"faultexp/internal/stats"
+	"faultexp/internal/xrand"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Quick selects reduced problem sizes (used by go test and the
+	// benchmark suite); full sizes are the ones recorded in
+	// EXPERIMENTS.md.
+	Quick bool
+	// Seed makes the entire experiment deterministic.
+	Seed uint64
+	// Workers bounds parallel Monte-Carlo fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RNG derives the experiment's root generator from the seed.
+func (c Config) RNG() *xrand.RNG { return xrand.New(c.Seed ^ 0x9E3779B97F4A7C15) }
+
+// WorkerCount resolves the effective parallelism.
+func (c Config) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pick returns q in quick mode and f otherwise — the standard size
+// switch used throughout the experiment implementations.
+func (c Config) Pick(q, f int) int {
+	if c.Quick {
+		return q
+	}
+	return f
+}
+
+// Check is a falsifiable assertion an experiment makes about the paper's
+// prediction ("who wins", "bound never violated", "threshold in band").
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Checks []Check
+}
+
+// AddTable appends a result table.
+func (r *Report) AddTable(t *stats.Table) { r.Tables = append(r.Tables, t) }
+
+// Checkf records a named assertion with a formatted detail string.
+func (r *Report) Checkf(ok bool, name, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check succeeded.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the report (tables then checks) to w.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w, t.String())
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "[%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment couples an identifier with the paper result it reproduces
+// and the function that runs it.
+type Experiment struct {
+	ID          string // e.g. "E1"
+	Title       string
+	PaperRef    string // e.g. "Theorem 2.1"
+	Expectation string // one-line statement of the paper's prediction
+	Run         func(cfg Config) *Report
+}
+
+// NewReport initializes a report labelled with the experiment identity.
+func (e *Experiment) NewReport() *Report {
+	return &Report{ID: e.ID, Title: e.Title}
+}
+
+// Registry holds experiments keyed by ID.
+type Registry struct {
+	mu   sync.Mutex
+	exps map[string]*Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{exps: map[string]*Experiment{}}
+}
+
+// Register adds an experiment; duplicate IDs panic (a wiring bug).
+func (r *Registry) Register(e *Experiment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.exps[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	r.exps[e.ID] = e
+}
+
+// Get looks up an experiment by (case-insensitive) ID.
+func (r *Registry) Get(id string) (*Experiment, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.exps[strings.ToUpper(id)]
+	return e, ok
+}
+
+// All returns the experiments sorted by numeric ID.
+func (r *Registry) All() []*Experiment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Experiment, 0, len(r.exps))
+	for _, e := range r.exps {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
+// Each invocation gets its own index; fn must not share mutable state
+// without synchronization. Used for Monte-Carlo trial fan-out.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

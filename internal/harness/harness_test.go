@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"faultexp/internal/stats"
+)
+
+func TestConfigHelpers(t *testing.T) {
+	q := Config{Quick: true, Seed: 1}
+	f := Config{Quick: false, Seed: 1}
+	if q.Pick(10, 100) != 10 || f.Pick(10, 100) != 100 {
+		t.Fatal("Pick wrong")
+	}
+	if q.WorkerCount() < 1 {
+		t.Fatal("worker count must be positive")
+	}
+	if (Config{Workers: 3}).WorkerCount() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+	// RNG is deterministic per seed.
+	if (Config{Seed: 5}).RNG().Uint64() != (Config{Seed: 5}).RNG().Uint64() {
+		t.Fatal("config RNG not deterministic")
+	}
+}
+
+func TestReportChecksAndRender(t *testing.T) {
+	e := &Experiment{ID: "EX", Title: "demo"}
+	rep := e.NewReport()
+	rep.AddTable(stats.NewTable("t", "a", "b"))
+	rep.Checkf(true, "good", "value %d", 42)
+	rep.Checkf(false, "bad", "oops")
+	if rep.Passed() {
+		t.Fatal("report with a failing check must not pass")
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	out := b.String()
+	for _, want := range []string{"EX", "demo", "[PASS] good: value 42", "[FAIL] bad: oops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Experiment{ID: "E2"})
+	r.Register(&Experiment{ID: "E10"})
+	r.Register(&Experiment{ID: "E1"})
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	// numeric-ish sort: E1, E2, E10
+	if all[0].ID != "E1" || all[1].ID != "E2" || all[2].ID != "E10" {
+		t.Fatalf("sort order wrong: %s %s %s", all[0].ID, all[1].ID, all[2].ID)
+	}
+	if _, ok := r.Get("e10"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := r.Get("E99"); ok {
+		t.Fatal("unknown ID should miss")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Experiment{ID: "E1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.Register(&Experiment{ID: "E1"})
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ParallelFor(n, 8, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	// Degenerate paths.
+	count := 0
+	ParallelFor(3, 1, func(i int) { count++ })
+	if count != 3 {
+		t.Fatal("serial path wrong")
+	}
+	ParallelFor(0, 4, func(i int) { t.Fatal("should not run") })
+}

@@ -1,0 +1,67 @@
+package perc
+
+// Exact conversion of a Newman–Ziff (canonical, fixed-k) curve to the
+// grand-canonical ensemble at occupation probability p:
+//
+//	γ(p) = Σ_k C(E, k) p^k (1−p)^{E−k} · Gamma[k].
+//
+// The binomial weights are evaluated in a ±8σ window around E·p with a
+// numerically stable recurrence, so the cost is O(√E) per evaluation
+// instead of O(E), and the truncation error is < 1e-14.
+
+import "math"
+
+// AtPExact evaluates the curve at p by exact binomial convolution —
+// unlike AtP's single-point approximation, this is the estimator of
+// E[γ(G^(p))] with no finite-size ensemble bias.
+func (c *Curve) AtPExact(p float64) float64 {
+	e := c.Elements
+	if e == 0 || len(c.Gamma) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.Gamma[0]
+	}
+	if p >= 1 {
+		return c.Gamma[e]
+	}
+	mean := float64(e) * p
+	sd := math.Sqrt(float64(e) * p * (1 - p))
+	lo := int(mean - 8*sd - 1)
+	hi := int(mean + 8*sd + 1)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > e {
+		hi = e
+	}
+	// log C(e, lo) + lo·log p + (e−lo)·log(1−p), then recurrence
+	// w_{k+1}/w_k = (e−k)/(k+1) · p/(1−p).
+	logW := logChoose(e, lo) + float64(lo)*math.Log(p) + float64(e-lo)*math.Log(1-p)
+	w := math.Exp(logW)
+	ratio := p / (1 - p)
+	sum := 0.0
+	total := 0.0
+	for k := lo; k <= hi; k++ {
+		sum += w * c.Gamma[k]
+		total += w
+		w *= float64(e-k) / float64(k+1) * ratio
+	}
+	if total <= 0 {
+		return c.AtP(p) // extreme tail; fall back to the point estimate
+	}
+	// Normalize by the captured mass so the truncation is unbiased.
+	return sum / total
+}
+
+// logChoose returns log C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

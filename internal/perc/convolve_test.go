@@ -1,0 +1,75 @@
+package perc
+
+import (
+	"math"
+	"testing"
+
+	"faultexp/internal/gen"
+	"faultexp/internal/xrand"
+)
+
+func TestAtPExactEndpoints(t *testing.T) {
+	g := gen.Torus(8, 8)
+	c := Sweep(g, Site, 5, xrand.New(1))
+	if got := c.AtPExact(0); got != c.Gamma[0] {
+		t.Fatalf("AtPExact(0) = %v", got)
+	}
+	if got := c.AtPExact(1); got != c.Gamma[c.Elements] {
+		t.Fatalf("AtPExact(1) = %v", got)
+	}
+}
+
+func TestAtPExactMatchesDirectSampling(t *testing.T) {
+	// The convolved estimator must agree with independent direct
+	// Monte-Carlo sampling (both unbiased for E[γ(G^(p))]).
+	g := gen.Torus(16, 16)
+	rng := xrand.New(2)
+	c := Sweep(g, Site, 60, rng)
+	for _, p := range []float64{0.3, 0.55, 0.7, 0.9} {
+		direct := GammaAtP(g, Site, p, 60, rng.Split())
+		conv := c.AtPExact(p)
+		if math.Abs(direct-conv) > 0.06 {
+			t.Fatalf("p=%v: convolved %v vs direct %v", p, conv, direct)
+		}
+	}
+}
+
+func TestAtPExactSmootherThanPoint(t *testing.T) {
+	// Convolution averages over the binomial window, so it lies between
+	// the curve's min and max in that window — in particular within
+	// [Gamma[0], Gamma[E]] and monotone-ish; check bounds only.
+	g := gen.Torus(12, 12)
+	c := Sweep(g, Bond, 20, xrand.New(3))
+	for p := 0.05; p < 1; p += 0.1 {
+		v := c.AtPExact(p)
+		if v < c.Gamma[0]-1e-12 || v > c.Gamma[c.Elements]+1e-12 {
+			t.Fatalf("AtPExact(%v) = %v outside curve range", p, v)
+		}
+	}
+}
+
+func TestAtPExactDegenerate(t *testing.T) {
+	empty := &Curve{Mode: Site, N: 0, Elements: 0, Gamma: nil}
+	if empty.AtPExact(0.5) != 0 {
+		t.Fatal("empty curve should evaluate to 0")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// C(10, 3) = 120.
+	if got := math.Exp(logChoose(10, 3)); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("C(10,3) = %v", got)
+	}
+	if !math.IsInf(logChoose(5, 7), -1) {
+		t.Fatal("out-of-range choose should be -Inf")
+	}
+}
+
+func BenchmarkAtPExact(b *testing.B) {
+	g := gen.Torus(32, 32)
+	c := Sweep(g, Site, 5, xrand.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.AtPExact(0.6)
+	}
+}

@@ -1,0 +1,93 @@
+package perc
+
+// Property-based tests of percolation invariants on random graphs.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+func randomGraphP(n, m int, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// Property: Newman–Ziff curves are monotone and land in [0,1] for
+// arbitrary graphs, both modes.
+func TestQuickSweepMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(40)
+		g := randomGraphP(n, rng.Intn(3*n), rng)
+		for _, mode := range []Mode{Site, Bond} {
+			c := Sweep(g, mode, 3, rng.Split())
+			prev := -1.0
+			for _, gamma := range c.Gamma {
+				if gamma < prev-1e-12 || gamma < 0 || gamma > 1+1e-12 {
+					return false
+				}
+				prev = gamma
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: γ estimates are monotone in p (statistically; checked with
+// shared-variance tolerance at well-separated p values).
+func TestQuickGammaMonotoneInP(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 20 + rng.Intn(30)
+		g := randomGraphP(n, 3*n, rng)
+		lo := GammaAtP(g, Site, 0.2, 20, rng.Split())
+		hi := GammaAtP(g, Site, 0.9, 20, rng.Split())
+		return hi >= lo-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full-occupation end of every sweep equals the true
+// largest-component fraction of the underlying graph.
+func TestQuickSweepEndpointMatchesGamma(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(30)
+		g := randomGraphP(n, rng.Intn(2*n), rng)
+		c := Sweep(g, Site, 2, rng.Split())
+		want := g.GammaLargest()
+		got := c.Gamma[len(c.Gamma)-1]
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Failure injection: empty and edgeless graphs.
+func TestPercolationDegenerate(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if got := GammaAtP(empty, Site, 0.5, 3, xrand.New(1)); got != 0 {
+		t.Fatalf("γ of empty graph = %v", got)
+	}
+	edgeless := graph.NewBuilder(5).Build()
+	c := Sweep(edgeless, Site, 2, xrand.New(2))
+	if c.Gamma[len(c.Gamma)-1] != 0.2 {
+		t.Fatalf("edgeless full-occupation γ = %v, want 1/5", c.Gamma[len(c.Gamma)-1])
+	}
+	cb := Sweep(edgeless, Bond, 2, xrand.New(3))
+	if cb.Elements != 0 || len(cb.Gamma) != 1 {
+		t.Fatalf("edgeless bond sweep shape wrong: %+v", cb)
+	}
+}

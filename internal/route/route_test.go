@@ -1,0 +1,112 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+func TestRandomPairsBasics(t *testing.T) {
+	g := gen.Torus(8, 8)
+	res := RandomPairs(g, 100, xrand.New(1))
+	if res.Pairs != 100 || res.Unreached != 0 {
+		t.Fatalf("pairs=%d unreached=%d", res.Pairs, res.Unreached)
+	}
+	if res.Congestion < 1 || res.MaxLen < 1 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// Torus diameter is 8; all shortest paths are within it.
+	if res.MaxLen > 8 {
+		t.Fatalf("max path %d exceeds torus diameter 8", res.MaxLen)
+	}
+	if res.AvgLen() <= 0 || res.AvgLen() > 8 {
+		t.Fatalf("avg len %v out of range", res.AvgLen())
+	}
+}
+
+func TestRandomPairsDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	res := RandomPairs(g, 50, xrand.New(2))
+	if res.Pairs+res.Unreached != 50 {
+		t.Fatalf("accounting wrong: %+v", res)
+	}
+	if res.Unreached == 0 {
+		t.Fatal("cross-component pairs must be unreached")
+	}
+}
+
+func TestPermutationRoutesEveryone(t *testing.T) {
+	g := gen.Hypercube(5)
+	res := Permutation(g, xrand.New(3))
+	if res.Pairs+res.Unreached != g.N() {
+		t.Fatalf("permutation covered %d+%d of %d", res.Pairs, res.Unreached, g.N())
+	}
+	if res.Unreached != 0 {
+		t.Fatal("hypercube is connected")
+	}
+	// Q5 diameter is 5.
+	if res.MaxLen > 5 {
+		t.Fatalf("path length %d exceeds Q5 diameter", res.MaxLen)
+	}
+}
+
+func TestBottleneckCongestion(t *testing.T) {
+	// Barbell: every cross-clique pair uses the single bridge.
+	g := gen.Barbell(16)
+	res := RandomPairs(g, 200, xrand.New(4))
+	// ≈half the pairs cross the bridge; congestion must be ≈ #crossing,
+	// far above what an expander of the same size sees.
+	exp := gen.GabberGalil(6) // 36 nodes, but compare per-pair congestion
+	resExp := RandomPairs(exp, 200, xrand.New(4))
+	if res.CongestionPerPair() < 4*resExp.CongestionPerPair() {
+		t.Fatalf("barbell congestion/pair %v not ≫ expander %v",
+			res.CongestionPerPair(), resExp.CongestionPerPair())
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if r := RandomPairs(graph.NewBuilder(1).Build(), 10, xrand.New(5)); r.Pairs != 0 {
+		t.Fatal("singleton graph should route nothing")
+	}
+	if r := RandomPairs(gen.Cycle(5), 0, xrand.New(6)); r.Pairs != 0 {
+		t.Fatal("zero pairs should route nothing")
+	}
+	if r := Permutation(graph.NewBuilder(0).Build(), xrand.New(7)); r.Pairs != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+// Property: congestion is at least ⌈totalLen/m⌉ (pigeonhole) and at most
+// the number of routed pairs.
+func TestQuickCongestionBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 6 + rng.Intn(30)
+		g := gen.Torus(3, (n+2)/3)
+		res := RandomPairs(g, 30, rng.Split())
+		if res.Pairs == 0 {
+			return true
+		}
+		m := g.M()
+		minCong := (res.TotalLen + m - 1) / m
+		if res.TotalLen == 0 {
+			minCong = 0
+		}
+		return res.Congestion >= minCong && res.Congestion <= res.Pairs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRandomPairsTorus(b *testing.B) {
+	g := gen.Torus(16, 16)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RandomPairs(g, 128, rng.Split())
+	}
+}

@@ -1,0 +1,215 @@
+package span
+
+import (
+	"testing"
+
+	"faultexp/internal/compact"
+	"faultexp/internal/gen"
+	"faultexp/internal/xrand"
+)
+
+func TestExactSpanCycle(t *testing.T) {
+	// On C_n, a compact arc's boundary is its two end-neighbours; the
+	// minimal tree connecting them is the shorter path through the arc
+	// or around it. For an arc of length L the boundary tree is L+2
+	// nodes (through the arc) or n-L nodes (around). The span is
+	// achieved at the largest minimum: σ = (⌊(n-2)/2⌋+2)/2.
+	g := gen.Cycle(8)
+	est := Exact(g)
+	if !est.Exact {
+		t.Fatal("cycle span should be exact")
+	}
+	// n=8: worst arc L=3 (boundary 2 nodes, tree min(5, 5)=5 nodes) → 2.5.
+	if est.Sigma < 2.49 || est.Sigma > 2.51 {
+		t.Fatalf("C8 span = %v, want 2.5", est.Sigma)
+	}
+}
+
+func TestExactSpanComplete(t *testing.T) {
+	// K_n: boundary of any compact U is all of V∖U... every subset is
+	// connected, so compact sets are all proper nonempty subsets; Γ(U) =
+	// V∖U; a tree spanning V∖U inside K_n uses exactly |V∖U| nodes
+	// (star within the complement) → σ = 1.
+	est := Exact(gen.Complete(6))
+	if !est.Exact {
+		t.Fatal("K6 span should be exact")
+	}
+	if est.Sigma != 1 {
+		t.Fatalf("K6 span = %v, want 1", est.Sigma)
+	}
+}
+
+func TestExactSpanMeshAtMostTwo(t *testing.T) {
+	// Theorem 3.6: d-dimensional mesh has span 2 (with the node-count
+	// convention |P(U)| ≤ 2|B|−1, every ratio is < 2).
+	for _, g := range []struct {
+		name string
+		dims []int
+	}{
+		{"3x3", []int{3, 3}},
+		{"4x4", []int{4, 4}},
+		{"2x2x2", []int{2, 2, 2}},
+		{"3x2x2", []int{3, 2, 2}},
+	} {
+		grid := gen.Mesh(g.dims...)
+		est := Exact(grid)
+		if est.Sigma > 2 {
+			t.Errorf("mesh %s: span %v > 2 (witness %v, tree %d, boundary %d)",
+				g.name, est.Sigma, est.ArgSet, est.TreeNodes, est.BoundaryNodes)
+		}
+		if est.Sets == 0 {
+			t.Errorf("mesh %s: no compact sets enumerated", g.name)
+		}
+	}
+}
+
+func TestExactSpanMeshApproachesTwo(t *testing.T) {
+	// The 4x4 mesh already contains staircase sets with ratio ≥ 1.5,
+	// showing the bound 2 is the right order.
+	est := Exact(gen.Mesh(4, 4))
+	if est.Sigma < 1.4 {
+		t.Fatalf("4x4 mesh span %v unexpectedly small", est.Sigma)
+	}
+}
+
+func TestSampledSpanTorus(t *testing.T) {
+	g := gen.Torus(8, 8)
+	rng := xrand.New(5)
+	est := Sampled(g, 60, rng)
+	if est.Sets == 0 {
+		t.Fatal("no compact sets sampled")
+	}
+	// The torus behaves like the mesh: sampled ratios should sit in
+	// (0.5, 3] — far below the Θ(k) ratios of chain graphs.
+	if est.Sigma <= 0.5 || est.Sigma > 3.5 {
+		t.Fatalf("torus sampled span = %v out of expected range", est.Sigma)
+	}
+}
+
+func TestSampledSpanChainGraphGrows(t *testing.T) {
+	// Chain-replaced expanders have large span: the boundary of a
+	// compact set around a single chain is 2 distant nodes whose
+	// connecting tree traverses Θ(k) chain nodes. Sampled span of the
+	// k=8 chain graph must exceed the torus's.
+	rng := xrand.New(7)
+	base := gen.GabberGalil(4)
+	cg := gen.ChainReplace(base, 8)
+	chainEst := Sampled(cg.G, 80, rng)
+	torusEst := Sampled(gen.Torus(8, 8), 80, rng)
+	if chainEst.Sigma <= torusEst.Sigma {
+		t.Fatalf("chain-graph span %v not above torus span %v", chainEst.Sigma, torusEst.Sigma)
+	}
+}
+
+func TestMeshBoundaryTreeCertificates(t *testing.T) {
+	// Theorem 3.6 construction: for every compact set of small meshes,
+	// (B, Ev) must be connected and the simulated tree within 2|B|−1.
+	cases := [][]int{{3, 3}, {4, 3}, {2, 2, 2}, {3, 2, 2}}
+	for _, dims := range cases {
+		g := gen.Mesh(dims...)
+		checked := 0
+		compact.Enumerate(g, func(set []int) bool {
+			cert, err := MeshBoundaryTree(g, dims, set)
+			if err != nil {
+				t.Fatalf("dims %v set %v: %v", dims, set, err)
+			}
+			if !cert.EvConnected {
+				t.Fatalf("dims %v set %v: virtual boundary graph disconnected", dims, set)
+			}
+			if !cert.WithinTwoCert {
+				t.Fatalf("dims %v set %v: tree %d nodes exceeds 2·%d−1",
+					dims, set, cert.TreeNodes, cert.BoundarySize)
+			}
+			if cert.Ratio >= 2 {
+				t.Fatalf("dims %v set %v: ratio %v ≥ 2", dims, set, cert.Ratio)
+			}
+			checked++
+			return true
+		})
+		if checked == 0 {
+			t.Fatalf("dims %v: no compact sets", dims)
+		}
+	}
+}
+
+func TestMeshBoundaryTreeSampledLarge(t *testing.T) {
+	// Larger meshes, sampled compact sets: certificate must always hold.
+	rng := xrand.New(11)
+	for _, dims := range [][]int{{10, 10}, {5, 5, 5}, {4, 4, 4, 4}} {
+		g := gen.Mesh(dims...)
+		for i := 0; i < 25; i++ {
+			set := compact.Random(g, 1+rng.Intn(g.N()/2), rng)
+			if set == nil {
+				continue
+			}
+			cert, err := MeshBoundaryTree(g, dims, set)
+			if err != nil {
+				t.Fatalf("dims %v: %v", dims, err)
+			}
+			if !cert.WithinTwoCert || cert.Ratio >= 2 {
+				t.Fatalf("dims %v: certificate failed: %+v", dims, cert)
+			}
+		}
+	}
+}
+
+func TestFaultToleranceFromSpan(t *testing.T) {
+	// δ=4, σ=2 → p = 1/(2e·256·2) ≈ 3.59e-4.
+	p := FaultToleranceFromSpan(4, 2)
+	if p < 3.55e-4 || p > 3.65e-4 {
+		t.Fatalf("threshold = %v", p)
+	}
+	// Monotone: larger span or degree → smaller tolerance.
+	if FaultToleranceFromSpan(4, 4) >= p || FaultToleranceFromSpan(8, 2) >= p {
+		t.Fatal("tolerance must decrease in δ and σ")
+	}
+}
+
+func TestVirtualAdjacent(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{0, 0}, []int{0, 1}, true},        // mesh edge
+		{[]int{0, 0}, []int{1, 1}, true},        // diagonal
+		{[]int{0, 0}, []int{0, 2}, false},       // too far
+		{[]int{0, 0}, []int{0, 0}, false},       // identical
+		{[]int{0, 0, 0}, []int{1, 1, 1}, false}, // 3 coords differ
+		{[]int{2, 3, 4}, []int{2, 4, 4}, true},
+	}
+	for i, c := range cases {
+		if got := virtualAdjacent(c.a, c.b); got != c.want {
+			t.Errorf("case %d: virtualAdjacent(%v,%v) = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func BenchmarkExactSpanMesh3x3(b *testing.B) {
+	g := gen.Mesh(3, 3)
+	for i := 0; i < b.N; i++ {
+		_ = Exact(g)
+	}
+}
+
+func BenchmarkSampledSpanTorus(b *testing.B) {
+	g := gen.Torus(12, 12)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Sampled(g, 10, rng)
+	}
+}
+
+func BenchmarkMeshBoundaryTree(b *testing.B) {
+	dims := []int{12, 12}
+	g := gen.Mesh(dims...)
+	rng := xrand.New(2)
+	sets := make([][]int, 16)
+	for i := range sets {
+		sets[i] = compact.Random(g, 30, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = MeshBoundaryTree(g, dims, sets[i%len(sets)])
+	}
+}

@@ -1,0 +1,183 @@
+package spectral
+
+// Lanczos iteration with full reorthogonalization for the largest
+// eigenpair of a symmetric operator, with optional deflation against
+// known eigenvectors. Full reorthogonalization costs O(k²n) but is
+// bulletproof against the "ghost eigenvalue" pathology of plain Lanczos,
+// which matters here because expansion estimates feed directly into
+// certified pruning bounds.
+
+import (
+	"math"
+
+	"faultexp/internal/xrand"
+)
+
+// lanczosLargest runs at most maxIter Lanczos steps on the operator
+// apply (dst = A·src, dimension n), deflating against the unit vectors in
+// deflate, and returns the largest Ritz value, its Ritz vector, and the
+// number of iterations executed.
+func lanczosLargest(apply func(dst, src []float64), n, maxIter int, deflate [][]float64, rng *xrand.RNG) (float64, []float64, int) {
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	// Start vector: random, orthogonal to the deflation space.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	orthogonalize(v, deflate)
+	normalize(v)
+
+	basis := make([][]float64, 0, maxIter)
+	var alphas, betas []float64 // T diagonal and off-diagonal
+	w := make([]float64, n)
+
+	prevRitz := math.Inf(-1)
+	iters := 0
+	for k := 0; k < maxIter; k++ {
+		iters = k + 1
+		basis = append(basis, append([]float64(nil), v...))
+		apply(w, v)
+		alpha := dot(w, v)
+		alphas = append(alphas, alpha)
+		// w ← w − α·v − β·v_{k−1}, then fully reorthogonalize against
+		// the Krylov basis and the deflation space.
+		axpy(-alpha, v, w)
+		if k > 0 {
+			axpy(-betas[k-1], basis[k-1], w)
+		}
+		orthogonalize(w, basis)
+		orthogonalize(w, deflate)
+		beta := norm(w)
+		// Convergence check every few steps once the tridiagonal is
+		// non-trivial: compare successive extremal Ritz values.
+		if k >= 4 && k%4 == 0 {
+			ritz, _ := tridiagLargest(alphas, betas)
+			if math.Abs(ritz-prevRitz) < 1e-12*(1+math.Abs(ritz)) {
+				break
+			}
+			prevRitz = ritz
+		}
+		if beta < 1e-13 {
+			break // invariant subspace found
+		}
+		betas = append(betas, beta)
+		for i := range v {
+			v[i] = w[i] / beta
+		}
+	}
+	theta, s := tridiagLargest(alphas, betas[:len(alphas)-1])
+	// Assemble the Ritz vector x = Σ s_i · basis_i.
+	x := make([]float64, n)
+	for i, b := range basis {
+		if i < len(s) {
+			axpy(s[i], b, x)
+		}
+	}
+	normalize(x)
+	return theta, x, iters
+}
+
+// tridiagLargest returns the largest eigenvalue of the symmetric
+// tridiagonal matrix with the given diagonal and off-diagonal, plus its
+// eigenvector, via the implicit QL algorithm (tql2).
+func tridiagLargest(diag, off []float64) (float64, []float64) {
+	m := len(diag)
+	if m == 0 {
+		return 0, nil
+	}
+	d := append([]float64(nil), diag...)
+	e := make([]float64, m)
+	copy(e, off)
+	// z accumulates the eigenvector rotations (starts as identity).
+	z := make([][]float64, m)
+	for i := range z {
+		z[i] = make([]float64, m)
+		z[i][i] = 1
+	}
+	tql2(d, e, z)
+	best := 0
+	for i := 1; i < m; i++ {
+		if d[i] > d[best] {
+			best = i
+		}
+	}
+	vec := make([]float64, m)
+	for i := 0; i < m; i++ {
+		vec[i] = z[i][best]
+	}
+	return d[best], vec
+}
+
+// tql2 diagonalizes a symmetric tridiagonal matrix in place using the QL
+// algorithm with implicit shifts (EISPACK tql2 / Numerical Recipes
+// tqli). d holds the diagonal, e the sub-diagonal in e[0..m-2]; on return
+// d holds eigenvalues and the columns of z the eigenvectors.
+func tql2(d, e []float64, z [][]float64) {
+	m := len(d)
+	if m <= 1 {
+		return
+	}
+	// shift e up: internal convention e[i] couples d[i] and d[i+1]
+	for l := 0; l < m; l++ {
+		iter := 0
+		for {
+			// Find small subdiagonal element.
+			var mIdx int
+			for mIdx = l; mIdx < m-1; mIdx++ {
+				dd := math.Abs(d[mIdx]) + math.Abs(d[mIdx+1])
+				if math.Abs(e[mIdx]) <= 1e-15*dd {
+					break
+				}
+			}
+			if mIdx == l {
+				break
+			}
+			if iter++; iter > 50 {
+				break // fail soft: eigenvalues are near-converged anyway
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[mIdx] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := mIdx - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[mIdx] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < m; k++ {
+					f := z[k][i+1]
+					z[k][i+1] = s*z[k][i] + c*f
+					z[k][i] = c*z[k][i] - s*f
+				}
+			}
+			if r == 0 && mIdx-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[mIdx] = 0
+		}
+	}
+}

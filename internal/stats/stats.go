@@ -1,0 +1,209 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics with confidence intervals, quantiles,
+// ordinary and log–log least squares (for extracting scaling exponents
+// from finite-size sweeps), and monotone threshold location (for
+// percolation critical-probability estimation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	StdErr float64 // standard error of the mean
+}
+
+// Summarize computes summary statistics of xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Var)
+		s.StdErr = s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (s Summary) CI95() float64 { return 1.96 * s.StdErr }
+
+// String renders the summary as "mean ± ci95 (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if q <= 0 {
+		return ys[0]
+	}
+	if q >= 1 {
+		return ys[len(ys)-1]
+	}
+	pos := q * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(ys) {
+		return ys[len(ys)-1]
+	}
+	return ys[lo]*(1-frac) + ys[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Fit holds a least-squares line y = Slope·x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the ordinary least-squares line through (xs, ys).
+// It panics if the slices differ in length or have fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least 2 points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: 0}
+	}
+	f := Fit{}
+	f.Slope = (n*sxy - sx*sy) / den
+	f.Intercept = (sy - f.Slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot <= 0 {
+		f.R2 = 1
+		return f
+	}
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (f.Slope*xs[i] + f.Intercept)
+		ssRes += r * r
+	}
+	f.R2 = 1 - ssRes/ssTot
+	return f
+}
+
+// PowerLawFit fits y = C·x^k by least squares in log–log space and
+// returns (k, C, R²). All inputs must be strictly positive.
+func PowerLawFit(xs, ys []float64) (exponent, coeff, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerLawFit needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f := LinearFit(lx, ly)
+	return f.Slope, math.Exp(f.Intercept), f.R2
+}
+
+// MonotoneThreshold locates the crossing point of a noisy monotone
+// function f: [lo, hi] → ℝ against target by bisection, assuming f is
+// (statistically) increasing. iters bisection steps are performed; the
+// returned value is the midpoint of the final bracket.
+//
+// This is the workhorse of critical-probability estimation: f(p) is a
+// Monte-Carlo mean of γ(G^(p)) and the threshold is where it crosses a
+// small constant.
+func MonotoneThreshold(lo, hi, target float64, iters int, f func(x float64) float64) float64 {
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Histogram counts xs into nbins equal-width bins over [min,max] and
+// returns the bin edges (nbins+1 values) and counts (nbins values).
+func Histogram(xs []float64, nbins int, min, max float64) (edges []float64, counts []int) {
+	if nbins <= 0 || max <= min {
+		panic("stats: bad Histogram parameters")
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = min + (max-min)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		b := int((x - min) / w)
+		if b == nbins {
+			b--
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,162 @@
+// Package ufind implements union–find (disjoint set union) with union by
+// size and path halving. It is the engine behind connected-component
+// computations and the Newman–Ziff percolation sweeps, where a single
+// sweep performs O(n + m) unions and finds.
+//
+// Beyond the classic operations, the structure tracks the size of the
+// largest component and the number of live components incrementally,
+// because percolation observables (γ(G^(p)) in the paper's notation — the
+// fraction of nodes in the largest component) are sampled after every
+// single union.
+package ufind
+
+// DSU is a disjoint-set-union structure over elements [0, n).
+type DSU struct {
+	parent  []int32
+	size    []int32
+	active  []bool
+	largest int32
+	count   int // number of active components
+	nActive int
+}
+
+// New returns a DSU over n elements, all initially active singletons.
+func New(n int) *DSU {
+	d := &DSU{
+		parent:  make([]int32, n),
+		size:    make([]int32, n),
+		active:  make([]bool, n),
+		largest: 0,
+		count:   n,
+		nActive: n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+		d.active[i] = true
+	}
+	if n > 0 {
+		d.largest = 1
+	}
+	return d
+}
+
+// NewInactive returns a DSU over n elements where every element starts
+// deactivated — used by site-percolation sweeps that occupy one node at a
+// time.
+func NewInactive(n int) *DSU {
+	d := New(n)
+	for i := range d.active {
+		d.active[i] = false
+		d.size[i] = 0
+	}
+	d.count = 0
+	d.nActive = 0
+	d.largest = 0
+	return d
+}
+
+// Activate marks element i as occupied (a singleton component). It is a
+// no-op if i is already active.
+func (d *DSU) Activate(i int) {
+	if d.active[i] {
+		return
+	}
+	d.active[i] = true
+	d.parent[i] = int32(i)
+	d.size[i] = 1
+	d.count++
+	d.nActive++
+	if d.largest < 1 {
+		d.largest = 1
+	}
+}
+
+// Active reports whether element i is occupied.
+func (d *DSU) Active(i int) bool { return d.active[i] }
+
+// Find returns the representative of i's component, with path halving.
+func (d *DSU) Find(i int) int {
+	p := int32(i)
+	for d.parent[p] != p {
+		d.parent[p] = d.parent[d.parent[p]]
+		p = d.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the components of a and b. Both must be active.
+// It reports whether a merge happened (false if already joined).
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := int32(d.Find(a)), int32(d.Find(b))
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	if d.size[ra] > d.largest {
+		d.largest = d.size[ra]
+	}
+	d.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same component.
+func (d *DSU) Connected(a, b int) bool {
+	if !d.active[a] || !d.active[b] {
+		return false
+	}
+	return d.Find(a) == d.Find(b)
+}
+
+// ComponentSize returns the size of i's component (0 if inactive).
+func (d *DSU) ComponentSize(i int) int {
+	if !d.active[i] {
+		return 0
+	}
+	return int(d.size[d.Find(i)])
+}
+
+// Largest returns the size of the largest component.
+func (d *DSU) Largest() int { return int(d.largest) }
+
+// Components returns the number of active components.
+func (d *DSU) Components() int { return d.count }
+
+// ActiveCount returns the number of occupied elements.
+func (d *DSU) ActiveCount() int { return d.nActive }
+
+// Gamma returns the fraction of the full universe [0,n) contained in the
+// largest component — the paper's γ(G) observable.
+func (d *DSU) Gamma() float64 {
+	if len(d.parent) == 0 {
+		return 0
+	}
+	return float64(d.largest) / float64(len(d.parent))
+}
+
+// Roots returns the representative of every active component.
+func (d *DSU) Roots() []int {
+	var roots []int
+	for i := range d.parent {
+		if d.active[i] && d.Find(i) == i {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Groups returns the members of every active component keyed by root.
+func (d *DSU) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := range d.parent {
+		if d.active[i] {
+			r := d.Find(i)
+			g[r] = append(g[r], i)
+		}
+	}
+	return g
+}

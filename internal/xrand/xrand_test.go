@@ -1,0 +1,272 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	// The two split streams and the parent stream must all differ.
+	for i := 0; i < 100; i++ {
+		a, b, c := r.Uint64(), s1.Uint64(), s2.Uint64()
+		if a == b || b == c || a == c {
+			t.Fatalf("split streams collided at step %d", i)
+		}
+	}
+}
+
+func TestSplitNDeterministic(t *testing.T) {
+	mk := func() []uint64 {
+		r := New(99)
+		gs := r.SplitN(4)
+		out := make([]uint64, 0, 12)
+		for _, g := range gs {
+			for i := 0; i < 3; i++ {
+				out = append(out, g.Uint64())
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SplitN streams not reproducible at %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	r := New(23)
+	for _, c := range []struct{ n, k int }{{10, 0}, {10, 10}, {100, 5}, {1000, 50}, {8, 7}} {
+		s := r.SampleK(c.n, c.k)
+		if len(s) != c.k {
+			t.Fatalf("SampleK(%d,%d) returned %d elements", c.n, c.k, len(s))
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= c.n || seen[v] {
+				t.Fatalf("SampleK(%d,%d) = %v invalid", c.n, c.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKCoversUniformly(t *testing.T) {
+	r := New(29)
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleK(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(trials*k) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d sampled %d times, want ≈%f", i, c, want)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(31)
+	cases := []struct {
+		n int
+		p float64
+	}{{100, 0.01}, {100, 0.3}, {1000, 0.5}, {50, 0.9}, {10000, 0.001}}
+	const trials = 5000
+	for _, c := range cases {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			v := r.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-want) > 6*sd/math.Sqrt(trials)+1e-9 {
+			t.Errorf("Binomial(%d,%v): mean %v, want %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(37)
+	if r.Binomial(10, 0) != 0 || r.Binomial(0, 0.5) != 0 {
+		t.Fatal("degenerate binomials should be 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(n, 1) should be n")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(41)
+	const p, trials = 0.2, 50000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / trials
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.15 {
+		t.Errorf("Geometric(%v) mean %v, want %v", p, mean, want)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(43)
+	const trials = 50000
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %v", variance)
+	}
+}
+
+// Property: Intn is always within bounds for arbitrary seeds and bounds.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int(bound)%1000 + 1
+		r := New(seed)
+		for i := 0; i < 10; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkBinomialSparse(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(1<<20, 1e-5)
+	}
+}
