@@ -12,6 +12,7 @@
 //	faultexp prune      -family torus -size 16x16 -faults 8 -alpha 0.25 -eps 0.5
 //	faultexp prune2     -family torus -size 16x16 -p 0.001 -alphae 0.25 -eps 0.125
 //	faultexp percolate  -family torus -size 32x32 -mode bond [-trials 20]
+//	faultexp sweep      -families torus:8x8,hypercube:6 -measures gamma,prune2 -rates 0,0.02,0.05,0.1 [-jsonl out.jsonl] [-csv out.csv]
 //	faultexp experiment E7 [-full] [-seed 42]
 //	faultexp experiment all
 //	faultexp list
@@ -21,7 +22,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"faultexp/internal/balance"
@@ -64,6 +64,8 @@ func main() {
 		err = cmdBalance(os.Args[2:])
 	case "route":
 		err = cmdRoute(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "list":
@@ -94,6 +96,7 @@ commands:
   percolate   Newman–Ziff percolation sweep and threshold estimate
   balance     diffusion load-balancing rounds (§1.3 application)
   route       random-pairs routing congestion (§1.3 application)
+  sweep       run a parameter grid (family × model × rate) streaming JSONL/CSV
   experiment  run a reproduction experiment (E1–E18) or "all"
   list        list available experiments
 
@@ -121,77 +124,8 @@ func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, []int, error) {
 		if *family == "" {
 			return nil, nil, fmt.Errorf("need -family or -in")
 		}
-		return buildFamily(*family, *size, *k, xrand.New(*seed))
+		return gen.FromFamily(*family, *size, *k, xrand.New(*seed))
 	}
-}
-
-func buildFamily(family, size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-	dims, derr := parseDims(size)
-	one := 0
-	if derr == nil && len(dims) == 1 {
-		one = dims[0]
-	}
-	switch family {
-	case "mesh":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		return gen.Mesh(dims...), dims, nil
-	case "torus":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		return gen.Torus(dims...), dims, nil
-	case "hypercube":
-		return gen.Hypercube(one), nil, derr
-	case "butterfly":
-		return gen.Butterfly(one), nil, derr
-	case "wbutterfly":
-		return gen.WrappedButterfly(one), nil, derr
-	case "ccc":
-		return gen.CCC(one), nil, derr
-	case "debruijn":
-		return gen.DeBruijn(one), nil, derr
-	case "shuffle":
-		return gen.ShuffleExchange(one), nil, derr
-	case "expander":
-		return gen.GabberGalil(one), nil, derr
-	case "complete":
-		return gen.Complete(one), nil, derr
-	case "cycle":
-		return gen.Cycle(one), nil, derr
-	case "path":
-		return gen.Path(one), nil, derr
-	case "rr":
-		if derr != nil || len(dims) != 2 {
-			return nil, nil, fmt.Errorf("rr needs -size NxD (vertices x degree)")
-		}
-		return gen.ConnectedRandomRegular(dims[0], dims[1], rng), nil, nil
-	case "chain":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		base := gen.GabberGalil(one)
-		return gen.ChainReplace(base, k).G, nil, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown family %q", family)
-	}
-}
-
-func parseDims(s string) ([]int, error) {
-	if s == "" {
-		return nil, fmt.Errorf("need -size")
-	}
-	parts := strings.Split(strings.ToLower(s), "x")
-	dims := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad size component %q", p)
-		}
-		dims[i] = v
-	}
-	return dims, nil
 }
 
 func cmdGen(args []string) error {

@@ -1,0 +1,138 @@
+package main
+
+// The sweep subcommand: run a declarative parameter grid (graph family ×
+// fault model × fault rate × trials) and stream results as JSONL and/or
+// CSV. The grid comes either from flags or from a JSON spec file; output
+// is byte-identical for any -workers value (see internal/sweep).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"faultexp/internal/sweep"
+)
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	specFile := fs.String("spec", "", "JSON grid spec file (overrides the grid flags)")
+	families := fs.String("families", "", "comma list of family:size[:k], e.g. torus:8x8,hypercube:6,expander:8")
+	measures := fs.String("measures", "gamma", "comma list of measures: "+strings.Join(sweep.Measures(), "|"))
+	model := fs.String("model", sweep.ModelIIDNode, "fault model: "+strings.Join(sweep.Models(), "|"))
+	rates := fs.String("rates", "", "comma list of fault rates in [0,1], e.g. 0,0.02,0.05,0.1")
+	trials := fs.Int("trials", 3, "Monte-Carlo trials per cell")
+	seed := fs.Uint64("seed", 1, "grid seed (per-cell seeds are hash-split from it)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect output bytes")
+	jsonlOut := fs.String("jsonl", "", `JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
+	csvOut := fs.String("csv", "", `CSV output path ("-" = stdout)`)
+	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
+	fs.Parse(args)
+
+	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *rates, *trials, *seed)
+	if err != nil {
+		return err
+	}
+
+	// Default destination: JSONL on stdout.
+	if *jsonlOut == "" && *csvOut == "" {
+		*jsonlOut = "-"
+	}
+	var writers sweep.MultiWriter
+	open := func(path string) (io.Writer, func() error, error) {
+		if path == "-" {
+			return os.Stdout, func() error { return nil }, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	if *jsonlOut != "" {
+		w, cl, err := open(*jsonlOut)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, cl)
+		writers = append(writers, sweep.NewJSONL(w))
+	}
+	if *csvOut != "" {
+		w, cl, err := open(*csvOut)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, cl)
+		writers = append(writers, sweep.NewCSV(w))
+	}
+
+	opt := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	sum, err := sweep.Run(spec, writers, opt)
+	if err != nil {
+		return err
+	}
+	if sum.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells reported errors (see the err field)\n", sum.Errors, sum.Cells)
+	}
+	return nil
+}
+
+// sweepSpecFromFlags assembles and validates the grid spec from either a
+// JSON file or the individual grid flags.
+func sweepSpecFromFlags(specFile, families, measures, model, rates string, trials int, seed uint64) (*sweep.Spec, error) {
+	if specFile != "" {
+		f, err := os.Open(specFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sweep.Load(f)
+	}
+	if families == "" {
+		return nil, fmt.Errorf("need -families (or -spec); e.g. -families torus:8x8,hypercube:6")
+	}
+	if rates == "" {
+		return nil, fmt.Errorf("need -rates (or -spec); e.g. -rates 0,0.02,0.05,0.1")
+	}
+	fams, err := sweep.ParseFamilies(families)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := sweep.ParseRates(rates)
+	if err != nil {
+		return nil, err
+	}
+	var ms []string
+	for _, m := range strings.Split(measures, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			ms = append(ms, m)
+		}
+	}
+	spec := &sweep.Spec{
+		Families: fams,
+		Measures: ms,
+		Model:    model,
+		Rates:    rs,
+		Trials:   trials,
+		Seed:     seed,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faultexp/internal/sweep"
+)
+
+// goldenArgs is the grid the golden files were generated with (3
+// families × 4 rates, two measures). Worker count varies per invocation
+// below — the files must match regardless.
+func goldenArgs(dir string, workers string) []string {
+	return []string{
+		"-families", "mesh:4x4,torus:4x4,hypercube:4",
+		"-measures", "gamma,percolation",
+		"-model", "iid-node",
+		"-rates", "0,0.25,0.5,0.75",
+		"-trials", "2",
+		"-seed", "42",
+		"-workers", workers,
+		"-quiet",
+		"-jsonl", filepath.Join(dir, "out.jsonl"),
+		"-csv", filepath.Join(dir, "out.csv"),
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSweepGolden runs the full CLI path (flag parsing → spec → engine →
+// writers) against checked-in golden output, at several worker counts.
+func TestSweepGolden(t *testing.T) {
+	wantJSONL := readFile(t, filepath.Join("testdata", "sweep_golden.jsonl"))
+	wantCSV := readFile(t, filepath.Join("testdata", "sweep_golden.csv"))
+	for _, workers := range []string{"1", "3", "8"} {
+		dir := t.TempDir()
+		if err := cmdSweep(goldenArgs(dir, workers)); err != nil {
+			t.Fatalf("cmdSweep(workers=%s): %v", workers, err)
+		}
+		if got := readFile(t, filepath.Join(dir, "out.jsonl")); !bytes.Equal(got, wantJSONL) {
+			t.Errorf("workers=%s: JSONL differs from golden:\n--- got ---\n%s", workers, got)
+		}
+		if got := readFile(t, filepath.Join(dir, "out.csv")); !bytes.Equal(got, wantCSV) {
+			t.Errorf("workers=%s: CSV differs from golden", workers)
+		}
+	}
+
+	// The golden files themselves must be valid JSONL / CSV.
+	for i, ln := range bytes.Split(bytes.TrimSpace(wantJSONL), []byte("\n")) {
+		var r sweep.Result
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatalf("golden JSONL line %d invalid: %v", i+1, err)
+		}
+		if r.Err != "" {
+			t.Fatalf("golden JSONL line %d carries an error: %s", i+1, r.Err)
+		}
+	}
+	rows, err := csv.NewReader(bytes.NewReader(wantCSV)).ReadAll()
+	if err != nil {
+		t.Fatalf("golden CSV invalid: %v", err)
+	}
+	if len(rows) < 2 || len(rows[0]) != 11 {
+		t.Fatalf("golden CSV shape: %d rows × %d cols", len(rows), len(rows[0]))
+	}
+}
+
+// TestSweepSpecFile checks that the same grid expressed as a JSON spec
+// file produces byte-identical output to the flag form.
+func TestSweepSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	specJSON := `{
+	  "families": [
+	    {"family": "mesh", "size": "4x4"},
+	    {"family": "torus", "size": "4x4"},
+	    {"family": "hypercube", "size": "4"}
+	  ],
+	  "measures": ["gamma", "percolation"],
+	  "model": "iid-node",
+	  "rates": [0, 0.25, 0.5, 0.75],
+	  "trials": 2,
+	  "seed": 42
+	}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-spec", specPath,
+		"-workers", "2",
+		"-quiet",
+		"-jsonl", filepath.Join(dir, "out.jsonl"),
+		"-csv", filepath.Join(dir, "out.csv"),
+	}
+	if err := cmdSweep(args); err != nil {
+		t.Fatalf("cmdSweep(-spec): %v", err)
+	}
+	wantJSONL := readFile(t, filepath.Join("testdata", "sweep_golden.jsonl"))
+	if got := readFile(t, filepath.Join(dir, "out.jsonl")); !bytes.Equal(got, wantJSONL) {
+		t.Errorf("-spec JSONL differs from golden")
+	}
+	wantCSV := readFile(t, filepath.Join("testdata", "sweep_golden.csv"))
+	if got := readFile(t, filepath.Join(dir, "out.csv")); !bytes.Equal(got, wantCSV) {
+		t.Errorf("-spec CSV differs from golden")
+	}
+}
+
+// TestSweepFlagErrors pins the user-facing failure modes.
+func TestSweepFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-rates", "0,0.1", "-quiet"},                                     // no families
+		{"-families", "torus:4x4", "-quiet"},                              // no rates
+		{"-families", "nosuch:4x4", "-rates", "0", "-quiet"},              // unknown family
+		{"-families", "torus:4x4", "-rates", "2", "-quiet"},               // rate out of range
+		{"-families", "torus:4x4", "-rates", "0", "-measures", "x", "-quiet"}, // unknown measure
+		{"-spec", filepath.Join(t.TempDir(), "missing.json"), "-quiet"},   // missing spec file
+	}
+	for _, args := range cases {
+		args = append(args, "-jsonl", filepath.Join(t.TempDir(), "out.jsonl"))
+		if err := cmdSweep(args); err == nil {
+			t.Errorf("cmdSweep(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -36,6 +36,8 @@
 package faultexp
 
 import (
+	"io"
+
 	"faultexp/internal/agree"
 	"faultexp/internal/balance"
 	"faultexp/internal/core"
@@ -49,7 +51,12 @@ import (
 	"faultexp/internal/route"
 	"faultexp/internal/span"
 	"faultexp/internal/spectral"
+	"faultexp/internal/sweep"
 	"faultexp/internal/xrand"
+
+	// Imported for its side effect of registering the built-in sweep
+	// measures (gamma, prune, prune2, span, percolation).
+	_ "faultexp/internal/experiments"
 )
 
 // Graph is an immutable undirected graph in compressed-sparse-row form.
@@ -266,6 +273,41 @@ func RouteRandomPairs(g *Graph, pairs int, rng *RNG) RouteResult {
 func RoutePermutation(g *Graph, rng *RNG) RouteResult {
 	return route.Permutation(g, rng)
 }
+
+// --- Parameter sweeps (package sweep) ---
+
+// SweepSpec is a declarative parameter grid: graph families × measures ×
+// fault rates under one fault model, with per-cell trials. Cell seeds
+// are hash-split from the grid seed, so results are byte-identical for
+// any worker count.
+type SweepSpec = sweep.Spec
+
+// SweepFamily names one graph family entry of a sweep grid.
+type SweepFamily = sweep.FamilySpec
+
+// SweepResult is one streamed sweep record.
+type SweepResult = sweep.Result
+
+// SweepWriter consumes streamed sweep results.
+type SweepWriter = sweep.Writer
+
+// SweepSummary is the aggregate outcome of a sweep run.
+type SweepSummary = sweep.Summary
+
+// NewSweepJSONL returns a streaming JSONL result writer.
+func NewSweepJSONL(w io.Writer) SweepWriter { return sweep.NewJSONL(w) }
+
+// NewSweepCSV returns a streaming long-format CSV result writer.
+func NewSweepCSV(w io.Writer) SweepWriter { return sweep.NewCSV(w) }
+
+// RunSweep executes a grid on up to workers goroutines (0 = GOMAXPROCS),
+// streaming results to w in deterministic cell order.
+func RunSweep(spec *SweepSpec, w SweepWriter, workers int) (SweepSummary, error) {
+	return sweep.Run(spec, w, sweep.Options{Workers: workers})
+}
+
+// SweepMeasures lists the registered sweep measures.
+func SweepMeasures() []string { return sweep.Measures() }
 
 // --- Embedding / emulation (package embed, §1.2) ---
 

@@ -1,0 +1,3 @@
+module faultexp
+
+go 1.22

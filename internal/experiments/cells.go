@@ -1,0 +1,194 @@
+package experiments
+
+// Sweep cell adapters: the prune / prune2 / span / percolation pipelines
+// repackaged as sweep.CellFunc measures, so the declarative grid engine
+// can run the paper's pipelines over family × fault-model × rate cross
+// products. Each adapter derives every random draw from the cell's
+// private RNG (one Split per consumer, in a fixed order), which is what
+// makes a cell's metrics a pure function of (grid seed, cell key).
+
+import (
+	"fmt"
+	"math"
+
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/graph"
+	"faultexp/internal/perc"
+	"faultexp/internal/span"
+	"faultexp/internal/sweep"
+	"faultexp/internal/xrand"
+)
+
+// spanSamples is the compact-set sample budget the span measure spends
+// per trial.
+const spanSamples = 24
+
+func init() {
+	sweep.Register("gamma", cellGamma)
+	sweep.Register("prune", cellPrune)
+	sweep.Register("prune2", cellPrune2)
+	sweep.Register("span", cellSpan)
+	sweep.Register("percolation", cellPercolation)
+}
+
+// cellGamma measures the largest-component fraction γ of the faulted
+// graph — the paper's connectivity baseline (what survives before any
+// pruning).
+func cellGamma(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	n := float64(g.N())
+	sum, minG, maxG, faultSum := 0.0, 1.0, 0.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, nf, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		_, size := sub.G.LargestComponent()
+		gm := float64(size) / n
+		sum += gm
+		faultSum += float64(nf)
+		if gm < minG {
+			minG = gm
+		}
+		if gm > maxG {
+			maxG = gm
+		}
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"gamma_mean":  sum / tr,
+		"gamma_min":   minG,
+		"gamma_max":   maxG,
+		"faults_mean": faultSum / tr,
+	}, nil
+}
+
+// cellPrune runs the Figure 1 pipeline (faults → Prune) with measured
+// fault-free node expansion and the paper's k = 2 (ε = 1/2).
+func cellPrune(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+	return pruneCell(g, c, rng, false)
+}
+
+// cellPrune2 runs the Figure 2 pipeline (faults → Prune2) with measured
+// fault-free edge expansion and Theorem 3.4's maximal ε = 1/(2δ).
+func cellPrune2(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+	return pruneCell(g, c, rng, true)
+}
+
+func pruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, edgeMode bool) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	var alpha, eps float64
+	if edgeMode {
+		alpha = measuredEdgeAlpha(g, rng.Split())
+		eps = core.Theorem34MaxEps(g.MaxDegree())
+	} else {
+		alpha = measuredNodeAlpha(g, rng.Split())
+		eps = 0.5
+	}
+	n := float64(g.N())
+	survSum, survMin := 0.0, 1.0
+	culledSum, faultSum := 0.0, 0.0
+	certSum, certTrials := 0.0, 0
+	for t := 0; t < c.Trials; t++ {
+		sub, nf, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		faultSum += float64(nf)
+		prng := rng.Split()
+		frac := 0.0
+		if sub.G.N() > 0 {
+			opt := core.Options{Finder: cuts.Options{RNG: prng}}
+			var res *core.Result
+			if edgeMode {
+				res = core.Prune2(sub.G, alpha, eps, opt)
+			} else {
+				res = core.Prune(sub.G, alpha, eps, opt)
+			}
+			frac = float64(res.SurvivorSize()) / n
+			culledSum += float64(res.CulledTotal)
+			if q := res.CertifiedQuotient; !math.IsNaN(q) && !math.IsInf(q, 0) {
+				certSum += q
+				certTrials++
+			}
+		}
+		survSum += frac
+		if frac < survMin {
+			survMin = frac
+		}
+	}
+	tr := float64(c.Trials)
+	m := map[string]float64{
+		"alpha":              alpha,
+		"eps":                eps,
+		"threshold":          alpha * eps,
+		"survivor_frac_mean": survSum / tr,
+		"survivor_frac_min":  survMin,
+		"culled_mean":        culledSum / tr,
+		"faults_mean":        faultSum / tr,
+		"cert_trials":        float64(certTrials),
+	}
+	if certTrials > 0 {
+		m["cert_mean"] = certSum / float64(certTrials)
+	}
+	return m, nil
+}
+
+// cellSpan injects faults, restricts to the largest surviving component,
+// and estimates its span σ by compact-set sampling — how the §1.4
+// parameter itself degrades as faults accumulate.
+func cellSpan(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	n := float64(g.N())
+	sigmaSum, sigmaMax, gammaSum := 0.0, 0.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSub()
+		gammaSum += float64(comp.G.N()) / n
+		est := span.Sampled(comp.G, spanSamples, rng.Split())
+		sigmaSum += est.Sigma
+		if est.Sigma > sigmaMax {
+			sigmaMax = est.Sigma
+		}
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"sigma_mean": sigmaSum / tr,
+		"sigma_max":  sigmaMax,
+		"gamma_mean": gammaSum / tr,
+	}, nil
+}
+
+// cellPercolation maps the cell onto a Newman–Ziff-style percolation
+// measurement: elements survive independently with probability 1−rate
+// (sites for iid-node, bonds for iid-edge) and the metric is E[γ].
+func cellPercolation(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	var mode perc.Mode
+	switch c.Model {
+	case sweep.ModelIIDNode:
+		mode = perc.Site
+	case sweep.ModelIIDEdge:
+		mode = perc.Bond
+	default:
+		return nil, fmt.Errorf("percolation measure needs an iid fault model, got %q", c.Model)
+	}
+	p := 1 - c.Rate
+	gamma := perc.GammaAtP(g, mode, p, c.Trials, rng.Split())
+	return map[string]float64{
+		"gamma_mean": gamma,
+		"p_survive":  p,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package gen
+
+// This file is the declarative entry point to the generator zoo: a graph
+// family named by a string plus a size token ("16x16", "8", "256x4"),
+// the format shared by the CLI flags and the sweep grid specs. Keeping
+// the registry here (rather than in cmd/faultexp) lets every layer —
+// CLI, sweep engine, tests — build identical graphs from the same spec.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// FamilyNames lists the graph families FromFamily understands, in the
+// order they are documented in the CLI help.
+func FamilyNames() []string {
+	return []string{
+		"mesh", "torus", "hypercube", "butterfly", "wbutterfly", "ccc",
+		"debruijn", "shuffle", "expander", "complete", "cycle", "path",
+		"rr", "chain",
+	}
+}
+
+// ParseDims parses a size token such as "16x16" or "4x4x4" into its
+// dimension list. Components must be positive integers.
+func ParseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("need -size")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad size component %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// FromFamily builds a graph of the named family at the given size. The
+// size token is family-specific: a dimension list for mesh/torus, a
+// single integer for hypercube/butterfly/… , and "NxD" (vertices x
+// degree) for rr. k is the chain length used only by the chain family.
+// The returned dims are the parsed mesh/torus dimensions (nil for other
+// families). Randomized families (rr) draw from rng; deterministic
+// families ignore it.
+func FromFamily(family, size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+	dims, derr := ParseDims(size)
+	// Families taking a single integer size must reject "6x2"-style
+	// tokens outright: building Hypercube(0) from a typo'd spec would
+	// stream plausible-looking n=1 results instead of failing.
+	one := 0
+	switch family {
+	case "hypercube", "butterfly", "wbutterfly", "ccc", "debruijn",
+		"shuffle", "expander", "complete", "cycle", "path", "chain":
+		if derr == nil && len(dims) != 1 {
+			return nil, nil, fmt.Errorf("family %q needs a single integer -size, got %q", family, size)
+		}
+	}
+	if derr == nil && len(dims) == 1 {
+		one = dims[0]
+	}
+	switch family {
+	case "mesh":
+		if derr != nil {
+			return nil, nil, derr
+		}
+		return Mesh(dims...), dims, nil
+	case "torus":
+		if derr != nil {
+			return nil, nil, derr
+		}
+		return Torus(dims...), dims, nil
+	case "hypercube":
+		return Hypercube(one), nil, derr
+	case "butterfly":
+		return Butterfly(one), nil, derr
+	case "wbutterfly":
+		return WrappedButterfly(one), nil, derr
+	case "ccc":
+		return CCC(one), nil, derr
+	case "debruijn":
+		return DeBruijn(one), nil, derr
+	case "shuffle":
+		return ShuffleExchange(one), nil, derr
+	case "expander":
+		return GabberGalil(one), nil, derr
+	case "complete":
+		return Complete(one), nil, derr
+	case "cycle":
+		return Cycle(one), nil, derr
+	case "path":
+		return Path(one), nil, derr
+	case "rr":
+		if derr != nil || len(dims) != 2 {
+			return nil, nil, fmt.Errorf("rr needs -size NxD (vertices x degree)")
+		}
+		return ConnectedRandomRegular(dims[0], dims[1], rng), nil, nil
+	case "chain":
+		if derr != nil {
+			return nil, nil, derr
+		}
+		base := GabberGalil(one)
+		return ChainReplace(base, k).G, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown family %q", family)
+	}
+}

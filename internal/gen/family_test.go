@@ -1,4 +1,4 @@
-package main
+package gen
 
 import (
 	"testing"
@@ -23,30 +23,30 @@ func TestParseDims(t *testing.T) {
 		{"-1", nil, true},
 	}
 	for _, c := range cases {
-		got, err := parseDims(c.in)
+		got, err := ParseDims(c.in)
 		if c.err {
 			if err == nil {
-				t.Errorf("parseDims(%q): expected error", c.in)
+				t.Errorf("ParseDims(%q): expected error", c.in)
 			}
 			continue
 		}
 		if err != nil {
-			t.Errorf("parseDims(%q): %v", c.in, err)
+			t.Errorf("ParseDims(%q): %v", c.in, err)
 			continue
 		}
 		if len(got) != len(c.want) {
-			t.Errorf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+			t.Errorf("ParseDims(%q) = %v, want %v", c.in, got, c.want)
 			continue
 		}
 		for i := range got {
 			if got[i] != c.want[i] {
-				t.Errorf("parseDims(%q) = %v, want %v", c.in, got, c.want)
+				t.Errorf("ParseDims(%q) = %v, want %v", c.in, got, c.want)
 			}
 		}
 	}
 }
 
-func TestBuildFamily(t *testing.T) {
+func TestFromFamily(t *testing.T) {
 	rng := xrand.New(1)
 	cases := []struct {
 		family, size string
@@ -67,27 +67,34 @@ func TestBuildFamily(t *testing.T) {
 		{"rr", "20x3", 20},
 	}
 	for _, c := range cases {
-		g, _, err := buildFamily(c.family, c.size, 4, rng)
+		g, _, err := FromFamily(c.family, c.size, 4, rng)
 		if err != nil {
-			t.Errorf("buildFamily(%s, %s): %v", c.family, c.size, err)
+			t.Errorf("FromFamily(%s, %s): %v", c.family, c.size, err)
 			continue
 		}
 		if g.N() != c.wantN {
-			t.Errorf("buildFamily(%s, %s): n=%d, want %d", c.family, c.size, g.N(), c.wantN)
+			t.Errorf("FromFamily(%s, %s): n=%d, want %d", c.family, c.size, g.N(), c.wantN)
 		}
 	}
 	// chain: expander(4)=16 nodes, edges vary; just check it grows.
-	g, _, err := buildFamily("chain", "4", 3, rng)
+	g, _, err := FromFamily("chain", "4", 3, rng)
 	if err != nil || g.N() <= 16 {
 		t.Errorf("chain family wrong: %v %v", g, err)
 	}
-	if _, _, err := buildFamily("nosuch", "4", 1, rng); err == nil {
+	if _, _, err := FromFamily("nosuch", "4", 1, rng); err == nil {
 		t.Error("unknown family should error")
 	}
-	if _, _, err := buildFamily("mesh", "", 1, rng); err == nil {
+	if _, _, err := FromFamily("mesh", "", 1, rng); err == nil {
 		t.Error("missing size should error")
 	}
-	if _, _, err := buildFamily("rr", "7", 1, rng); err == nil {
+	if _, _, err := FromFamily("rr", "7", 1, rng); err == nil {
 		t.Error("rr with one dim should error")
+	}
+	// Single-integer families must reject multi-component sizes instead
+	// of silently building a 1-vertex graph.
+	for _, fam := range []string{"hypercube", "expander", "complete", "chain"} {
+		if _, _, err := FromFamily(fam, "4x4", 2, rng); err == nil {
+			t.Errorf("FromFamily(%s, 4x4) should error", fam)
+		}
 	}
 }

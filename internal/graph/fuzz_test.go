@@ -1,0 +1,112 @@
+package graph
+
+import "testing"
+
+// FuzzBuilderInvariants feeds arbitrary byte strings through the
+// Builder → CSR pipeline and (on a derived mask) through Induce,
+// asserting the structural invariants the whole library leans on:
+// sorted strictly-increasing adjacency lists, edge symmetry, degree sum
+// = 2·M, and no self-loops — in both the graph and its induced
+// subgraphs.
+func FuzzBuilderInvariants(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})          // C4
+	f.Add([]byte{5, 0, 0, 1, 1, 2, 2})                // self-loops + dups
+	f.Add([]byte{16, 0, 1, 0, 1, 0, 1, 250, 251, 17}) // heavy duplication, mod wrap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%32 + 1
+		payload := data[1:]
+		b := NewBuilder(n)
+		type edge struct{ u, v int }
+		var added []edge
+		for i := 0; i+1 < len(payload); i += 2 {
+			u, v := int(payload[i])%n, int(payload[i+1])%n
+			b.AddEdge(u, v)
+			if u != v {
+				added = append(added, edge{u, v})
+			}
+		}
+		g := b.Build()
+		checkInvariants(t, "graph", g)
+		if g.N() != n {
+			t.Fatalf("N = %d, want %d", g.N(), n)
+		}
+		for _, e := range added {
+			if !g.HasEdge(e.u, e.v) || !g.HasEdge(e.v, e.u) {
+				t.Fatalf("added edge {%d,%d} missing", e.u, e.v)
+			}
+		}
+
+		// Induced subgraph: keep vertices chosen by payload parity bits.
+		keep := make([]bool, n)
+		kept := 0
+		for v := range keep {
+			bit := byte(1)
+			if v/8 < len(payload) {
+				bit = payload[v/8] >> (v % 8)
+			}
+			if bit&1 == 1 {
+				keep[v] = true
+				kept++
+			}
+		}
+		sub := g.Induce(keep)
+		checkInvariants(t, "induced subgraph", sub.G)
+		if sub.G.N() != kept || len(sub.Orig) != kept {
+			t.Fatalf("induced size %d (orig %d), want %d", sub.G.N(), len(sub.Orig), kept)
+		}
+		// Provenance: every subgraph edge maps to a kept parent edge,
+		// and every kept parent edge survives.
+		for v := 0; v < sub.G.N(); v++ {
+			ov := int(sub.Orig[v])
+			if !keep[ov] {
+				t.Fatalf("provenance maps %d to removed vertex %d", v, ov)
+			}
+			for _, w := range sub.G.Neighbors(v) {
+				if !g.HasEdge(ov, int(sub.Orig[w])) {
+					t.Fatalf("subgraph edge {%d,%d} has no parent edge", v, w)
+				}
+			}
+		}
+		parentKept := 0
+		g.ForEachEdge(func(u, v int) {
+			if keep[u] && keep[v] {
+				parentKept++
+			}
+		})
+		if parentKept != sub.G.M() {
+			t.Fatalf("induced M = %d, want %d kept parent edges", sub.G.M(), parentKept)
+		}
+	})
+}
+
+// checkInvariants asserts the CSR structural invariants on g.
+func checkInvariants(t *testing.T, label string, g *Graph) {
+	t.Helper()
+	degSum := 0
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		degSum += len(nb)
+		for i, w := range nb {
+			if int(w) == v {
+				t.Fatalf("%s: self-loop at %d", label, v)
+			}
+			if w < 0 || int(w) >= g.N() {
+				t.Fatalf("%s: neighbor %d of %d out of range", label, w, v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("%s: adjacency of %d not strictly sorted: %v", label, v, nb)
+			}
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("%s: edge {%d,%d} not symmetric", label, v, w)
+			}
+		}
+	}
+	if degSum != 2*g.M() {
+		t.Fatalf("%s: degree sum %d != 2·M = %d", label, degSum, 2*g.M())
+	}
+}

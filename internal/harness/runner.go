@@ -1,0 +1,47 @@
+package harness
+
+// This file holds the parallel-execution primitives the experiment
+// harness and the sweep engine share. ParallelFor (harness.go) is the
+// unordered fan-out used inside single experiments; RunOrdered adds the
+// property the streaming sweep writers need — results are emitted in
+// job-index order, incrementally, no matter how the scheduler interleaves
+// the workers — so output files are byte-identical across worker counts.
+
+import "sync"
+
+// RunOrdered executes run(i) for i in [0, n) on up to workers goroutines
+// and calls emit(i, v) for every job in strictly increasing index order,
+// streaming each completed prefix as soon as it is available rather than
+// waiting for the whole batch. emit is never called concurrently. run
+// must be safe for concurrent invocation; emit ordering is independent
+// of scheduling, which is what makes streamed sweep output deterministic
+// for any worker count.
+func RunOrdered[T any](n, workers int, run func(i int) T, emit func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			emit(i, run(i))
+		}
+		return
+	}
+	var (
+		mu   sync.Mutex
+		done = make([]bool, n)
+		vals = make([]T, n)
+		next int
+	)
+	ParallelFor(n, workers, func(i int) {
+		v := run(i)
+		mu.Lock()
+		defer mu.Unlock()
+		vals[i], done[i] = v, true
+		for next < n && done[next] {
+			emit(next, vals[next])
+			var zero T
+			vals[next] = zero // release the emitted value
+			next++
+		}
+	})
+}

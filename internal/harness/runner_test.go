@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderedEmitsInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0) + 2} {
+		const n = 50
+		var got []int
+		RunOrdered(n, workers,
+			func(i int) int {
+				// Scramble completion order: later jobs finish sooner.
+				time.Sleep(time.Duration((n-i)%7) * 100 * time.Microsecond)
+				return i * 3
+			},
+			func(i, v int) {
+				if v != i*3 {
+					t.Errorf("workers=%d: emit(%d) got value %d, want %d", workers, i, v, i*3)
+				}
+				got = append(got, i)
+			})
+		if len(got) != n {
+			t.Fatalf("workers=%d: emitted %d of %d", workers, len(got), n)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: emission order %v not ascending at %d", workers, got[:i+1], i)
+			}
+		}
+	}
+}
+
+func TestRunOrderedStreamsPrefixes(t *testing.T) {
+	// Job 0 finishes last; nothing may be emitted before it, and then
+	// everything arrives. This exercises the reorder buffer rather than
+	// a trivial run-then-dump.
+	const n = 8
+	release := make(chan struct{})
+	var emitted atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunOrdered(n, 4,
+			func(i int) int {
+				if i == 0 {
+					<-release
+				}
+				return i
+			},
+			func(i, v int) { emitted.Add(1) })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if g := emitted.Load(); g != 0 {
+		t.Fatalf("emitted %d results before job 0 completed", g)
+	}
+	close(release)
+	<-done
+	if g := emitted.Load(); g != n {
+		t.Fatalf("emitted %d of %d after completion", g, n)
+	}
+}
+
+func TestRunOrderedZeroAndOne(t *testing.T) {
+	calls := 0
+	RunOrdered(0, 4, func(i int) int { return i }, func(i, v int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("n=0 emitted %d", calls)
+	}
+	RunOrdered(1, 4, func(i int) int { return 9 }, func(i, v int) {
+		if i != 0 || v != 9 {
+			t.Fatalf("n=1 emitted (%d,%d)", i, v)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("n=1 emitted %d times", calls)
+	}
+}

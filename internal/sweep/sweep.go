@@ -1,0 +1,245 @@
+package sweep
+
+// This file is the execution engine: the measure registry (cell
+// functions are registered by internal/experiments, or by tests), the
+// shared fault-injection helper, and Run — expand, execute on a bounded
+// pool, stream in cell order.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"faultexp/internal/faults"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/xrand"
+)
+
+// CellFunc runs one grid cell's measurement on graph g (the fault-free
+// family instance) and returns named metrics. It must derive all
+// randomness from rng and must not retain g.
+type CellFunc func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]CellFunc{}
+)
+
+// Register adds a measure to the global registry; duplicate names panic
+// (a wiring bug, mirroring harness.Registry).
+func Register(name string, fn CellFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("sweep: duplicate measure " + name)
+	}
+	registry[name] = fn
+}
+
+// Lookup returns the registered cell function for a measure name.
+func Lookup(name string) (CellFunc, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	fn, ok := registry[name]
+	return fn, ok
+}
+
+// Measures returns the registered measure names, sorted.
+func Measures() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyFaults injects one fault pattern of the given model at the given
+// rate and returns the surviving subgraph (with provenance) and the
+// number of failed elements. For ModelAdversarial the rate is the node
+// budget as a fraction of n.
+func ApplyFaults(g *graph.Graph, model string, rate float64, rng *xrand.RNG) (*graph.Sub, int, error) {
+	switch model {
+	case ModelIIDNode:
+		pat := faults.IIDNodes(g, rate, rng)
+		return pat.Apply(g), pat.Count(), nil
+	case ModelIIDEdge:
+		failed := faults.IIDEdges(g, rate, rng)
+		return graph.Identity(g.RemoveEdges(failed)), len(failed), nil
+	case ModelAdversarial:
+		f := int(math.Round(rate * float64(g.N())))
+		pat := faults.BottleneckAdversary{}.Select(g, f, rng)
+		return pat.Apply(g), pat.Count(), nil
+	}
+	return nil, 0, fmt.Errorf("sweep: unknown fault model %q", model)
+}
+
+// Result is one streamed output record: the cell's coordinates plus its
+// measured metrics. Field order (and sorted metric keys) make the JSON
+// encoding byte-stable.
+type Result struct {
+	Family  string             `json:"family"`
+	Size    string             `json:"size"`
+	N       int                `json:"n"`
+	M       int                `json:"m"`
+	Measure string             `json:"measure"`
+	Model   string             `json:"model"`
+	Rate    float64            `json:"rate"`
+	Trials  int                `json:"trials"`
+	Seed    uint64             `json:"seed"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Err     string             `json:"err,omitempty"`
+}
+
+// MetricNames returns the result's metric keys, sorted — the iteration
+// order every writer uses.
+func (r *Result) MetricNames() []string {
+	out := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary is the aggregate outcome of a grid run.
+type Summary struct {
+	Cells  int // cells executed
+	Errors int // cells whose Result carries an Err
+}
+
+// Options tunes one Run invocation.
+type Options struct {
+	// Workers overrides Spec.Workers (0 = use spec, then GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each cell is emitted.
+	Progress func(done, total int)
+}
+
+// Run expands the spec, builds each family graph once, executes every
+// cell on a bounded worker pool, and streams results to w in cell order.
+// Per-cell measurement failures are recorded in the cell's Result (and
+// counted in the summary), not fatal; spec, graph-construction, and
+// writer errors abort the run.
+func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
+	if err := spec.Validate(); err != nil {
+		return Summary{}, err
+	}
+	cells := spec.Cells()
+
+	// Build each distinct family graph once, serially, up front: graphs
+	// are immutable so cells can share them, and a bad family spec fails
+	// before any output is written.
+	graphs := map[string]*graph.Graph{}
+	for _, f := range spec.Families {
+		key := f.String()
+		if _, ok := graphs[key]; ok {
+			continue
+		}
+		g, _, err := gen.FromFamily(f.Family, f.Size, f.K, xrand.New(GraphSeed(spec.Seed, f)))
+		if err != nil {
+			return Summary{}, fmt.Errorf("sweep: building %s: %w", key, err)
+		}
+		graphs[key] = g
+	}
+
+	workers := opt.Workers
+	if workers == 0 {
+		workers = spec.Workers
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		sum      Summary
+		writeErr error
+		aborted  atomic.Bool
+	)
+	harness.RunOrdered(len(cells), workers,
+		func(i int) *Result {
+			if aborted.Load() {
+				// The sink already failed; don't burn hours computing
+				// cells whose results can never be written.
+				return &Result{Err: "aborted: writer failed"}
+			}
+			return runCell(graphs[cells[i].Family.String()], cells[i])
+		},
+		func(i int, r *Result) {
+			sum.Cells++
+			if r.Err != "" {
+				sum.Errors++
+			}
+			if writeErr == nil {
+				if writeErr = w.Write(r); writeErr != nil {
+					aborted.Store(true)
+				}
+			}
+			if opt.Progress != nil {
+				opt.Progress(sum.Cells, len(cells))
+			}
+		})
+	flushErr := w.Flush()
+	if writeErr != nil {
+		return sum, fmt.Errorf("sweep: writing results: %w", writeErr)
+	}
+	if flushErr != nil {
+		return sum, fmt.Errorf("sweep: flushing results: %w", flushErr)
+	}
+	return sum, nil
+}
+
+// runCell executes one cell, converting panics and errors into the
+// result's Err field so a single pathological cell cannot kill a grid.
+func runCell(g *graph.Graph, c Cell) (res *Result) {
+	res = &Result{
+		Family:  c.Family.Family,
+		Size:    c.Family.Size,
+		N:       g.N(),
+		M:       g.M(),
+		Measure: c.Measure,
+		Model:   c.Model,
+		Rate:    c.Rate,
+		Trials:  c.Trials,
+		Seed:    c.Seed,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Metrics = nil
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	fn, ok := Lookup(c.Measure)
+	if !ok {
+		res.Err = fmt.Sprintf("unknown measure %q", c.Measure)
+		return res
+	}
+	metrics, err := fn(g, c, xrand.New(c.Seed))
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	// Drop non-finite values: JSON cannot represent them and a ±Inf
+	// certificate just means "nothing left to certify" — its absence is
+	// the deterministic signal.
+	for k, v := range metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			delete(metrics, k)
+		}
+	}
+	if len(metrics) == 0 {
+		// Keep the cell visible in every output format (a long-format
+		// CSV row only exists per metric or per error).
+		res.Err = "no finite metrics"
+		return res
+	}
+	res.Metrics = metrics
+	return res
+}

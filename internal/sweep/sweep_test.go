@@ -1,0 +1,335 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+var counted atomic.Int32
+
+// The tests register toy measures so this package's determinism story is
+// exercised without depending on the real pipelines (those are covered
+// in internal/experiments/cells_test.go).
+func init() {
+	// toy draws from the cell RNG and sleeps a scheduling-dependent
+	// amount, so any ordering or seeding leak shows up as a byte diff.
+	Register("toy", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+		time.Sleep(time.Duration(c.Index%5) * 200 * time.Microsecond)
+		sum := 0.0
+		for t := 0; t < c.Trials; t++ {
+			sum += rng.Split().Float64()
+		}
+		return map[string]float64{
+			"draw_mean": sum / float64(c.Trials),
+			"rate_echo": c.Rate,
+			"inf_gets_dropped": func() float64 {
+				if c.Rate == 0 {
+					return 1 / (c.Rate * 0) // +Inf: must be stripped
+				}
+				return 1
+			}(),
+		}, nil
+	})
+	// counting tracks how many cells actually execute.
+	Register("counting", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+		counted.Add(1)
+		return map[string]float64{"ok": 1}, nil
+	})
+	// toyerr fails on one rate and panics on another.
+	Register("toyerr", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+		switch {
+		case c.Rate == 0.5:
+			return nil, fmt.Errorf("synthetic failure")
+		case c.Rate == 1:
+			panic("synthetic panic")
+		}
+		return map[string]float64{"ok": 1}, nil
+	})
+}
+
+func toySpec() *Spec {
+	return &Spec{
+		Families: []FamilySpec{
+			{Family: "torus", Size: "4x4"},
+			{Family: "hypercube", Size: "4"},
+			{Family: "rr", Size: "24x3"},
+		},
+		Measures: []string{"toy"},
+		Model:    ModelIIDNode,
+		Rates:    []float64{0, 0.1, 0.25, 0.5},
+		Trials:   3,
+		Seed:     99,
+	}
+}
+
+func runToBytes(t *testing.T, spec *Spec, workers int) (jsonl, csv []byte) {
+	t.Helper()
+	var jb, cb bytes.Buffer
+	w := MultiWriter{NewJSONL(&jb), NewCSV(&cb)}
+	sum, err := Run(spec, w, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	want := len(spec.Families) * len(spec.Measures) * len(spec.Rates)
+	if sum.Cells != want {
+		t.Fatalf("Run(workers=%d): %d cells, want %d", workers, sum.Cells, want)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestDeterministicAcrossWorkers is the tentpole guarantee: the same
+// grid + seed produces byte-identical JSONL and CSV regardless of the
+// worker count.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	spec := toySpec()
+	refJSON, refCSV := runToBytes(t, spec, 1)
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1-again", 1},
+		{"workers=4", 4},
+		{"workers=GOMAXPROCS", runtime.GOMAXPROCS(0)},
+		{"workers=2xGOMAXPROCS", 2 * runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			j, cs := runToBytes(t, spec, c.workers)
+			if !bytes.Equal(j, refJSON) {
+				t.Errorf("JSONL differs from workers=1 reference:\n--- ref ---\n%s\n--- got ---\n%s", refJSON, j)
+			}
+			if !bytes.Equal(cs, refCSV) {
+				t.Errorf("CSV differs from workers=1 reference")
+			}
+		})
+	}
+}
+
+func TestJSONLShapeAndInfStripping(t *testing.T) {
+	jsonl, _ := runToBytes(t, toySpec(), 4)
+	lines := bytes.Split(bytes.TrimSpace(jsonl), []byte("\n"))
+	if len(lines) != 12 {
+		t.Fatalf("got %d JSONL lines, want 12", len(lines))
+	}
+	for _, ln := range lines {
+		var r Result
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+		if r.Err != "" {
+			t.Errorf("unexpected cell error: %s", r.Err)
+		}
+		if r.N == 0 || r.Seed == 0 {
+			t.Errorf("missing cell coordinates in %q", ln)
+		}
+		if r.Rate == 0 {
+			if _, ok := r.Metrics["inf_gets_dropped"]; ok {
+				t.Errorf("non-finite metric leaked into output: %q", ln)
+			}
+		} else if r.Metrics["inf_gets_dropped"] != 1 {
+			t.Errorf("finite metric missing in %q", ln)
+		}
+	}
+}
+
+func TestCellSeedsIgnorePosition(t *testing.T) {
+	spec := toySpec()
+	seeds := map[string]uint64{}
+	for _, c := range spec.Cells() {
+		seeds[fmt.Sprintf("%s|%s|%g", c.Family, c.Measure, c.Rate)] = c.Seed
+	}
+	// Prepend a family and append a rate: every pre-existing cell must
+	// keep its seed even though indices shifted.
+	spec2 := toySpec()
+	spec2.Families = append([]FamilySpec{{Family: "mesh", Size: "3x3"}}, spec2.Families...)
+	spec2.Rates = append(spec2.Rates, 0.75)
+	for _, c := range spec2.Cells() {
+		key := fmt.Sprintf("%s|%s|%g", c.Family, c.Measure, c.Rate)
+		if old, ok := seeds[key]; ok && old != c.Seed {
+			t.Errorf("cell %s changed seed when the grid grew: %x -> %x", key, old, c.Seed)
+		}
+	}
+	// And all seeds are distinct.
+	seen := map[uint64]string{}
+	for _, c := range spec2.Cells() {
+		key := fmt.Sprintf("%s|%s|%g", c.Family, c.Measure, c.Rate)
+		if prev, dup := seen[c.Seed]; dup {
+			t.Errorf("seed collision between %s and %s", prev, key)
+		}
+		seen[c.Seed] = key
+	}
+}
+
+func TestCellErrorsAreRecordedNotFatal(t *testing.T) {
+	spec := toySpec()
+	spec.Measures = []string{"toyerr"}
+	spec.Rates = []float64{0.25, 0.5, 1}
+	spec.Families = spec.Families[:1]
+	var jb bytes.Buffer
+	w := NewJSONL(&jb)
+	sum, err := Run(spec, w, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Cells != 3 || sum.Errors != 2 {
+		t.Fatalf("summary %+v, want 3 cells with 2 errors", sum)
+	}
+	w.Flush()
+	out := jb.String()
+	if !strings.Contains(out, "synthetic failure") || !strings.Contains(out, "panic: synthetic panic") {
+		t.Fatalf("error cells not streamed:\n%s", out)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"ok", func(s *Spec) {}, ""},
+		{"no-families", func(s *Spec) { s.Families = nil }, "no families"},
+		{"no-measures", func(s *Spec) { s.Measures = nil }, "no measures"},
+		{"unknown-measure", func(s *Spec) { s.Measures = []string{"nope"} }, "unknown measure"},
+		{"bad-model", func(s *Spec) { s.Model = "meteor" }, "unknown fault model"},
+		{"no-rates", func(s *Spec) { s.Rates = nil }, "no rates"},
+		{"rate-range", func(s *Spec) { s.Rates = []float64{1.5} }, "outside [0,1]"},
+		{"bad-trials", func(s *Spec) { s.Trials = 0 }, "trials"},
+		{"missing-size", func(s *Spec) { s.Families[0].Size = "" }, "missing family or size"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := toySpec()
+			c.mutate(s)
+			err := s.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsUnknownFieldsAndBadGrids(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"familoes": []}`)); err == nil {
+		t.Error("Load accepted a misspelled field")
+	}
+	good := `{"families":[{"family":"torus","size":"4x4"}],"measures":["toy"],
+	          "model":"iid-node","rates":[0,0.1],"trials":2,"seed":7}`
+	s, err := Load(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(s.Cells()) != 2 {
+		t.Fatalf("loaded spec expands to %d cells, want 2", len(s.Cells()))
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	fams, err := ParseFamilies("torus:8x8, hypercube:6,chain:4:3")
+	if err != nil {
+		t.Fatalf("ParseFamilies: %v", err)
+	}
+	if len(fams) != 3 || fams[2].K != 3 || fams[2].String() != "chain:4:3" {
+		t.Fatalf("ParseFamilies = %+v", fams)
+	}
+	for _, bad := range []string{"torus", ":8x8", "chain:4:0", ""} {
+		if _, err := ParseFamilies(bad); err == nil {
+			t.Errorf("ParseFamilies(%q) accepted", bad)
+		}
+	}
+	rs, err := ParseRates("0, 0.05,0.1")
+	if err != nil || len(rs) != 3 || rs[1] != 0.05 {
+		t.Fatalf("ParseRates = %v, %v", rs, err)
+	}
+	if _, err := ParseRates("a,b"); err == nil {
+		t.Error("ParseRates accepted garbage")
+	}
+}
+
+// failWriter fails on the k-th write.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(r *Result) error {
+	f.left--
+	if f.left < 0 {
+		return fmt.Errorf("disk full")
+	}
+	return nil
+}
+func (f *failWriter) Flush() error { return nil }
+
+func TestWriterErrorAbortsRun(t *testing.T) {
+	_, err := Run(toySpec(), &failWriter{left: 2}, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Run = %v, want writer error", err)
+	}
+	// A dead sink must also stop the computation, not just the writes.
+	counted.Store(0)
+	spec := toySpec()
+	spec.Measures = []string{"counting"}
+	if _, err := Run(spec, &failWriter{left: 1}, Options{Workers: 1}); err == nil {
+		t.Fatal("Run with failing writer succeeded")
+	}
+	if got, total := counted.Load(), int32(len(spec.Cells())); got >= total {
+		t.Errorf("all %d cells computed after the writer died (want an early stop)", got)
+	} else if got < 1 {
+		t.Errorf("counted %d cells, expected at least the ones before the failure", got)
+	}
+}
+
+// TestRunFlushesWriter pins the library-user path: Run itself must leave
+// the sink fully flushed (cmd/faultexp no longer flushes manually).
+func TestRunFlushesWriter(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run(toySpec(), NewJSONL(&buf), Options{Workers: 2}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(toySpec().Cells()) {
+		t.Fatalf("unflushed output: %d lines, want %d", len(lines), len(toySpec().Cells()))
+	}
+}
+
+func TestApplyFaultsModels(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	for _, model := range Models() {
+		sub, nf, err := ApplyFaults(g, model, 0.5, xrand.New(5))
+		if err != nil {
+			t.Fatalf("ApplyFaults(%s): %v", model, err)
+		}
+		switch model {
+		case ModelIIDEdge:
+			if sub.G.N() != g.N() {
+				t.Errorf("%s: vertex count changed", model)
+			}
+			if sub.G.M()+nf != g.M() {
+				t.Errorf("%s: m=%d + faults=%d != %d", model, sub.G.M(), nf, g.M())
+			}
+		default:
+			if sub.G.N()+nf != g.N() {
+				t.Errorf("%s: n=%d + faults=%d != %d", model, sub.G.N(), nf, g.N())
+			}
+		}
+	}
+	if _, _, err := ApplyFaults(g, "nope", 0.5, xrand.New(5)); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
