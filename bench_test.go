@@ -21,6 +21,7 @@ import (
 	"faultexp"
 	"faultexp/internal/experiments"
 	"faultexp/internal/harness"
+	"faultexp/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -63,6 +64,50 @@ func BenchmarkExperimentE16(b *testing.B) { benchExperiment(b, "E16") } // diame
 func BenchmarkExperimentE17(b *testing.B) { benchExperiment(b, "E17") } // a.e. agreement
 func BenchmarkExperimentE18(b *testing.B) { benchExperiment(b, "E18") } // routing congestion
 func BenchmarkExperimentE19(b *testing.B) { benchExperiment(b, "E19") } // open span conjecture
+
+// Sweep trial hot path: one cell with many trials through the real
+// engine (registry lookup, fault injection, measurement, streaming),
+// discarding the output. allocs/op here is the number the Workspace
+// refactor is accountable to — see BENCH_sweep.json for the recorded
+// trajectory.
+
+type discardWriter struct{}
+
+func (discardWriter) Write(*sweep.Result) error { return nil }
+func (discardWriter) Flush() error              { return nil }
+
+func benchSweepCell(b *testing.B, measure, model string, rate float64) {
+	spec := &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}},
+		Measures: []string{measure},
+		Model:    model,
+		Rates:    []float64{rate},
+		Trials:   32,
+		Seed:     7,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := sweep.Run(spec, discardWriter{}, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Errors != 0 {
+			b.Fatalf("%d cells errored", sum.Errors)
+		}
+	}
+}
+
+func BenchmarkSweepTrialGamma(b *testing.B) { benchSweepCell(b, "gamma", sweep.ModelIIDNode, 0.05) }
+func BenchmarkSweepTrialGammaEdge(b *testing.B) {
+	benchSweepCell(b, "gamma", sweep.ModelIIDEdge, 0.05)
+}
+func BenchmarkSweepTrialPrune(b *testing.B)  { benchSweepCell(b, "prune", sweep.ModelIIDNode, 0.02) }
+func BenchmarkSweepTrialPrune2(b *testing.B) { benchSweepCell(b, "prune2", sweep.ModelIIDNode, 0.02) }
+func BenchmarkSweepTrialSpan(b *testing.B)   { benchSweepCell(b, "span", sweep.ModelIIDNode, 0.05) }
+func BenchmarkSweepTrialShatter(b *testing.B) {
+	benchSweepCell(b, "shatter", sweep.ModelIIDNode, 0.05)
+}
 
 // Micro-benchmarks for the primitives.
 

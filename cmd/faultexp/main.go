@@ -36,6 +36,7 @@ import (
 	"faultexp/internal/perc"
 	"faultexp/internal/route"
 	"faultexp/internal/span"
+	"faultexp/internal/sweep"
 	"faultexp/internal/xrand"
 )
 
@@ -97,8 +98,8 @@ commands:
   balance     diffusion load-balancing rounds (§1.3 application)
   route       random-pairs routing congestion (§1.3 application)
   sweep       run a parameter grid (family × model × rate) streaming JSONL/CSV
-  experiment  run a reproduction experiment (E1–E18) or "all"
-  list        list available experiments
+  experiment  run a reproduction experiment (E1–E19) or "all"
+  list        list experiments, sweep measures, and fault models
 
 Run any command with -h for its flags.`)
 }
@@ -415,5 +416,7 @@ func cmdList() error {
 	for _, e := range experiments.All() {
 		fmt.Printf("%-4s %-22s %s\n     expects: %s\n", e.ID, e.PaperRef, e.Title, e.Expectation)
 	}
+	fmt.Printf("\nsweep measures (%d): %s\n", len(sweep.Measures()), strings.Join(sweep.Measures(), ", "))
+	fmt.Printf("fault models   (%d): %s\n", len(sweep.Models()), strings.Join(sweep.Models(), ", "))
 	return nil
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"faultexp/internal/sweep"
+)
+
+// TestListPrintsMeasuresAndModels pins the discovery surface: `faultexp
+// list` must enumerate every registered sweep measure and fault model
+// (and still list the experiments), so the CLI is the single place to
+// see what a grid can sweep.
+func TestListPrintsMeasuresAndModels(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	listErr := cmdList()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if listErr != nil {
+		t.Fatalf("cmdList: %v", listErr)
+	}
+	if readErr != nil {
+		t.Fatalf("reading captured output: %v", readErr)
+	}
+	s := string(out)
+	for _, m := range sweep.Measures() {
+		if !strings.Contains(s, m) {
+			t.Errorf("list output missing measure %q", m)
+		}
+	}
+	for _, m := range sweep.Models() {
+		if !strings.Contains(s, m) {
+			t.Errorf("list output missing fault model %q", m)
+		}
+	}
+	for _, id := range []string{"E1 ", "E19"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("list output missing experiment %q", id)
+		}
+	}
+}

@@ -55,7 +55,8 @@ import (
 	"faultexp/internal/xrand"
 
 	// Imported for its side effect of registering the built-in sweep
-	// measures (gamma, prune, prune2, span, percolation).
+	// measures (the prune/gamma/span/percolation pipelines plus the
+	// measures extracted from the E1–E19 experiment kernels).
 	_ "faultexp/internal/experiments"
 )
 
@@ -70,6 +71,18 @@ type RNG = xrand.RNG
 
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// Workspace is per-worker reusable scratch memory for the trial hot
+// path: fault injection, induced-subgraph construction, and component
+// labelling reuse its buffers instead of allocating per trial. One
+// Workspace per goroutine, never shared; a workspace build never
+// clobbers the graph it reads from, but may clobber any other
+// workspace-built graph (see the README architecture note for the
+// ownership rules).
+type Workspace = graph.Workspace
+
+// NewWorkspace returns an empty Workspace (buffers grow on demand).
+func NewWorkspace() *Workspace { return graph.NewWorkspace() }
 
 // NewBuilder starts constructing a graph on n vertices.
 func NewBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
@@ -137,11 +150,27 @@ func CheegerBounds(lambda2 float64) (lower, upper float64) {
 
 // --- Faults (package faults) ---
 
-// FaultPattern is a set of faulty nodes.
+// FaultPattern is a set of faulty nodes. Its Nodes are always sorted
+// ascending and duplicate-free (see faults.NewPattern).
 type FaultPattern = faults.Pattern
+
+// NewFaultPattern canonicalizes raw node indices into a FaultPattern
+// (sorted, deduplicated; the input slice is taken over).
+func NewFaultPattern(nodes []int) FaultPattern { return faults.NewPattern(nodes) }
 
 // Adversary selects worst-case fault sets.
 type Adversary = faults.Adversary
+
+// FaultModel is the uniform fault-injection interface the sweep engine
+// drives: one faulted subgraph per Inject call, built into a Workspace.
+type FaultModel = faults.Model
+
+// FaultModels returns the built-in fault models (iid-node, iid-edge,
+// adversarial/bottleneck) in canonical order.
+func FaultModels() []FaultModel { return faults.Models() }
+
+// FaultModelByName resolves a canonical fault-model name.
+func FaultModelByName(name string) (FaultModel, bool) { return faults.ModelByName(name) }
 
 // RandomNodeFaults fails each node independently with probability p.
 func RandomNodeFaults(g *Graph, p float64, rng *RNG) FaultPattern {
@@ -308,6 +337,9 @@ func RunSweep(spec *SweepSpec, w SweepWriter, workers int) (SweepSummary, error)
 
 // SweepMeasures lists the registered sweep measures.
 func SweepMeasures() []string { return sweep.Measures() }
+
+// SweepFaultModels lists the fault-model names a sweep grid accepts.
+func SweepFaultModels() []string { return sweep.Models() }
 
 // --- Embedding / emulation (package embed, §1.2) ---
 

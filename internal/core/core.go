@@ -45,6 +45,14 @@ type Options struct {
 	// MaxIterations bounds the culling loop (0 = unbounded; the loop
 	// always terminates because each cull strictly shrinks the graph).
 	MaxIterations int
+	// Ws, when non-nil, is the caller's per-worker scratch workspace:
+	// each culling round builds G_{i+1} into it instead of allocating.
+	// The returned Result.H then lives in workspace memory and may be
+	// clobbered by any later workspace build (the culling rounds also
+	// invalidate every workspace-built graph the caller still holds,
+	// except the input gf itself) — trial loops must extract their
+	// scalars before the next injection.
+	Ws *graph.Workspace
 }
 
 // Result describes the outcome of a pruning run.
@@ -134,19 +142,35 @@ func pruneLoop(gf *graph.Graph, threshold float64, opt Options, edgeMode bool) *
 		res.CulledTotal += len(cullSet)
 		res.Iterations++
 		// G_{i+1} ← G_i ∖ K_i, composed with provenance.
-		keep := make([]bool, cur.G.N())
-		for i := range keep {
-			keep[i] = true
+		if opt.Ws != nil {
+			keep := opt.Ws.Mask(cur.G.N())
+			for i := range keep {
+				keep[i] = true
+			}
+			for _, v := range cullSet {
+				keep[v] = false
+			}
+			next := cur.G.InduceInto(opt.Ws, keep)
+			// Compose provenance in place (next.Orig is slot-owned).
+			for i, mid := range next.Orig {
+				next.Orig[i] = cur.Orig[mid]
+			}
+			cur = next
+		} else {
+			keep := make([]bool, cur.G.N())
+			for i := range keep {
+				keep[i] = true
+			}
+			for _, v := range cullSet {
+				keep[v] = false
+			}
+			next := cur.G.Induce(keep)
+			comp := make([]int32, next.G.N())
+			for i, mid := range next.Orig {
+				comp[i] = cur.Orig[mid]
+			}
+			cur = &graph.Sub{G: next.G, Orig: comp}
 		}
-		for _, v := range cullSet {
-			keep[v] = false
-		}
-		next := cur.G.Induce(keep)
-		comp := make([]int32, next.G.N())
-		for i, mid := range next.Orig {
-			comp[i] = cur.Orig[mid]
-		}
-		cur = &graph.Sub{G: next.G, Orig: comp}
 	}
 	res.H = cur
 	return res

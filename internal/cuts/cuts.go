@@ -134,17 +134,18 @@ func FindBest(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Option
 		// pools bit-identical, and the full suite's pool is exactly the
 		// union of the ablations' pools.
 		base := opt.RNG.Uint64()
+		var scr finderScratch
 		// Spectral sweep.
 		if !opt.DisableSweep {
 			sweepRNG := xrand.New(base ^ 0xA5A5A5A5A5A5A5A5)
-			for _, set := range sweepCandidates(g, mode, maxSize, connected, opt, sweepRNG) {
+			for _, set := range sweepCandidates(g, mode, maxSize, connected, opt, sweepRNG, &scr) {
 				consider(set)
 			}
 		}
 		// BFS balls.
 		if !opt.DisableBalls {
 			ballRNG := xrand.New(base ^ 0x5A5A5A5A5A5A5A5A)
-			for _, set := range ballCandidates(g, maxSize, opt, ballRNG) {
+			for _, set := range ballCandidates(g, maxSize, opt, ballRNG, &scr) {
 				consider(set)
 			}
 		}
@@ -165,6 +166,33 @@ func quotient(r expansion.Result, mode Mode) float64 {
 		return r.NodeAlpha
 	}
 	return r.EdgeAlpha
+}
+
+// finderScratch is reusable per-FindBest scratch shared by every prefix
+// sweep in one search (Fiedler sweeps and all BFS-ball seeds), so the
+// candidate layers stop allocating per seed. Buffers are cleared at each
+// use site; nothing escapes a single FindBest call.
+type finderScratch struct {
+	inU  []bool
+	cnt  []int
+	seen []bool
+	ord  []int
+}
+
+func (s *finderScratch) grow(n int) {
+	if cap(s.inU) < n {
+		s.inU = make([]bool, n)
+		s.cnt = make([]int, n)
+		s.seen = make([]bool, n)
+	}
+	s.inU = s.inU[:n]
+	s.cnt = s.cnt[:n]
+	s.seen = s.seen[:n]
+	for i := 0; i < n; i++ {
+		s.inU[i] = false
+		s.cnt[i] = 0
+		s.seen[i] = false
+	}
 }
 
 func exactSearch(g *graph.Graph, mode Mode, maxSize int, connected bool) (expansion.Result, bool) {
@@ -205,7 +233,7 @@ func exactSearch(g *graph.Graph, mode Mode, maxSize int, connected bool) (expans
 // sweepCandidates orders vertices by the Fiedler vector and evaluates
 // every prefix up to maxSize, returning the best prefix and (for the
 // connected variant) the best component of the best prefix.
-func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options, rng *xrand.RNG) [][]int {
+func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options, rng *xrand.RNG, scr *finderScratch) [][]int {
 	n := g.N()
 	fied := spectral.Fiedler(g, 0, rng)
 	order := make([]int, n)
@@ -223,7 +251,7 @@ func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt
 				ord[i] = order[n-1-i]
 			}
 		}
-		if set := bestPrefix(g, ord, mode, maxSize); set != nil {
+		if set := bestPrefix(g, ord, mode, maxSize, scr); set != nil {
 			cands = append(cands, set)
 			if connected {
 				cands = append(cands, bestComponentOf(g, set, mode)...)
@@ -235,10 +263,10 @@ func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt
 
 // bestPrefix scans prefixes of ord up to maxSize, maintaining boundary
 // and cut sizes incrementally, and returns the minimum-quotient prefix.
-func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int) []int {
+func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int, scr *finderScratch) []int {
 	n := g.N()
-	inU := make([]bool, n)
-	cnt := make([]int, n) // #neighbors inside U, for every vertex
+	scr.grow(n)
+	inU, cnt := scr.inU, scr.cnt // #neighbors inside U, for every vertex
 	boundary := 0
 	cut := 0
 	bestK := -1
@@ -296,7 +324,7 @@ func bestComponentOf(g *graph.Graph, set []int, mode Mode) [][]int {
 
 // ballCandidates grows BFS balls from sampled seeds and evaluates each
 // prefix of the BFS order (always a connected set).
-func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG) [][]int {
+func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG, scr *finderScratch) [][]int {
 	n := g.N()
 	seeds := opt.Seeds
 	if seeds > n {
@@ -304,17 +332,19 @@ func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG) []
 	}
 	var cands [][]int
 	for _, s := range rng.SampleK(n, seeds) {
-		ord := bfsOrder(g, s, maxSize)
-		if set := bestPrefixBoth(g, ord, maxSize); set != nil {
+		ord := bfsOrder(g, s, maxSize, scr)
+		if set := bestPrefixBoth(g, ord, maxSize, scr); set != nil {
 			cands = append(cands, set...)
 		}
 	}
 	return cands
 }
 
-func bfsOrder(g *graph.Graph, src, limit int) []int {
-	seen := make([]bool, g.N())
-	order := []int{src}
+func bfsOrder(g *graph.Graph, src, limit int, scr *finderScratch) []int {
+	scr.grow(g.N())
+	seen := scr.seen
+	order := append(scr.ord[:0], src)
+	defer func() { scr.ord = order[:0] }()
 	seen[src] = true
 	for i := 0; i < len(order) && len(order) < limit; i++ {
 		for _, w := range g.Neighbors(order[i]) {
@@ -332,10 +362,10 @@ func bfsOrder(g *graph.Graph, src, limit int) []int {
 
 // bestPrefixBoth returns the best node-quotient and best edge-quotient
 // prefixes of ord in one pass.
-func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int) [][]int {
+func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int, scr *finderScratch) [][]int {
 	n := g.N()
-	inU := make([]bool, n)
-	cnt := make([]int, n)
+	scr.grow(n) // clears inU/cnt left by the previous candidate order
+	inU, cnt := scr.inU, scr.cnt
 	boundary, cut := 0, 0
 	bestNodeK, bestEdgeK := -1, -1
 	bestNodeQ, bestEdgeQ := 0.0, 0.0

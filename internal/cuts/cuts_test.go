@@ -94,7 +94,7 @@ func TestHeuristicMatchesExactOnMediumMesh(t *testing.T) {
 func TestBallCandidatesConnected(t *testing.T) {
 	g := gen.Torus(8, 8)
 	o := opts(6).withDefaults(g.N())
-	for _, set := range ballCandidates(g, 20, o, xrand.New(6)) {
+	for _, set := range ballCandidates(g, 20, o, xrand.New(6), new(finderScratch)) {
 		if len(set) == 0 || len(set) > 20 {
 			t.Fatalf("ball candidate size %d out of range", len(set))
 		}
@@ -107,7 +107,7 @@ func TestBallCandidatesConnected(t *testing.T) {
 func TestSweepCandidatesRespectMaxSize(t *testing.T) {
 	g := gen.Torus(6, 6)
 	o := opts(7).withDefaults(g.N())
-	for _, set := range sweepCandidates(g, EdgeMode, 10, false, o, xrand.New(7)) {
+	for _, set := range sweepCandidates(g, EdgeMode, 10, false, o, xrand.New(7), new(finderScratch)) {
 		if len(set) > 10 {
 			t.Fatalf("sweep candidate size %d exceeds bound", len(set))
 		}

@@ -5,7 +5,11 @@ package experiments
 // can run the paper's pipelines over family × fault-model × rate cross
 // products. Each adapter derives every random draw from the cell's
 // private RNG (one Split per consumer, in a fixed order), which is what
-// makes a cell's metrics a pure function of (grid seed, cell key).
+// makes a cell's metrics a pure function of (grid seed, cell key), and
+// routes fault injection and component work through the worker's
+// Workspace so the per-trial steady state allocates (near-)nothing.
+// The extension measures extracted from the E1–E19 experiment kernels
+// live in measures.go.
 
 import (
 	"fmt"
@@ -34,20 +38,20 @@ func init() {
 
 // cellGamma measures the largest-component fraction γ of the faulted
 // graph — the paper's connectivity baseline (what survives before any
-// pruning).
-func cellGamma(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+// pruning). The trial loop is the zero-allocation reference path:
+// inject into ws, size the largest component in ws, accumulate scalars.
+func cellGamma(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
 	sum, minG, maxG, faultSum := 0.0, 1.0, 0.0, 0.0
 	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
 		if err != nil {
 			return nil, err
 		}
-		_, size := sub.G.LargestComponent()
-		gm := float64(size) / n
+		gm := float64(sub.G.LargestComponentSizeInto(ws)) / n
 		sum += gm
 		faultSum += float64(nf)
 		if gm < minG {
@@ -68,17 +72,17 @@ func cellGamma(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64
 
 // cellPrune runs the Figure 1 pipeline (faults → Prune) with measured
 // fault-free node expansion and the paper's k = 2 (ε = 1/2).
-func cellPrune(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
-	return pruneCell(g, c, rng, false)
+func cellPrune(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	return pruneCell(g, c, ws, rng, false)
 }
 
 // cellPrune2 runs the Figure 2 pipeline (faults → Prune2) with measured
 // fault-free edge expansion and Theorem 3.4's maximal ε = 1/(2δ).
-func cellPrune2(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
-	return pruneCell(g, c, rng, true)
+func cellPrune2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	return pruneCell(g, c, ws, rng, true)
 }
 
-func pruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, edgeMode bool) (map[string]float64, error) {
+func pruneCell(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, edgeMode bool) (map[string]float64, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("empty graph")
 	}
@@ -95,7 +99,7 @@ func pruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, edgeMode bool) (map
 	culledSum, faultSum := 0.0, 0.0
 	certSum, certTrials := 0.0, 0
 	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +107,7 @@ func pruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, edgeMode bool) (map
 		prng := rng.Split()
 		frac := 0.0
 		if sub.G.N() > 0 {
-			opt := core.Options{Finder: cuts.Options{RNG: prng}}
+			opt := core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws}
 			var res *core.Result
 			if edgeMode {
 				res = core.Prune2(sub.G, alpha, eps, opt)
@@ -142,18 +146,18 @@ func pruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, edgeMode bool) (map
 // cellSpan injects faults, restricts to the largest surviving component,
 // and estimates its span σ by compact-set sampling — how the §1.4
 // parameter itself degrades as faults accumulate.
-func cellSpan(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+func cellSpan(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
 	sigmaSum, sigmaMax, gammaSum := 0.0, 0.0, 0.0
 	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaults(g, c.Model, c.Rate, rng.Split())
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
 		if err != nil {
 			return nil, err
 		}
-		comp := sub.LargestComponentSub()
+		comp := sub.LargestComponentSubInto(ws)
 		gammaSum += float64(comp.G.N()) / n
 		est := span.Sampled(comp.G, spanSamples, rng.Split())
 		sigmaSum += est.Sigma
@@ -172,7 +176,7 @@ func cellSpan(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64,
 // cellPercolation maps the cell onto a Newman–Ziff-style percolation
 // measurement: elements survive independently with probability 1−rate
 // (sites for iid-node, bonds for iid-edge) and the metric is E[γ].
-func cellPercolation(g *graph.Graph, c sweep.Cell, rng *xrand.RNG) (map[string]float64, error) {
+func cellPercolation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("empty graph")
 	}

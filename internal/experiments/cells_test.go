@@ -55,14 +55,29 @@ func TestRealMeasuresDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// specForMeasure adapts the standard small grid to a measure's domain
+// constraints: multibutterfly only runs on butterfly-family cells, and
+// the separator measure reinterprets rate as the fragment threshold
+// ε ∈ (0,1].
+func specForMeasure(measure string) *sweep.Spec {
+	spec := gridSpec(measure)
+	spec.Families = spec.Families[:1] // torus only, keep it quick
+	switch measure {
+	case "multibutterfly":
+		spec.Families = []sweep.FamilySpec{{Family: "butterfly", Size: "3"}}
+	case "separator":
+		spec.Rates = []float64{0.2, 0.35, 0.5}
+	}
+	return spec
+}
+
 // TestMeasureSanity checks that every registered measure produces
 // physically sensible metrics on a small grid.
 func TestMeasureSanity(t *testing.T) {
 	for _, measure := range sweep.Measures() {
 		measure := measure
 		t.Run(measure, func(t *testing.T) {
-			spec := gridSpec(measure)
-			spec.Families = spec.Families[:1] // torus only, keep it quick
+			spec := specForMeasure(measure)
 			out := runJSONL(t, spec, 2)
 			var results []*sweep.Result
 			for _, ln := range bytes.Split(bytes.TrimSpace(out), []byte("\n")) {

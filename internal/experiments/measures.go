@@ -1,0 +1,685 @@
+package experiments
+
+// The extension measures: the measurement kernels of the E1–E19
+// experiment wrappers, extracted into sweepable sweep.CellFunc measures
+// so the grid engine can run every part of the paper's story — not just
+// the prune pipelines — over family × fault-model × rate cross products.
+// The experiments remain the curated, checked reproductions; these
+// measures are the same kernels as pure (cell → metrics) functions.
+//
+// Conventions shared with cells.go: all randomness comes from the cell
+// RNG via Split() in a fixed order; fault injection and component work
+// go through the worker's Workspace; metrics are flat snake_case keys.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"faultexp/internal/agree"
+	"faultexp/internal/balance"
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/embed"
+	"faultexp/internal/expansion"
+	"faultexp/internal/faults"
+	"faultexp/internal/graph"
+	"faultexp/internal/route"
+	"faultexp/internal/span"
+	"faultexp/internal/spectral"
+	"faultexp/internal/sweep"
+	"faultexp/internal/xrand"
+)
+
+// Per-trial sampling budgets for the extension measures. Deliberately
+// modest: a sweep multiplies them by families × rates × trials.
+const (
+	predictorSamples = 32     // span samples for predictor/conjecture
+	countingR        = 3      // connected-subgraph size for counting
+	agreementRounds  = 25     // iterated-majority rounds
+	agreementPTrue   = 0.65   // honest initial majority
+	balanceTol       = 0.05   // diffusion imbalance target
+	balanceMaxRounds = 100000 // diffusion round budget
+)
+
+func init() {
+	sweep.Register("shatter", cellShatter)
+	sweep.Register("separator", cellSeparator)
+	sweep.Register("dilation", cellDilation)
+	sweep.Register("predictor", cellPredictor)
+	sweep.Register("counting", cellCounting)
+	sweep.Register("loadbalance", cellLoadBalance)
+	sweep.Register("multibutterfly", cellMultibutterfly)
+	sweep.Register("diameter", cellDiameter)
+	sweep.Register("agreement", cellAgreement)
+	sweep.Register("routing", cellRouting)
+	sweep.Register("upfal", cellUpfal)
+	sweep.Register("residual", cellResidual)
+	sweep.Register("lambda2", cellLambda2)
+	sweep.Register("conjecture", cellConjecture)
+}
+
+// cellShatter measures how faults fragment the graph (the E3/E4 shape):
+// component count, largest-component fraction, and the Herfindahl
+// fragmentation index Σ(s_i/n)² (1 = intact, →0 = shattered). The trial
+// loop is allocation-free.
+func cellShatter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	n := float64(g.N())
+	gammaSum, compsSum, fragSum, faultSum := 0.0, 0.0, 0.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		faultSum += float64(nf)
+		_, sizes := sub.G.ComponentsInto(ws)
+		largest, frag := 0, 0.0
+		for _, s := range sizes {
+			if s > largest {
+				largest = s
+			}
+			f := float64(s) / n
+			frag += f * f
+		}
+		gammaSum += float64(largest) / n
+		compsSum += float64(len(sizes))
+		fragSum += frag
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"gamma_mean":  gammaSum / tr,
+		"comps_mean":  compsSum / tr,
+		"frag_mean":   fragSum / tr,
+		"faults_mean": faultSum / tr,
+	}, nil
+}
+
+// cellSeparator runs the Theorem 2.5 recursive separator attack with the
+// cell rate as the fragment threshold ε: the attack faults boundaries
+// until every fragment is below ε·n. The fault model is ignored (the
+// attack is its own adversary); metrics report the budget normalized by
+// Theorem 2.5's O(log(1/ε)/ε · α·n) scale with measured α.
+func cellSeparator(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	if c.Rate <= 0 || c.Rate > 1 {
+		return nil, fmt.Errorf("separator measure needs rate in (0,1] (rate is the fragment threshold ε)")
+	}
+	alpha := measuredNodeAlpha(g, rng.Split())
+	n := float64(g.N())
+	scale := math.Log(1/c.Rate) / c.Rate * alpha * n
+	faultSum, normSum, maxFragSum, fragsSum := 0.0, 0.0, 0.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		pat, fragSizes := faults.SeparatorAttack(g, c.Rate, rng.Split())
+		maxFrag := 0
+		for _, s := range fragSizes {
+			if s > maxFrag {
+				maxFrag = s
+			}
+		}
+		faultSum += float64(pat.Count())
+		if scale > 0 {
+			normSum += float64(pat.Count()) / scale
+		}
+		maxFragSum += float64(maxFrag) / n
+		fragsSum += float64(len(fragSizes))
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"alpha":           alpha,
+		"faults_mean":     faultSum / tr,
+		"normalized_mean": normSum / tr,
+		"max_frag_mean":   maxFragSum / tr,
+		"frags_mean":      fragsSum / tr,
+	}, nil
+}
+
+// cellDilation runs the §4 emulation pipeline (E9): faults → Prune2 →
+// largest survivor → embed the ideal graph into it, tracking load,
+// congestion, dilation, and the Leighton–Maggs–Rao slowdown.
+func cellDilation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	alphaE := measuredEdgeAlpha(g, rng.Split())
+	log2n := math.Log2(float64(g.N()))
+	loadSum, congSum, dilSum, slowSum := 0.0, 0.0, 0.0, 0.0
+	dilMax, embedded := 0.0, 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		prng := rng.Split()
+		if sub.G.N() == 0 {
+			continue
+		}
+		res := core.Prune2(sub.G, alphaE, 0.1,
+			core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws})
+		host := res.H.LargestComponentSubInto(ws)
+		if host.G.N() == 0 {
+			continue
+		}
+		emb, err := embed.EmulateFaultyMesh(g, host)
+		if err != nil {
+			continue
+		}
+		m := emb.Evaluate()
+		loadSum += float64(m.Load)
+		congSum += float64(m.Congestion)
+		dilSum += float64(m.Dilation)
+		slowSum += float64(m.Slowdown)
+		if float64(m.Dilation) > dilMax {
+			dilMax = float64(m.Dilation)
+		}
+		embedded++
+	}
+	if embedded == 0 {
+		return nil, fmt.Errorf("no trial produced an embeddable survivor")
+	}
+	e := float64(embedded)
+	return map[string]float64{
+		"load_mean":       loadSum / e,
+		"congestion_mean": congSum / e,
+		"dilation_mean":   dilSum / e,
+		"dilation_max":    dilMax,
+		"slowdown_mean":   slowSum / e,
+		"dil_per_log2n":   dilMax / math.Max(log2n, 1),
+		"embedded_frac":   e / float64(c.Trials),
+	}, nil
+}
+
+// cellPredictor is the E10 kernel: the span (not the expansion) predicts
+// random-fault tolerance. It reports both predictors of the fault-free
+// graph plus the measured γ at this cell's rate, so sweeping rates
+// traces the measured tolerance curve against the prediction
+// 1/(2e·δ⁴·σ) of Theorem 3.4.
+func cellPredictor(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	alpha := measuredNodeAlpha(g, rng.Split())
+	sigma := span.Sampled(g, predictorSamples, rng.Split()).Sigma
+	pred := span.FaultToleranceFromSpan(g.MaxDegree(), sigma)
+	n := float64(g.N())
+	gammaSum := 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		gammaSum += float64(sub.G.LargestComponentSizeInto(ws)) / n
+	}
+	return map[string]float64{
+		"alpha":          alpha,
+		"sigma":          sigma,
+		"pred_tolerance": pred,
+		"pred_margin":    pred - c.Rate,
+		"gamma_mean":     gammaSum / float64(c.Trials),
+	}, nil
+}
+
+// cellCounting is the Claim 3.2 kernel (E12): connected-subgraph counts
+// against the Euler-tour bound n·δ^{2r}, evaluated on the faulted
+// survivor's largest component, with r = 3.
+func cellCounting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	countSum, fracSum := 0.0, 0.0
+	counted := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		if comp.G.N() < countingR {
+			continue
+		}
+		count := float64(comp.G.CountConnectedSubgraphs(countingR, 0))
+		delta := float64(comp.G.MaxDegree())
+		bound := float64(comp.G.N()) * math.Pow(delta, 2*countingR)
+		countSum += count
+		if bound > 0 {
+			fracSum += count / bound
+		}
+		counted++
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("every survivor smaller than r=%d", countingR)
+	}
+	cn := float64(counted)
+	return map[string]float64{
+		"count_mean":      countSum / cn,
+		"bound_frac_mean": fracSum / cn,
+		"r":               countingR,
+		"counted_frac":    cn / float64(c.Trials),
+	}, nil
+}
+
+// cellLoadBalance is the §1.3 diffusion kernel (E13): rounds to balance
+// a point load on the faulted survivor versus the fault-free graph.
+func cellLoadBalance(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("graph too small to balance")
+	}
+	ideal := balance.RoundsToBalance(g, balance.PointLoad(g.N(), 0, float64(g.N())), balanceTol, balanceMaxRounds)
+	if ideal >= balanceMaxRounds || ideal == 0 {
+		return nil, fmt.Errorf("fault-free graph did not balance within %d rounds", balanceMaxRounds)
+	}
+	roundsSum, ratioSum := 0.0, 0.0
+	balanced := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		h := comp.G
+		if h.N() < 2 {
+			continue
+		}
+		r := balance.RoundsToBalance(h, balance.PointLoad(h.N(), 0, float64(h.N())), balanceTol, balanceMaxRounds)
+		if r >= balanceMaxRounds {
+			continue
+		}
+		roundsSum += float64(r)
+		ratioSum += float64(r) / float64(ideal)
+		balanced++
+	}
+	if balanced == 0 {
+		return nil, fmt.Errorf("no survivor balanced within %d rounds", balanceMaxRounds)
+	}
+	b := float64(balanced)
+	return map[string]float64{
+		"rounds_ideal":  float64(ideal),
+		"rounds_mean":   roundsSum / b,
+		"ratio_mean":    ratioSum / b,
+		"balanced_frac": b / float64(c.Trials),
+	}, nil
+}
+
+// cellMultibutterfly is the Leighton–Maggs kernel (E14): the fraction of
+// inputs that still reach at least half of the surviving outputs after
+// faults. It requires the (unwrapped) butterfly family: the addressing
+// below assumes distinct input/output levels 0 and d, which the wrapped
+// butterfly merges away.
+func cellMultibutterfly(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if c.Family.Family != "butterfly" {
+		return nil, fmt.Errorf("multibutterfly measure needs a butterfly-family cell, got %q", c.Family.Family)
+	}
+	d, err := strconv.Atoi(c.Family.Size)
+	if err != nil || d < 1 {
+		return nil, fmt.Errorf("bad butterfly dimension %q", c.Family.Size)
+	}
+	rows := 1 << uint(d)
+	// Input row r is vertex r (level 0); output row r is vertex d·2^d+r.
+	newID := make([]int32, g.N())
+	goodSum, goodMin, faultSum := 0.0, 1.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		faultSum += float64(nf)
+		frac := wellConnectedInputFrac(sub, newID, rows, d, ws)
+		goodSum += frac
+		if frac < goodMin {
+			goodMin = frac
+		}
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"good_frac_mean": goodSum / tr,
+		"good_frac_min":  goodMin,
+		"faults_mean":    faultSum / tr,
+		"rows":           float64(rows),
+	}, nil
+}
+
+// wellConnectedInputFrac counts butterfly inputs that reach ≥ half of
+// the surviving outputs inside the faulted subgraph. newID is a
+// caller-owned scratch remap (original vertex → survivor id).
+func wellConnectedInputFrac(sub *graph.Sub, newID []int32, rows, d int, ws *graph.Workspace) float64 {
+	for i := range newID {
+		newID[i] = -1
+	}
+	for id, ov := range sub.Orig {
+		newID[ov] = int32(id)
+	}
+	aliveOutputs := 0
+	outBase := d * rows
+	for r := 0; r < rows; r++ {
+		if newID[outBase+r] >= 0 {
+			aliveOutputs++
+		}
+	}
+	if aliveOutputs == 0 {
+		return 0
+	}
+	need := (aliveOutputs + 1) / 2
+	good := 0
+	for r := 0; r < rows; r++ {
+		in := newID[r]
+		if in < 0 {
+			continue
+		}
+		dist := sub.G.BFSDistancesInto(ws, int(in))
+		reached := 0
+		for o := 0; o < rows; o++ {
+			if id := newID[outBase+o]; id >= 0 && dist[id] >= 0 {
+				reached++
+			}
+		}
+		if reached >= need {
+			good++
+		}
+	}
+	return float64(good) / float64(rows)
+}
+
+// cellDiameter is the E16 kernel: the survivor's exact diameter against
+// the ball-growth bound 2·⌈log_{1+α}(n/2)⌉+1 from its measured
+// expansion — the lemma that turns certified expansion into the §4
+// dilation claim.
+func cellDiameter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	diamSum, diamMax, ratioMax, boundSum := 0.0, 0.0, 0.0, 0.0
+	measured := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		if comp.G.N() < 2 {
+			continue
+		}
+		alpha := measuredNodeAlpha(comp.G, rng.Split())
+		if alpha <= 0 {
+			continue
+		}
+		diam := float64(expansion.ExactDiameter(comp.G))
+		bound := float64(expansion.DiameterUpperBound(alpha, comp.G.N()))
+		diamSum += diam
+		boundSum += bound
+		if diam > diamMax {
+			diamMax = diam
+		}
+		if bound > 0 && diam/bound > ratioMax {
+			ratioMax = diam / bound
+		}
+		measured++
+	}
+	if measured == 0 {
+		return nil, fmt.Errorf("no survivor was measurable")
+	}
+	m := float64(measured)
+	return map[string]float64{
+		"diameter_mean": diamSum / m,
+		"diameter_max":  diamMax,
+		"bound_mean":    boundSum / m,
+		"ratio_max":     ratioMax,
+		"measured_frac": m / float64(c.Trials),
+	}, nil
+}
+
+// cellAgreement is the §1.3 almost-everywhere-agreement kernel (E17),
+// with the fault pattern reinterpreted: faulty nodes stay in the network
+// as Byzantine parties (rate = Byzantine fraction) and the metric is the
+// fraction of honest nodes that end holding the honest initial majority.
+func cellAgreement(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	agreeSum, agreeMin, byzSum := 0.0, 1.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		byz, err := byzantinePattern(g, c.Model, c.Rate, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		inst := agree.NewInstance(g, byz.Nodes, agreementPTrue, rng.Split())
+		frac := inst.Run(agreementRounds)
+		agreeSum += frac
+		if frac < agreeMin {
+			agreeMin = frac
+		}
+		byzSum += float64(byz.Count())
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"agreement_mean": agreeSum / tr,
+		"agreement_min":  agreeMin,
+		"byz_mean":       byzSum / tr,
+		"rounds":         agreementRounds,
+	}, nil
+}
+
+// byzantinePattern draws a node fault pattern for models that produce
+// node faults (Byzantine placement for the agreement measure).
+func byzantinePattern(g *graph.Graph, model string, rate float64, rng *xrand.RNG) (faults.Pattern, error) {
+	switch model {
+	case sweep.ModelIIDNode:
+		return faults.IIDNodes(g, rate, rng), nil
+	case sweep.ModelAdversarial:
+		f := int(math.Round(rate * float64(g.N())))
+		return faults.BottleneckAdversary{}.Select(g, f, rng), nil
+	}
+	return faults.Pattern{}, fmt.Errorf("agreement measure needs a node fault model, got %q", model)
+}
+
+// cellRouting is the §1.3 routing kernel (E18): random-pairs
+// shortest-path congestion on the faulted survivor versus the fault-free
+// graph.
+func cellRouting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("graph too small to route")
+	}
+	pairs := 2 * g.N()
+	ideal := route.RandomPairs(g, pairs, rng.Split())
+	idealCPP := ideal.CongestionPerPair()
+	cppSum, ratioSum, lenSum, unreachedSum := 0.0, 0.0, 0.0, 0.0
+	routed := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		if comp.G.N() < 2 {
+			continue
+		}
+		r := route.RandomPairs(comp.G, pairs, rng.Split())
+		cpp := r.CongestionPerPair()
+		cppSum += cpp
+		if idealCPP > 0 {
+			ratioSum += cpp / idealCPP
+		}
+		lenSum += r.AvgLen()
+		unreachedSum += float64(r.Unreached)
+		routed++
+	}
+	if routed == 0 {
+		return nil, fmt.Errorf("no survivor was routable")
+	}
+	rt := float64(routed)
+	return map[string]float64{
+		"congperpair_ideal": idealCPP,
+		"congperpair_mean":  cppSum / rt,
+		"ratio_mean":        ratioSum / rt,
+		"avglen_mean":       lenSum / rt,
+		"unreached_mean":    unreachedSum / rt,
+	}, nil
+}
+
+// cellUpfal is the E11 kernel: Prune versus size-only (Upfal-style)
+// pruning on the same faulted graph — survivor sizes and the residual
+// expansion each certifies.
+func cellUpfal(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	alpha := measuredNodeAlpha(g, rng.Split())
+	n := float64(g.N())
+	pruneSum, upfalSum := 0.0, 0.0
+	alphaPruneSum, alphaUpfalSum := 0.0, 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		prng := rng.Split()
+		mrng := rng.Split()
+		if sub.G.N() == 0 {
+			continue
+		}
+		// Upfal first: it reads the workspace-backed sub but allocates
+		// its own survivors, while Prune's culling rounds rebuild into
+		// the same workspace and would invalidate sub.
+		up := core.UpfalPrune(sub, func(o int32) int { return g.Degree(int(o)) }, 0.51)
+		aUp, _ := core.MeasureResidual(up.H.G, mrng.Split())
+		upfalSum += float64(up.SurvivorSize()) / n
+		alphaUpfalSum += aUp
+		pr := core.Prune(sub.G, alpha, 0.5, core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws})
+		aPr, _ := core.MeasureResidual(pr.H.G, mrng.Split())
+		pruneSum += float64(pr.SurvivorSize()) / n
+		alphaPruneSum += aPr
+	}
+	tr := float64(c.Trials)
+	return map[string]float64{
+		"alpha":            alpha,
+		"prune_frac_mean":  pruneSum / tr,
+		"upfal_frac_mean":  upfalSum / tr,
+		"alpha_prune_mean": alphaPruneSum / tr,
+		"alpha_upfal_mean": alphaUpfalSum / tr,
+	}, nil
+}
+
+// cellResidual measures how much of the fault-free expansion the largest
+// surviving component retains — the quantity the paper's theorems are
+// about, measured directly instead of via pruning.
+func cellResidual(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("graph too small")
+	}
+	alpha0 := measuredNodeAlpha(g, rng.Split())
+	alphaE0 := measuredEdgeAlpha(g, rng.Split())
+	nodeSum, edgeSum, gammaSum := 0.0, 0.0, 0.0
+	measured := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		if comp.G.N() < 2 {
+			continue
+		}
+		na, ea := core.MeasureResidual(comp.G, rng.Split())
+		nodeSum += na
+		edgeSum += ea
+		gammaSum += float64(comp.G.N()) / float64(g.N())
+		measured++
+	}
+	if measured == 0 {
+		return nil, fmt.Errorf("no survivor was measurable")
+	}
+	m := float64(measured)
+	out := map[string]float64{
+		"alpha_node_0":    alpha0,
+		"alpha_edge_0":    alphaE0,
+		"alpha_node_mean": nodeSum / m,
+		"alpha_edge_mean": edgeSum / m,
+		"gamma_mean":      gammaSum / m,
+	}
+	if alpha0 > 0 {
+		out["retention_node"] = (nodeSum / m) / alpha0
+	}
+	if alphaE0 > 0 {
+		out["retention_edge"] = (edgeSum / m) / alphaE0
+	}
+	return out, nil
+}
+
+// cellLambda2 tracks the survivor's algebraic connectivity λ₂ (and its
+// Cheeger bounds) under faults — the spectral view of expansion decay.
+func cellLambda2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() < 3 {
+		return nil, fmt.Errorf("graph too small")
+	}
+	l0 := spectral.Lambda2(g, rng.Split())
+	lSum, lowSum, upSum := 0.0, 0.0, 0.0
+	measured := 0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		comp := sub.LargestComponentSubInto(ws)
+		if comp.G.N() < 3 {
+			continue
+		}
+		l2 := spectral.Lambda2(comp.G, rng.Split())
+		lo, up := spectral.CheegerBounds(l2)
+		lSum += l2
+		lowSum += lo
+		upSum += up
+		measured++
+	}
+	if measured == 0 {
+		return nil, fmt.Errorf("no survivor was measurable")
+	}
+	m := float64(measured)
+	out := map[string]float64{
+		"lambda2_0":          l0,
+		"lambda2_mean":       lSum / m,
+		"cheeger_lower_mean": lowSum / m,
+		"cheeger_upper_mean": upSum / m,
+	}
+	if l0 > 0 {
+		out["retention"] = (lSum / m) / l0
+	}
+	return out, nil
+}
+
+// cellConjecture gathers evidence for the paper's open conjecture (E19):
+// butterfly-like networks have span O(1), hence constant fault
+// tolerance. It reports the sampled span normalized by log₂n (flat ⇒
+// O(1) evidence), the implied Theorem 3.4 tolerance, and the measured γ
+// at this rate — so a rate sweep shows whether the graph really
+// tolerates the constant rate its span predicts.
+func cellConjecture(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	est := span.Sampled(g, predictorSamples, rng.Split())
+	pred := span.FaultToleranceFromSpan(g.MaxDegree(), est.Sigma)
+	n := float64(g.N())
+	gammaSum := 0.0
+	for t := 0; t < c.Trials; t++ {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		gammaSum += float64(sub.G.LargestComponentSizeInto(ws)) / n
+	}
+	return map[string]float64{
+		"sigma":           est.Sigma,
+		"sigma_per_log2n": est.Sigma / math.Max(math.Log2(n), 1),
+		"pred_tolerance":  pred,
+		"above_pred": func() float64 {
+			if c.Rate > pred {
+				return 1
+			}
+			return 0
+		}(),
+		"gamma_mean": gammaSum / float64(c.Trials),
+	}, nil
+}

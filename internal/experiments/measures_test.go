@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"faultexp/internal/sweep"
+)
+
+// TestAdversarialSweepDeterministicAcrossWorkers extends the PR-1
+// worker-count determinism guarantee to the adversarial fault model: the
+// bottleneck adversary runs the full cut-finder per trial, so any hidden
+// scheduling or shared-state leak in the finder or the per-worker
+// workspaces would show up here as a byte diff.
+func TestAdversarialSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := gridSpec("gamma", "shatter", "prune")
+	spec.Model = sweep.ModelAdversarial
+	spec.Rates = []float64{0, 0.05, 0.1}
+	ref := runJSONL(t, spec, 1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		if got := runJSONL(t, spec, workers); !bytes.Equal(got, ref) {
+			t.Errorf("adversarial model: workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestEveryMeasureByteIdentical pins, for every registered measure, that
+// (a) two runs of the same grid are byte-identical and (b) the worker
+// count does not leak into the bytes — the per-measure determinism
+// contract the README advertises. This is the regression net for new
+// measures: registering a measure that draws randomness outside the cell
+// RNG, or that reads workspace state across cells, fails here.
+func TestEveryMeasureByteIdentical(t *testing.T) {
+	if len(sweep.Measures()) < 17 {
+		t.Fatalf("only %d measures registered, want ≥ 17", len(sweep.Measures()))
+	}
+	for _, measure := range sweep.Measures() {
+		measure := measure
+		t.Run(measure, func(t *testing.T) {
+			spec := specForMeasure(measure)
+			spec.Trials = 2
+			ref := runJSONL(t, spec, 1)
+			if again := runJSONL(t, spec, 1); !bytes.Equal(again, ref) {
+				t.Errorf("re-run output differs (measure draws randomness outside the cell RNG?)")
+			}
+			if par := runJSONL(t, spec, 4); !bytes.Equal(par, ref) {
+				t.Errorf("workers=4 output differs from workers=1")
+			}
+			// Every line must be valid JSON carrying the measure name.
+			for _, ln := range bytes.Split(bytes.TrimSpace(ref), []byte("\n")) {
+				var r sweep.Result
+				if err := json.Unmarshal(ln, &r); err != nil {
+					t.Fatalf("bad JSONL %q: %v", ln, err)
+				}
+				if r.Measure != measure {
+					t.Fatalf("record for measure %q in %q's output", r.Measure, measure)
+				}
+			}
+		})
+	}
+}
+
+// TestMeasuresCountAndNames pins the registry surface: the acceptance
+// floor of ≥ 17 measures and the presence of each extracted E1–E19
+// kernel by name.
+func TestMeasuresCountAndNames(t *testing.T) {
+	have := map[string]bool{}
+	for _, m := range sweep.Measures() {
+		have[m] = true
+	}
+	want := []string{
+		// PR-1 pipelines.
+		"gamma", "prune", "prune2", "span", "percolation",
+		// Extracted experiment kernels.
+		"shatter", "separator", "dilation", "predictor", "counting",
+		"loadbalance", "multibutterfly", "diameter", "agreement",
+		"routing", "upfal", "residual", "lambda2", "conjecture",
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("measure %q not registered", name)
+		}
+	}
+	if len(have) < 17 {
+		t.Errorf("%d measures registered, want ≥ 17", len(have))
+	}
+}

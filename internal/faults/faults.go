@@ -8,6 +8,9 @@
 package faults
 
 import (
+	"math"
+	"sort"
+
 	"faultexp/internal/cuts"
 	"faultexp/internal/expansion"
 	"faultexp/internal/gen"
@@ -16,8 +19,30 @@ import (
 )
 
 // Pattern is a set of faulty nodes of some graph.
+//
+// Invariant: Nodes is sorted ascending and duplicate-free. Every
+// constructor in this package (IIDNodes, the adversaries, NewPattern)
+// maintains it; code assembling a Pattern literal from raw indices
+// should go through NewPattern, which canonicalizes. The invariant makes
+// patterns comparable byte-for-byte across runs and lets Count mean
+// "number of faulty nodes" rather than "length of a multiset".
 type Pattern struct {
 	Nodes []int
+}
+
+// NewPattern returns a canonical Pattern over the given nodes: sorted
+// ascending with duplicates removed. The input slice is taken over (and
+// may be modified); pass a copy to retain the original.
+func NewPattern(nodes []int) Pattern {
+	sort.Ints(nodes)
+	w := 0
+	for i, v := range nodes {
+		if i == 0 || v != nodes[i-1] {
+			nodes[w] = v
+			w++
+		}
+	}
+	return Pattern{Nodes: nodes[:w]}
 }
 
 // Count returns the number of faulty nodes.
@@ -29,9 +54,13 @@ func (p Pattern) Apply(g *graph.Graph) *graph.Sub {
 	return g.RemoveVertices(p.Nodes)
 }
 
-// IIDNodes makes each node faulty independently with probability prob.
+// IIDNodes makes each node faulty independently with probability prob,
+// drawing one Bernoulli variate per vertex in ascending order. The
+// result is sorted-unique by construction. The slice is sized to the
+// expected fault count up front (plus slack), so the common case does a
+// single allocation.
 func IIDNodes(g *graph.Graph, prob float64, rng *xrand.RNG) Pattern {
-	var nodes []int
+	nodes := make([]int, 0, expectedFaults(g.N(), prob))
 	for v := 0; v < g.N(); v++ {
 		if rng.Bool(prob) {
 			nodes = append(nodes, v)
@@ -40,18 +69,38 @@ func IIDNodes(g *graph.Graph, prob float64, rng *xrand.RNG) Pattern {
 	return Pattern{Nodes: nodes}
 }
 
+// expectedFaults sizes a fault buffer: mean + 4 standard deviations,
+// clamped to [0, n] — outside this the append path's doubling covers the
+// tail.
+func expectedFaults(n int, prob float64) int {
+	if prob <= 0 || n == 0 {
+		return 0
+	}
+	if prob >= 1 {
+		return n
+	}
+	mean := float64(n) * prob
+	slack := 4 * math.Sqrt(mean*(1-prob))
+	c := int(mean+slack) + 1
+	if c > n {
+		c = n
+	}
+	return c
+}
+
 // ExactRandomNodes picks exactly f faulty nodes uniformly at random.
 func ExactRandomNodes(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
 	if f > g.N() {
 		f = g.N()
 	}
-	return Pattern{Nodes: rng.SampleK(g.N(), f)}
+	return NewPattern(rng.SampleK(g.N(), f))
 }
 
 // IIDEdges returns the edges that fail when each edge fails independently
-// with probability prob (i.e. survives with probability 1−prob).
+// with probability prob (i.e. survives with probability 1−prob), drawing
+// one variate per undirected edge in ForEachEdge order.
 func IIDEdges(g *graph.Graph, prob float64, rng *xrand.RNG) [][2]int32 {
-	var out [][2]int32
+	out := make([][2]int32, 0, expectedFaults(g.M(), prob))
 	g.ForEachEdge(func(u, v int) {
 		if rng.Bool(prob) {
 			out = append(out, [2]int32{int32(u), int32(v)})
@@ -103,7 +152,7 @@ func (DegreeAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern {
 		}
 		idx[i], idx[best] = idx[best], idx[i]
 	}
-	return Pattern{Nodes: append([]int(nil), idx[:f]...)}
+	return NewPattern(append([]int(nil), idx[:f]...))
 }
 
 // BottleneckAdversary finds a low-node-expansion set U (the graph's
@@ -150,7 +199,7 @@ func (BottleneckAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern
 				}
 			}
 		}
-		return Pattern{Nodes: pat}
+		return NewPattern(pat)
 	}
 	// Budget too small for the global bottleneck: cut off the largest
 	// BFS ball whose boundary fits.
@@ -164,7 +213,7 @@ func (BottleneckAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Pattern
 	if bestBall == nil {
 		return ExactRandomNodes(g, f, rng)
 	}
-	return Pattern{Nodes: expansion.Boundary(g, expansion.Mask(g.N(), bestBall))}
+	return NewPattern(expansion.Boundary(g, expansion.Mask(g.N(), bestBall)))
 }
 
 // bfsBallWithBoundaryBudget grows a BFS ball from seed and returns the
@@ -227,9 +276,9 @@ func (a ChainCenterAdversary) Select(g *graph.Graph, f int, rng *xrand.RNG) Patt
 		for i, j := range idx {
 			sel[i] = centers[j]
 		}
-		return Pattern{Nodes: sel}
+		return NewPattern(sel)
 	}
-	return Pattern{Nodes: centers}
+	return NewPattern(centers)
 }
 
 func min(a, b int) int {

@@ -1,0 +1,116 @@
+package faults
+
+// This file defines the Model interface: the uniform fault-injection
+// abstraction the sweep engine's trial loop drives. A Model turns (graph,
+// rate, rng) into one faulted subgraph per call, writing every
+// intermediate (keep masks, dropped-edge marks, the surviving CSR) into
+// a per-worker graph.Workspace so the steady-state trial path allocates
+// nothing. The three built-in models mirror the paper's fault regimes:
+// iid node faults and iid edge faults (§3) and the adversarial
+// bottleneck attack (§2).
+
+import (
+	"math"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// Canonical fault-model names, shared by the sweep grid spec and the
+// CLI.
+const (
+	ModelIIDNode     = "iid-node"
+	ModelIIDEdge     = "iid-edge"
+	ModelAdversarial = "adversarial"
+)
+
+// Model generates one fault pattern per Inject call and applies it,
+// using ws-owned buffers for everything the pattern touches. The
+// returned Sub lives in workspace memory (see the Workspace ownership
+// rules): any later workspace build may clobber it, so callers that
+// need it past further workspace work must copy. The draw order of each
+// model is part of its contract — it is what makes a cell's output a
+// pure function of (seed, cell key).
+type Model interface {
+	// Name identifies the model in grid specs and output records.
+	Name() string
+	// Inject draws one fault pattern at the given rate, applies it to g,
+	// and returns the surviving subgraph (with provenance) plus the
+	// number of failed elements (nodes or edges).
+	Inject(g *graph.Graph, rate float64, ws *graph.Workspace, rng *xrand.RNG) (*graph.Sub, int)
+}
+
+// IIDNodeModel fails each node independently with probability rate,
+// drawing one Bernoulli variate per vertex in ascending order — the same
+// sequence as IIDNodes.
+type IIDNodeModel struct{}
+
+// Name implements Model.
+func (IIDNodeModel) Name() string { return ModelIIDNode }
+
+// Inject implements Model.
+func (IIDNodeModel) Inject(g *graph.Graph, rate float64, ws *graph.Workspace, rng *xrand.RNG) (*graph.Sub, int) {
+	keep := ws.Mask(g.N())
+	failed := 0
+	for v := range keep {
+		if rng.Bool(rate) {
+			keep[v] = false
+			failed++
+		} else {
+			keep[v] = true
+		}
+	}
+	return g.InduceInto(ws, keep), failed
+}
+
+// IIDEdgeModel fails each edge independently with probability rate,
+// drawing one Bernoulli variate per undirected edge in ForEachEdge order
+// — the same sequence as IIDEdges. The vertex set is unchanged
+// (identity provenance).
+type IIDEdgeModel struct{}
+
+// Name implements Model.
+func (IIDEdgeModel) Name() string { return ModelIIDEdge }
+
+// Inject implements Model.
+func (IIDEdgeModel) Inject(g *graph.Graph, rate float64, ws *graph.Workspace, rng *xrand.RNG) (*graph.Sub, int) {
+	return g.FilterEdgesInto(ws, func(u, v int) bool { return rng.Bool(rate) })
+}
+
+// AdversarialModel gives an adversary a budget of round(rate·n) node
+// faults. Pattern selection runs the adversary's own (allocating) search;
+// only the application of the pattern uses workspace memory.
+type AdversarialModel struct {
+	Adv Adversary
+}
+
+// Name implements Model.
+func (AdversarialModel) Name() string { return ModelAdversarial }
+
+// Inject implements Model.
+func (m AdversarialModel) Inject(g *graph.Graph, rate float64, ws *graph.Workspace, rng *xrand.RNG) (*graph.Sub, int) {
+	f := int(math.Round(rate * float64(g.N())))
+	pat := m.Adv.Select(g, f, rng)
+	return g.RemoveVerticesInto(ws, pat.Nodes), pat.Count()
+}
+
+// Models returns the built-in fault models in canonical order (the
+// adversarial entry uses the bottleneck adversary, the attack that makes
+// Theorem 2.1 tight).
+func Models() []Model {
+	return []Model{
+		IIDNodeModel{},
+		IIDEdgeModel{},
+		AdversarialModel{Adv: BottleneckAdversary{}},
+	}
+}
+
+// ModelByName resolves a canonical model name.
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}

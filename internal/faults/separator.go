@@ -84,5 +84,5 @@ func SeparatorAttack(g *graph.Graph, epsilon float64, rng *xrand.RNG) (Pattern, 
 	for i, fr := range fragments {
 		sizes[i] = len(fr)
 	}
-	return Pattern{Nodes: faulted}, sizes
+	return NewPattern(faulted), sizes
 }

@@ -14,30 +14,11 @@ type Sub struct {
 }
 
 // Induce returns the subgraph induced by keep (keep[v] == true means v
-// survives), with provenance mapping.
+// survives), with provenance mapping. It is a thin wrapper over
+// InduceInto on a throwaway Workspace, so the result is uniquely owned
+// and safe to retain.
 func (g *Graph) Induce(keep []bool) *Sub {
-	if len(keep) != g.N() {
-		panic("graph: Induce mask length mismatch")
-	}
-	newID := make([]int32, g.N())
-	orig := make([]int32, 0)
-	for v := 0; v < g.N(); v++ {
-		if keep[v] {
-			newID[v] = int32(len(orig))
-			orig = append(orig, int32(v))
-		} else {
-			newID[v] = -1
-		}
-	}
-	b := NewBuilder(len(orig))
-	for _, ov := range orig {
-		for _, w := range g.Neighbors(int(ov)) {
-			if int32(ov) < w && keep[w] {
-				b.AddEdge(int(newID[ov]), int(newID[w]))
-			}
-		}
-	}
-	return &Sub{G: b.Build(), Orig: orig}
+	return g.InduceInto(NewWorkspace(), keep)
 }
 
 // InduceVertices returns the subgraph induced by the given vertex set.
@@ -52,14 +33,7 @@ func (g *Graph) InduceVertices(vs []int) *Sub {
 // RemoveVertices returns the subgraph obtained by deleting the given
 // vertices (the complement of InduceVertices).
 func (g *Graph) RemoveVertices(vs []int) *Sub {
-	keep := make([]bool, g.N())
-	for i := range keep {
-		keep[i] = true
-	}
-	for _, v := range vs {
-		keep[v] = false
-	}
-	return g.Induce(keep)
+	return g.RemoveVerticesInto(NewWorkspace(), vs)
 }
 
 // RemoveEdges returns a new graph with the listed undirected edges
@@ -95,13 +69,7 @@ func (s *Sub) OrigSet(vs []int) []int {
 // largest connected component of s.G, with provenance composed back to
 // the original graph.
 func (s *Sub) LargestComponentSub() *Sub {
-	members, _ := s.G.LargestComponent()
-	inner := s.G.InduceVertices(members)
-	orig := make([]int32, len(inner.Orig))
-	for i, mid := range inner.Orig {
-		orig[i] = s.Orig[mid]
-	}
-	return &Sub{G: inner.G, Orig: orig}
+	return s.LargestComponentSubInto(NewWorkspace())
 }
 
 // Identity returns a Sub wrapping g with the identity provenance, useful

@@ -33,58 +33,16 @@ func (g *Graph) BFSFrom(src int, visit func(v, dist int) bool) {
 }
 
 // BFSDistances returns hop distances from src; unreachable vertices get -1.
+// Thin wrapper over BFSDistancesInto on a throwaway Workspace.
 func (g *Graph) BFSDistances(src int) []int32 {
-	dist := make([]int32, g.N())
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int32{int32(src)}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		du := dist[u]
-		for _, w := range g.Neighbors(int(u)) {
-			if dist[w] < 0 {
-				dist[w] = du + 1
-				queue = append(queue, w)
-			}
-		}
-	}
-	return dist
+	return g.BFSDistancesInto(NewWorkspace(), src)
 }
 
 // Components labels every vertex with a component ID in [0, k) and
-// returns the labels together with the size of each component.
+// returns the labels together with the size of each component. Thin
+// wrapper over ComponentsInto on a throwaway Workspace.
 func (g *Graph) Components() (labels []int32, sizes []int) {
-	n := g.N()
-	labels = make([]int32, n)
-	for i := range labels {
-		labels[i] = -1
-	}
-	var queue []int32
-	for s := 0; s < n; s++ {
-		if labels[s] >= 0 {
-			continue
-		}
-		id := int32(len(sizes))
-		labels[s] = id
-		queue = append(queue[:0], int32(s))
-		count := 0
-		for len(queue) > 0 {
-			u := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			count++
-			for _, w := range g.Neighbors(int(u)) {
-				if labels[w] < 0 {
-					labels[w] = id
-					queue = append(queue, w)
-				}
-			}
-		}
-		sizes = append(sizes, count)
-	}
-	return labels, sizes
+	return g.ComponentsInto(NewWorkspace())
 }
 
 // IsConnected reports whether the graph is connected (the empty graph and
@@ -122,17 +80,7 @@ func (g *Graph) LargestComponent() (members []int, size int) {
 // GammaLargest returns the fraction of all n vertices contained in the
 // largest connected component — γ(G) in the paper's notation.
 func (g *Graph) GammaLargest() float64 {
-	if g.N() == 0 {
-		return 0
-	}
-	_, sizes := g.Components()
-	best := 0
-	for _, s := range sizes {
-		if s > best {
-			best = s
-		}
-	}
-	return float64(best) / float64(g.N())
+	return g.GammaLargestInto(NewWorkspace())
 }
 
 // ComponentSizes returns the multiset of component sizes, descending.

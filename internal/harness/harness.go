@@ -167,9 +167,18 @@ func (r *Registry) All() []*Experiment {
 // Each invocation gets its own index; fn must not share mutable state
 // without synchronization. Used for Monte-Carlo trial fan-out.
 func ParallelFor(n, workers int, fn func(i int)) {
+	ParallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// ParallelForWorkers is ParallelFor with worker identity: fn additionally
+// receives the index of the worker goroutine running it, enabling
+// lock-free per-worker scratch state. Job-to-worker assignment is
+// scheduling-dependent; only per-worker memory reuse may depend on it,
+// never results.
+func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -180,12 +189,12 @@ func ParallelFor(n, workers int, fn func(i int)) {
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -17,12 +17,22 @@ import "sync"
 // of scheduling, which is what makes streamed sweep output deterministic
 // for any worker count.
 func RunOrdered[T any](n, workers int, run func(i int) T, emit func(i int, v T)) {
+	RunOrderedWorkers(n, workers, func(_, i int) T { return run(i) }, emit)
+}
+
+// RunOrderedWorkers is RunOrdered with worker identity: run receives the
+// index of the worker goroutine executing it (in [0, effective workers)),
+// so callers can thread per-worker state — scratch workspaces, arenas —
+// without locking. Worker identity must never influence results, only
+// which scratch memory computes them; the ordered emit path makes any
+// violation visible as a byte diff across -workers values.
+func RunOrderedWorkers[T any](n, workers int, run func(worker, i int) T, emit func(i int, v T)) {
 	if n <= 0 {
 		return
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			emit(i, run(i))
+			emit(i, run(0, i))
 		}
 		return
 	}
@@ -32,8 +42,8 @@ func RunOrdered[T any](n, workers int, run func(i int) T, emit func(i int, v T))
 		vals = make([]T, n)
 		next int
 	)
-	ParallelFor(n, workers, func(i int) {
-		v := run(i)
+	ParallelForWorkers(n, workers, func(worker, i int) {
+		v := run(worker, i)
 		mu.Lock()
 		defer mu.Unlock()
 		vals[i], done[i] = v, true

@@ -34,6 +34,7 @@ func lanczosLargest(apply func(dst, src []float64), n, maxIter int, deflate [][]
 
 	basis := make([][]float64, 0, maxIter)
 	var alphas, betas []float64 // T diagonal and off-diagonal
+	var dScr, eScr []float64    // scratch for eigenvalue-only checks
 	w := make([]float64, n)
 
 	prevRitz := math.Inf(-1)
@@ -56,7 +57,7 @@ func lanczosLargest(apply func(dst, src []float64), n, maxIter int, deflate [][]
 		// Convergence check every few steps once the tridiagonal is
 		// non-trivial: compare successive extremal Ritz values.
 		if k >= 4 && k%4 == 0 {
-			ritz, _ := tridiagLargest(alphas, betas)
+			ritz := tridiagLargestValue(alphas, betas, &dScr, &eScr)
 			if math.Abs(ritz-prevRitz) < 1e-12*(1+math.Abs(ritz)) {
 				break
 			}
@@ -85,6 +86,36 @@ func lanczosLargest(apply func(dst, src []float64), n, maxIter int, deflate [][]
 // tridiagLargest returns the largest eigenvalue of the symmetric
 // tridiagonal matrix with the given diagonal and off-diagonal, plus its
 // eigenvector, via the implicit QL algorithm (tql2).
+// tridiagLargestValue returns only the largest eigenvalue of the
+// symmetric tridiagonal matrix, skipping eigenvector accumulation — the
+// m×m rotation matrix tridiagLargest builds dominates the allocation
+// profile of the pruning hot path, and convergence checks never read the
+// vector. dScr/eScr are caller-owned scratch reused across checks.
+func tridiagLargestValue(diag, off []float64, dScr, eScr *[]float64) float64 {
+	m := len(diag)
+	if m == 0 {
+		return 0
+	}
+	if cap(*dScr) < m {
+		*dScr = make([]float64, m)
+		*eScr = make([]float64, m)
+	}
+	d, e := (*dScr)[:m], (*eScr)[:m]
+	copy(d, diag)
+	for i := range e {
+		e[i] = 0
+	}
+	copy(e, off)
+	tql2(d, e, nil)
+	best := d[0]
+	for _, v := range d[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
 func tridiagLargest(diag, off []float64) (float64, []float64) {
 	m := len(diag)
 	if m == 0 {
@@ -116,7 +147,8 @@ func tridiagLargest(diag, off []float64) (float64, []float64) {
 // tql2 diagonalizes a symmetric tridiagonal matrix in place using the QL
 // algorithm with implicit shifts (EISPACK tql2 / Numerical Recipes
 // tqli). d holds the diagonal, e the sub-diagonal in e[0..m-2]; on return
-// d holds eigenvalues and the columns of z the eigenvectors.
+// d holds eigenvalues and the columns of z the eigenvectors. A nil z
+// skips eigenvector accumulation (the tql1 variant): eigenvalues only.
 func tql2(d, e []float64, z [][]float64) {
 	m := len(d)
 	if m <= 1 {
@@ -166,10 +198,12 @@ func tql2(d, e []float64, z [][]float64) {
 				p = s * r
 				d[i+1] = g + p
 				g = c*r - b
-				for k := 0; k < m; k++ {
-					f := z[k][i+1]
-					z[k][i+1] = s*z[k][i] + c*f
-					z[k][i] = c*z[k][i] - s*f
+				if z != nil {
+					for k := 0; k < m; k++ {
+						f := z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*f
+						z[k][i] = c*z[k][i] - s*f
+					}
 				}
 			}
 			if r == 0 && mIdx-1 >= l {

@@ -20,22 +20,31 @@ import (
 	"strconv"
 	"strings"
 
+	"faultexp/internal/faults"
 	"faultexp/internal/xrand"
 )
 
-// Fault models a grid can sweep over.
+// Fault models a grid can sweep over; the names (and injection
+// semantics) are owned by internal/faults' Model registry.
 const (
 	// ModelIIDNode fails each node independently with probability rate.
-	ModelIIDNode = "iid-node"
+	ModelIIDNode = faults.ModelIIDNode
 	// ModelIIDEdge fails each edge independently with probability rate.
-	ModelIIDEdge = "iid-edge"
+	ModelIIDEdge = faults.ModelIIDEdge
 	// ModelAdversarial gives the bottleneck adversary a budget of
 	// round(rate·n) node faults.
-	ModelAdversarial = "adversarial"
+	ModelAdversarial = faults.ModelAdversarial
 )
 
-// Models lists the supported fault models.
-func Models() []string { return []string{ModelIIDNode, ModelIIDEdge, ModelAdversarial} }
+// Models lists the supported fault models, in canonical order.
+func Models() []string {
+	ms := faults.Models()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
 
 // FamilySpec names one graph of the generator zoo: a family plus its
 // size token (gen.FromFamily semantics). K is the chain length, used

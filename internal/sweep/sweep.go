@@ -22,8 +22,12 @@ import (
 
 // CellFunc runs one grid cell's measurement on graph g (the fault-free
 // family instance) and returns named metrics. It must derive all
-// randomness from rng and must not retain g.
-type CellFunc func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error)
+// randomness from rng and must not retain g. ws is the executing
+// worker's private scratch workspace: trial loops should route fault
+// injection and subgraph work through it (ApplyFaultsWs, the graph
+// *Into methods) so the steady-state path does not allocate. Nothing
+// built in ws may be referenced after the function returns.
+type CellFunc func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error)
 
 var (
 	regMu    sync.Mutex
@@ -61,24 +65,25 @@ func Measures() []string {
 	return out
 }
 
-// ApplyFaults injects one fault pattern of the given model at the given
-// rate and returns the surviving subgraph (with provenance) and the
-// number of failed elements. For ModelAdversarial the rate is the node
-// budget as a fraction of n.
-func ApplyFaults(g *graph.Graph, model string, rate float64, rng *xrand.RNG) (*graph.Sub, int, error) {
-	switch model {
-	case ModelIIDNode:
-		pat := faults.IIDNodes(g, rate, rng)
-		return pat.Apply(g), pat.Count(), nil
-	case ModelIIDEdge:
-		failed := faults.IIDEdges(g, rate, rng)
-		return graph.Identity(g.RemoveEdges(failed)), len(failed), nil
-	case ModelAdversarial:
-		f := int(math.Round(rate * float64(g.N())))
-		pat := faults.BottleneckAdversary{}.Select(g, f, rng)
-		return pat.Apply(g), pat.Count(), nil
+// ApplyFaultsWs injects one fault pattern of the given model at the
+// given rate into ws-owned buffers and returns the surviving subgraph
+// (with provenance) and the number of failed elements. For
+// ModelAdversarial the rate is the node budget as a fraction of n. The
+// returned Sub lives in workspace memory — any later build on ws may
+// clobber it, and it must not outlive the enclosing CellFunc.
+func ApplyFaultsWs(g *graph.Graph, model string, rate float64, ws *graph.Workspace, rng *xrand.RNG) (*graph.Sub, int, error) {
+	m, ok := faults.ModelByName(model)
+	if !ok {
+		return nil, 0, fmt.Errorf("sweep: unknown fault model %q", model)
 	}
-	return nil, 0, fmt.Errorf("sweep: unknown fault model %q", model)
+	sub, failed := m.Inject(g, rate, ws, rng)
+	return sub, failed, nil
+}
+
+// ApplyFaults is ApplyFaultsWs on a throwaway workspace, for callers
+// outside a trial loop; the result is uniquely owned.
+func ApplyFaults(g *graph.Graph, model string, rate float64, rng *xrand.RNG) (*graph.Sub, int, error) {
+	return ApplyFaultsWs(g, model, rate, graph.NewWorkspace(), rng)
 }
 
 // Result is one streamed output record: the cell's coordinates plus its
@@ -158,19 +163,27 @@ func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// One private Workspace per worker goroutine (never shared, never
+	// locked): the trial loops inside cell functions reuse its buffers,
+	// which is what makes the steady-state sweep path allocation-free.
+	workspaces := make([]*graph.Workspace, workers)
+	for i := range workspaces {
+		workspaces[i] = graph.NewWorkspace()
+	}
+
 	var (
 		sum      Summary
 		writeErr error
 		aborted  atomic.Bool
 	)
-	harness.RunOrdered(len(cells), workers,
-		func(i int) *Result {
+	harness.RunOrderedWorkers(len(cells), workers,
+		func(worker, i int) *Result {
 			if aborted.Load() {
 				// The sink already failed; don't burn hours computing
 				// cells whose results can never be written.
 				return &Result{Err: "aborted: writer failed"}
 			}
-			return runCell(graphs[cells[i].Family.String()], cells[i])
+			return runCell(graphs[cells[i].Family.String()], cells[i], workspaces[worker])
 		},
 		func(i int, r *Result) {
 			sum.Cells++
@@ -196,9 +209,10 @@ func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
 	return sum, nil
 }
 
-// runCell executes one cell, converting panics and errors into the
-// result's Err field so a single pathological cell cannot kill a grid.
-func runCell(g *graph.Graph, c Cell) (res *Result) {
+// runCell executes one cell on the worker's workspace, converting panics
+// and errors into the result's Err field so a single pathological cell
+// cannot kill a grid.
+func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 	res = &Result{
 		Family:  c.Family.Family,
 		Size:    c.Family.Size,
@@ -221,7 +235,7 @@ func runCell(g *graph.Graph, c Cell) (res *Result) {
 		res.Err = fmt.Sprintf("unknown measure %q", c.Measure)
 		return res
 	}
-	metrics, err := fn(g, c, xrand.New(c.Seed))
+	metrics, err := fn(g, c, ws, xrand.New(c.Seed))
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -22,7 +22,7 @@ var counted atomic.Int32
 func init() {
 	// toy draws from the cell RNG and sleeps a scheduling-dependent
 	// amount, so any ordering or seeding leak shows up as a byte diff.
-	Register("toy", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+	Register("toy", func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 		time.Sleep(time.Duration(c.Index%5) * 200 * time.Microsecond)
 		sum := 0.0
 		for t := 0; t < c.Trials; t++ {
@@ -40,12 +40,12 @@ func init() {
 		}, nil
 	})
 	// counting tracks how many cells actually execute.
-	Register("counting", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+	Register("counting", func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 		counted.Add(1)
 		return map[string]float64{"ok": 1}, nil
 	})
 	// toyerr fails on one rate and panics on another.
-	Register("toyerr", func(g *graph.Graph, c Cell, rng *xrand.RNG) (map[string]float64, error) {
+	Register("toyerr", func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
 		switch {
 		case c.Rate == 0.5:
 			return nil, fmt.Errorf("synthetic failure")

@@ -1,0 +1,77 @@
+package faultexp_test
+
+// Golden test keeping README's Measures table in lockstep with the live
+// measure registry: a measure registered without a README row (or a
+// README row for a measure that no longer exists) fails here.
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"faultexp"
+)
+
+// readmeMeasures extracts the backticked measure names from the
+// marker-delimited Measures table in README.md.
+func readmeMeasures(t *testing.T) []string {
+	t.Helper()
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- measures:begin")
+	end := strings.Index(s, "<!-- measures:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the measures:begin/measures:end markers")
+	}
+	section := s[begin:end]
+	rowName := regexp.MustCompile("(?m)^\\| `([a-z0-9]+)`")
+	var out []string
+	for _, m := range rowName.FindAllStringSubmatch(section, -1) {
+		out = append(out, m[1])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestREADMEMeasuresInSync(t *testing.T) {
+	want := faultexp.SweepMeasures() // sorted by contract
+	got := readmeMeasures(t)
+	inREADME := map[string]bool{}
+	for _, m := range got {
+		inREADME[m] = true
+	}
+	registered := map[string]bool{}
+	for _, m := range want {
+		registered[m] = true
+		if !inREADME[m] {
+			t.Errorf("measure %q registered but missing from README's Measures table", m)
+		}
+	}
+	for _, m := range got {
+		if !registered[m] {
+			t.Errorf("README lists measure %q which is not registered", m)
+		}
+	}
+	if len(want) < 17 {
+		t.Errorf("%d measures registered, want ≥ 17", len(want))
+	}
+}
+
+// TestREADMEModelsListed checks the fault-model names appear in README
+// (prose, not a table — just presence).
+func TestREADMEModelsListed(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	for _, m := range faultexp.SweepFaultModels() {
+		if !strings.Contains(string(b), "`"+m+"`") {
+			t.Errorf("README does not mention fault model `%s`", m)
+		}
+	}
+}
