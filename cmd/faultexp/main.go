@@ -67,6 +67,8 @@ func main() {
 		err = cmdRoute(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "list":
@@ -97,9 +99,10 @@ commands:
   percolate   Newman–Ziff percolation sweep and threshold estimate
   balance     diffusion load-balancing rounds (§1.3 application)
   route       random-pairs routing congestion (§1.3 application)
-  sweep       run a parameter grid (family × model × rate) streaming JSONL/CSV
+  sweep       run a parameter grid (family × measure × model × rate) streaming JSONL/CSV
+  merge       reassemble 'sweep -shard i/m' JSONL outputs into the unsharded stream
   experiment  run a reproduction experiment (E1–E19) or "all"
-  list        list experiments, sweep measures, and fault models
+  list        list experiments, graph families, sweep measures, and fault models
 
 Run any command with -h for its flags.`)
 }
@@ -107,10 +110,10 @@ Run any command with -h for its flags.`)
 // graphFlags adds the shared -family/-size/-in/-k flags to a FlagSet and
 // returns a loader.
 func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, []int, error) {
-	family := fs.String("family", "", "graph family: mesh|torus|hypercube|butterfly|wbutterfly|ccc|debruijn|shuffle|expander|complete|cycle|path|rr|chain")
-	size := fs.String("size", "", "family size, e.g. 16x16 (mesh/torus), 8 (hypercube), 256x4 (rr: n x degree)")
+	family := fs.String("family", "", "graph family: "+strings.Join(gen.FamilyNames(), "|"))
+	size := fs.String("size", "", "family size, e.g. 16x16 (mesh/torus), 8 (hypercube), 256x4 (rr/gnp/smallworld: n x degree)")
 	in := fs.String("in", "", "read graph from edge-list file instead of generating")
-	k := fs.Int("k", 4, "chain length for -family chain (base = expander of the given size)")
+	k := fs.Int("k", 4, "family parameter: chain length (chain), rewired edges (smallworld), shortcut edges (shortcut)")
 	seed := fs.Uint64("genseed", 1, "seed for randomized generators")
 	return func() (*graph.Graph, []int, error) {
 		if *in != "" {
@@ -415,6 +418,14 @@ func cmdExperiment(args []string) error {
 func cmdList() error {
 	for _, e := range experiments.All() {
 		fmt.Printf("%-4s %-22s %s\n     expects: %s\n", e.ID, e.PaperRef, e.Title, e.Expectation)
+	}
+	fmt.Printf("\ngraph families (%d):\n", len(gen.Families()))
+	for _, f := range gen.Families() {
+		size := f.SizeSyntax()
+		if f.KUse() != "" {
+			size += "[:k]"
+		}
+		fmt.Printf("  %-11s %-13s %s\n", f.Name(), size, f.Doc())
 	}
 	fmt.Printf("\nsweep measures (%d): %s\n", len(sweep.Measures()), strings.Join(sweep.Measures(), ", "))
 	fmt.Printf("fault models   (%d): %s\n", len(sweep.Models()), strings.Join(sweep.Models(), ", "))

@@ -1,0 +1,103 @@
+package main
+
+// The merge subcommand: reassemble the per-shard JSONL outputs of
+// `faultexp sweep -shard i/m` runs into a single stream byte-identical
+// to the unsharded run (and optionally re-emit it as long-format CSV).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"faultexp/internal/sweep"
+)
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	specFile := fs.String("spec", "", "JSON grid spec the shards were run with; verifies every record lands at its exact cell position")
+	jsonlOut := fs.String("jsonl", "", `merged JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
+	csvOut := fs.String("csv", "", `merged CSV output path ("-" = stdout)`)
+	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
+	fs.Parse(args)
+	var spec *sweep.Spec
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			return err
+		}
+		spec, err = sweep.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	shardPaths := fs.Args()
+	if len(shardPaths) == 0 {
+		return fmt.Errorf("usage: faultexp merge [-jsonl out.jsonl] [-csv out.csv] shard0.jsonl shard1.jsonl … (in -shard 0/m..m-1/m order)")
+	}
+
+	var readers []io.Reader
+	for _, p := range shardPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	if *jsonlOut == "" && *csvOut == "" {
+		*jsonlOut = "-"
+	}
+	open := func(path string) (io.Writer, func() error, error) {
+		if path == "-" {
+			return os.Stdout, func() error { return nil }, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	var jsonlW io.Writer
+	if *jsonlOut != "" {
+		w, cl, err := open(*jsonlOut)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, cl)
+		jsonlW = w
+	}
+	var csvW sweep.Writer
+	if *csvOut != "" {
+		w, cl, err := open(*csvOut)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, cl)
+		csvW = sweep.NewCSV(w)
+	}
+
+	n, err := sweep.MergeShards(readers, jsonlW, csvW, spec)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		hint := ""
+		if spec == nil {
+			// Without the spec, an equal-length subset or swap of the
+			// shard files is undetectable — tell the user how to close
+			// that gap.
+			hint = " (pass -spec to verify each record's cell position)"
+		}
+		fmt.Fprintf(os.Stderr, "merge: %d records from %d shards%s\n", n, len(shardPaths), hint)
+	}
+	return nil
+}

@@ -18,21 +18,29 @@ import (
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	specFile := fs.String("spec", "", "JSON grid spec file (overrides the grid flags)")
-	families := fs.String("families", "", "comma list of family:size[:k], e.g. torus:8x8,hypercube:6,expander:8")
+	families := fs.String("families", "", "comma list of family:size[:k], e.g. torus:8x8,hypercube:6,smallworld:256x4:25")
 	measures := fs.String("measures", "gamma", "comma list of measures: "+strings.Join(sweep.Measures(), "|"))
-	model := fs.String("model", sweep.ModelIIDNode, "fault model: "+strings.Join(sweep.Models(), "|"))
+	model := fs.String("model", "", "single fault model (legacy form of -models)")
+	models := fs.String("models", "", "comma list of fault models: "+strings.Join(sweep.Models(), "|")+" (default "+sweep.ModelIIDNode+")")
 	rates := fs.String("rates", "", "comma list of fault rates in [0,1], e.g. 0,0.02,0.05,0.1")
 	trials := fs.Int("trials", 3, "Monte-Carlo trials per cell")
 	seed := fs.Uint64("seed", 1, "grid seed (per-cell seeds are hash-split from it)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect output bytes")
+	shard := fs.String("shard", "", `run only shard i of m ("i/m", 0-based); reassemble with 'faultexp merge'`)
 	jsonlOut := fs.String("jsonl", "", `JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
 	csvOut := fs.String("csv", "", `CSV output path ("-" = stdout)`)
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
 
-	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *rates, *trials, *seed)
+	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *trials, *seed)
 	if err != nil {
 		return err
+	}
+	var sh sweep.Shard
+	if *shard != "" {
+		if sh, err = sweep.ParseShard(*shard); err != nil {
+			return err
+		}
 	}
 
 	// Default destination: JSONL on stdout.
@@ -73,10 +81,14 @@ func cmdSweep(args []string) error {
 		writers = append(writers, sweep.NewCSV(w))
 	}
 
-	opt := sweep.Options{Workers: *workers}
+	opt := sweep.Options{Workers: *workers, Shard: sh}
 	if !*quiet {
+		prefix := "sweep"
+		if sh.Enabled() {
+			prefix = "sweep[" + sh.String() + "]"
+		}
 		opt.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", prefix, done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -94,7 +106,7 @@ func cmdSweep(args []string) error {
 
 // sweepSpecFromFlags assembles and validates the grid spec from either a
 // JSON file or the individual grid flags.
-func sweepSpecFromFlags(specFile, families, measures, model, rates string, trials int, seed uint64) (*sweep.Spec, error) {
+func sweepSpecFromFlags(specFile, families, measures, model, models, rates string, trials int, seed uint64) (*sweep.Spec, error) {
 	if specFile != "" {
 		f, err := os.Open(specFile)
 		if err != nil {
@@ -117,6 +129,19 @@ func sweepSpecFromFlags(specFile, families, measures, model, rates string, trial
 	if err != nil {
 		return nil, err
 	}
+	var modelAxis []string
+	switch {
+	case models != "" && model != "":
+		return nil, fmt.Errorf("use -models or -model, not both")
+	case models != "":
+		if modelAxis, err = sweep.ParseModels(models); err != nil {
+			return nil, err
+		}
+	case model != "":
+		modelAxis = []string{model}
+	default:
+		modelAxis = []string{sweep.ModelIIDNode}
+	}
 	var ms []string
 	for _, m := range strings.Split(measures, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -126,7 +151,7 @@ func sweepSpecFromFlags(specFile, families, measures, model, rates string, trial
 	spec := &sweep.Spec{
 		Families: fams,
 		Measures: ms,
-		Model:    model,
+		Models:   modelAxis,
 		Rates:    rs,
 		Trials:   trials,
 		Seed:     seed,

@@ -115,6 +115,106 @@ func TestSweepSpecFile(t *testing.T) {
 	}
 }
 
+// TestSweepShardMergeCLI drives the full sharded workflow through the
+// CLI: the golden grid run as 3 shards plus `faultexp merge` must
+// reproduce the checked-in unsharded golden files byte-for-byte, for
+// both JSONL and CSV.
+func TestSweepShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	shardPaths := make([]string, 3)
+	for i := range shardPaths {
+		shardPaths[i] = filepath.Join(dir, "s"+string(rune('0'+i))+".jsonl")
+		args := []string{
+			"-families", "mesh:4x4,torus:4x4,hypercube:4",
+			"-measures", "gamma,percolation",
+			"-model", "iid-node",
+			"-rates", "0,0.25,0.5,0.75",
+			"-trials", "2",
+			"-seed", "42",
+			"-quiet",
+			"-shard", string(rune('0'+i)) + "/3",
+			"-jsonl", shardPaths[i],
+		}
+		if err := cmdSweep(args); err != nil {
+			t.Fatalf("cmdSweep(shard %d/3): %v", i, err)
+		}
+	}
+	mergedJSONL := filepath.Join(dir, "merged.jsonl")
+	mergedCSV := filepath.Join(dir, "merged.csv")
+	margs := append([]string{"-quiet", "-jsonl", mergedJSONL, "-csv", mergedCSV}, shardPaths...)
+	if err := cmdMerge(margs); err != nil {
+		t.Fatalf("cmdMerge: %v", err)
+	}
+	if got, want := readFile(t, mergedJSONL), readFile(t, filepath.Join("testdata", "sweep_golden.jsonl")); !bytes.Equal(got, want) {
+		t.Errorf("merged JSONL differs from unsharded golden:\n--- got ---\n%s", got)
+	}
+	if got, want := readFile(t, mergedCSV), readFile(t, filepath.Join("testdata", "sweep_golden.csv")); !bytes.Equal(got, want) {
+		t.Errorf("merged CSV differs from unsharded golden")
+	}
+	// Merge refuses a wrong shard count / order profile when lengths
+	// make it detectable, and always refuses zero shard files.
+	if err := cmdMerge([]string{"-quiet", "-jsonl", filepath.Join(dir, "x.jsonl")}); err == nil {
+		t.Error("cmdMerge with no shard files succeeded")
+	}
+	// With -spec, a wrong shard order is caught even when the length
+	// profile is inconclusive (24 cells split 3 ways is 8/8/8).
+	specPath := filepath.Join(dir, "grid.json")
+	specJSON := `{"families":[{"family":"mesh","size":"4x4"},{"family":"torus","size":"4x4"},
+	  {"family":"hypercube","size":"4"}],"measures":["gamma","percolation"],
+	  "model":"iid-node","rates":[0,0.25,0.5,0.75],"trials":2,"seed":42}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodOrder := append([]string{"-quiet", "-spec", specPath, "-jsonl", filepath.Join(dir, "v.jsonl")}, shardPaths...)
+	if err := cmdMerge(goodOrder); err != nil {
+		t.Errorf("cmdMerge(-spec, correct order): %v", err)
+	}
+	badOrder := []string{"-quiet", "-spec", specPath, "-jsonl", filepath.Join(dir, "b.jsonl"),
+		shardPaths[1], shardPaths[0], shardPaths[2]}
+	if err := cmdMerge(badOrder); err == nil {
+		t.Error("cmdMerge(-spec) accepted equal-length shards in the wrong order")
+	}
+}
+
+// TestSweepMultiModelCLI checks -models expands the model axis and that
+// -model/-models conflict is rejected.
+func TestSweepMultiModelCLI(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	args := []string{
+		"-families", "torus:4x4",
+		"-measures", "gamma",
+		"-models", "iid-node,iid-edge",
+		"-rates", "0,0.5",
+		"-trials", "1",
+		"-seed", "1",
+		"-quiet",
+		"-jsonl", out,
+	}
+	if err := cmdSweep(args); err != nil {
+		t.Fatalf("cmdSweep(-models): %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(readFile(t, out)), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("got %d records, want 4 (1 family × 1 measure × 2 models × 2 rates)", len(lines))
+	}
+	models := map[string]int{}
+	for _, ln := range lines {
+		var r sweep.Result
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatal(err)
+		}
+		models[r.Model]++
+	}
+	if models["iid-node"] != 2 || models["iid-edge"] != 2 {
+		t.Errorf("model counts %v, want 2 each", models)
+	}
+	conflict := []string{"-families", "torus:4x4", "-rates", "0", "-model", "iid-node", "-models", "iid-edge", "-quiet", "-jsonl", filepath.Join(dir, "c.jsonl")}
+	if err := cmdSweep(conflict); err == nil {
+		t.Error("cmdSweep accepted both -model and -models")
+	}
+}
+
 // TestSweepFlagErrors pins the user-facing failure modes.
 func TestSweepFlagErrors(t *testing.T) {
 	cases := [][]string{
@@ -124,6 +224,10 @@ func TestSweepFlagErrors(t *testing.T) {
 		{"-families", "torus:4x4", "-rates", "2", "-quiet"},               // rate out of range
 		{"-families", "torus:4x4", "-rates", "0", "-measures", "x", "-quiet"}, // unknown measure
 		{"-spec", filepath.Join(t.TempDir(), "missing.json"), "-quiet"},   // missing spec file
+		{"-families", "torus:4x4:3", "-rates", "0", "-quiet"},             // :k on a family without k
+		{"-families", "torus:4x4", "-rates", "0", "-models", "x", "-quiet"},   // unknown model
+		{"-families", "torus:4x4", "-rates", "0", "-shard", "3/3", "-quiet"},  // shard out of range
+		{"-families", "torus:4x4", "-rates", "0", "-shard", "1of3", "-quiet"}, // malformed shard
 	}
 	for _, args := range cases {
 		args = append(args, "-jsonl", filepath.Join(t.TempDir(), "out.jsonl"))

@@ -92,6 +92,24 @@ func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) 
 
 // --- Graph families (package gen) ---
 
+// GraphFamily is one entry of the graph-family registry: a named,
+// deterministic, seeded constructor with self-describing metadata
+// (size-token syntax, k-parameter use, doc line).
+type GraphFamily = gen.Family
+
+// GraphFamilies returns the registered families in canonical order.
+func GraphFamilies() []GraphFamily { return gen.Families() }
+
+// GraphFamilyByName resolves a registered family name ("mesh", "gnp", …).
+func GraphFamilyByName(name string) (GraphFamily, bool) { return gen.FamilyByName(name) }
+
+// BuildFamily constructs a registered family from its name, size token,
+// and family parameter k (chain length / rewired edges / shortcut
+// edges, per the family's KUse). Randomized families draw from rng.
+func BuildFamily(family, size string, k int, rng *RNG) (*Graph, []int, error) {
+	return gen.FromFamily(family, size, k, rng)
+}
+
 // Mesh returns the d-dimensional mesh with the given side lengths.
 func Mesh(dims ...int) *Graph { return gen.Mesh(dims...) }
 
@@ -114,6 +132,23 @@ func Expander(m int) *Graph { return gen.GabberGalil(m) }
 
 // RandomRegular returns a random d-regular graph on n vertices.
 func RandomRegular(n, d int, rng *RNG) *Graph { return gen.RandomRegular(n, d, rng) }
+
+// GNP returns an Erdős–Rényi random graph G(n, p).
+func GNP(n int, p float64, rng *RNG) *Graph { return gen.GNP(n, p, rng) }
+
+// RingLattice returns the Watts–Strogatz substrate C(n, d): n vertices
+// on a cycle, each joined to its d nearest neighbors (d even).
+func RingLattice(n, d int) *Graph { return gen.RingLattice(n, d) }
+
+// SmallWorld returns a Watts–Strogatz small-world graph: RingLattice(n,
+// d) with `rewires` randomly chosen edges redirected to random
+// endpoints (edge count preserved).
+func SmallWorld(n, d, rewires int, rng *RNG) *Graph { return gen.SmallWorld(n, d, rewires, rng) }
+
+// AddShortcuts returns base plus k random shortcut edges between
+// non-adjacent vertex pairs — the Hayashi–Matsukubo robustness
+// hardening for geographic (lattice-like) networks.
+func AddShortcuts(base *Graph, k int, rng *RNG) *Graph { return gen.Shortcut(base, k, rng) }
 
 // ChainGraph is the Theorem 2.3 construction (edges replaced by chains).
 type ChainGraph = gen.ChainGraph
@@ -305,10 +340,11 @@ func RoutePermutation(g *Graph, rng *RNG) RouteResult {
 
 // --- Parameter sweeps (package sweep) ---
 
-// SweepSpec is a declarative parameter grid: graph families × measures ×
-// fault rates under one fault model, with per-cell trials. Cell seeds
-// are hash-split from the grid seed, so results are byte-identical for
-// any worker count.
+// SweepSpec is a declarative parameter grid: graph families × measures
+// × fault models × fault rates, with per-cell trials. Cell seeds are
+// hash-split from the grid seed, so results are byte-identical for any
+// worker count or shard split. The legacy scalar Model field is still
+// accepted and folded into Models by Validate.
 type SweepSpec = sweep.Spec
 
 // SweepFamily names one graph family entry of a sweep grid.
@@ -329,10 +365,38 @@ func NewSweepJSONL(w io.Writer) SweepWriter { return sweep.NewJSONL(w) }
 // NewSweepCSV returns a streaming long-format CSV result writer.
 func NewSweepCSV(w io.Writer) SweepWriter { return sweep.NewCSV(w) }
 
+// SweepOptions tunes one sweep run: worker count, progress callback,
+// and the round-robin shard this process executes.
+type SweepOptions = sweep.Options
+
+// SweepShard selects the round-robin slice of a grid one process runs
+// (cell i runs on shard i mod Count); per-shard outputs merge back to
+// the unsharded bytes with MergeSweepShards.
+type SweepShard = sweep.Shard
+
+// ParseSweepShard parses the CLI shard token "i/m" (0-based).
+func ParseSweepShard(tok string) (SweepShard, error) { return sweep.ParseShard(tok) }
+
 // RunSweep executes a grid on up to workers goroutines (0 = GOMAXPROCS),
 // streaming results to w in deterministic cell order.
 func RunSweep(spec *SweepSpec, w SweepWriter, workers int) (SweepSummary, error) {
 	return sweep.Run(spec, w, sweep.Options{Workers: workers})
+}
+
+// RunSweepOpt is RunSweep with full options (shard, progress).
+func RunSweepOpt(spec *SweepSpec, w SweepWriter, opt SweepOptions) (SweepSummary, error) {
+	return sweep.Run(spec, w, opt)
+}
+
+// MergeSweepShards reassembles per-shard JSONL streams (in shard order)
+// into unsharded cell order: jsonl receives the original lines
+// byte-for-byte, and w (e.g. NewSweepCSV) receives every decoded record
+// — both optional. Pass the grid spec to additionally verify every
+// record lands at its exact cell position (seed check), which catches
+// equal-length shards supplied in the wrong order; nil skips it.
+// Returns the number of merged records.
+func MergeSweepShards(shards []io.Reader, jsonl io.Writer, w SweepWriter, spec *SweepSpec) (int, error) {
+	return sweep.MergeShards(shards, jsonl, w, spec)
 }
 
 // SweepMeasures lists the registered sweep measures.

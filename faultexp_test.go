@@ -4,6 +4,9 @@ package faultexp_test
 // wired exactly as README and the examples show them.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"math"
 	"testing"
 
@@ -177,5 +180,66 @@ func TestPublicBuilders(t *testing.T) {
 	}
 	if faultexp.RandomRegular(10, 3, faultexp.NewRNG(1)).MinDegree() != 3 {
 		t.Fatal("random regular wrong")
+	}
+}
+
+// TestPublicFamilyRegistryAndShardedSweep walks the new public surface
+// end to end: registry lookup, building a randomized family, and a
+// multi-model sharded sweep whose merged output is byte-identical to
+// the unsharded run.
+func TestPublicFamilyRegistryAndShardedSweep(t *testing.T) {
+	fam, ok := faultexp.GraphFamilyByName("smallworld")
+	if !ok || fam.KUse() == "" {
+		t.Fatalf("smallworld not registered with a k parameter: %v %v", fam, ok)
+	}
+	if len(faultexp.GraphFamilies()) < 17 {
+		t.Fatalf("%d families, want ≥ 17", len(faultexp.GraphFamilies()))
+	}
+	g, _, err := faultexp.BuildFamily("smallworld", "48x4", 8, faultexp.NewRNG(3))
+	if err != nil || g.N() != 48 || g.M() != 96 {
+		t.Fatalf("BuildFamily(smallworld:48x4:8) = %v, %v", g, err)
+	}
+	if sw := faultexp.SmallWorld(48, 4, 8, faultexp.NewRNG(3)); sw.M() != 96 {
+		t.Fatalf("SmallWorld edge count %d, want 96", sw.M())
+	}
+	if sc := faultexp.AddShortcuts(faultexp.Mesh(4, 4), 5, faultexp.NewRNG(1)); sc.M() != 24+5 {
+		t.Fatalf("AddShortcuts added %d edges, want 5", sc.M()-24)
+	}
+
+	spec := &faultexp.SweepSpec{
+		Families: []faultexp.SweepFamily{
+			{Family: "torus", Size: "4x4"},
+			{Family: "gnp", Size: "24x3"},
+		},
+		Measures: []string{"gamma"},
+		Models:   []string{"iid-node", "iid-edge"},
+		Rates:    []float64{0, 0.2},
+		Trials:   2,
+		Seed:     11,
+	}
+	var want bytes.Buffer
+	if _, err := faultexp.RunSweep(spec, faultexp.NewSweepJSONL(&want), 2); err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	const m = 2
+	shards := make([]bytes.Buffer, m)
+	for i := 0; i < m; i++ {
+		sh, err := faultexp.ParseSweepShard(fmt.Sprintf("%d/%d", i, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := faultexp.RunSweepOpt(spec, faultexp.NewSweepJSONL(&shards[i]),
+			faultexp.SweepOptions{Workers: 2, Shard: sh}); err != nil {
+			t.Fatalf("RunSweepOpt(shard %d): %v", i, err)
+		}
+	}
+	var got bytes.Buffer
+	n, err := faultexp.MergeSweepShards(
+		[]io.Reader{bytes.NewReader(shards[0].Bytes()), bytes.NewReader(shards[1].Bytes())}, &got, nil, spec)
+	if err != nil || n != 8 {
+		t.Fatalf("MergeSweepShards = %d, %v; want 8 records", n, err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("merged shards differ from unsharded run:\n--- want ---\n%s\n--- got ---\n%s", want.Bytes(), got.Bytes())
 	}
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"strings"
 	"testing"
 
 	"faultexp/internal/gen"
@@ -194,5 +195,25 @@ func BenchmarkBottleneckAdversary(b *testing.B) {
 	g := gen.Torus(16, 16)
 	for i := 0; i < b.N; i++ {
 		_ = BottleneckAdversary{}.Select(g, 16, xrand.New(uint64(i)))
+	}
+}
+
+func TestValidateModels(t *testing.T) {
+	if err := ValidateModels([]string{ModelIIDNode, ModelIIDEdge, ModelAdversarial}); err != nil {
+		t.Errorf("ValidateModels(all builtins): %v", err)
+	}
+	cases := map[string][]string{
+		"no fault models":       nil,
+		"unknown fault model":   {"meteor"},
+		"duplicate fault model": {ModelIIDNode, ModelIIDNode},
+	}
+	for want, names := range cases {
+		err := ValidateModels(names)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ValidateModels(%v) = %v, want error containing %q", names, err, want)
+		}
+	}
+	if got := ModelNames(); len(got) != 3 || got[0] != ModelIIDNode {
+		t.Errorf("ModelNames() = %v", got)
 	}
 }

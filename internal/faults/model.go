@@ -10,7 +10,9 @@ package faults
 // bottleneck attack (§2).
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"faultexp/internal/graph"
 	"faultexp/internal/xrand"
@@ -113,4 +115,36 @@ func ModelByName(name string) (Model, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ModelNames lists the built-in fault-model names in canonical order.
+func ModelNames() []string {
+	ms := Models()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// ValidateModels checks a grid's fault-model axis: every name must
+// resolve to a registered model and appear only once. Duplicates are
+// rejected because a repeated model would expand to duplicate cells
+// with colliding seeds — two identical output records masquerading as
+// independent results.
+func ValidateModels(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("faults: no fault models")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if _, ok := ModelByName(name); !ok {
+			return fmt.Errorf("faults: unknown fault model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+		}
+		if seen[name] {
+			return fmt.Errorf("faults: duplicate fault model %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
 }

@@ -1,10 +1,13 @@
 package gen
 
-// This file is the declarative entry point to the generator zoo: a graph
-// family named by a string plus a size token ("16x16", "8", "256x4"),
-// the format shared by the CLI flags and the sweep grid specs. Keeping
-// the registry here (rather than in cmd/faultexp) lets every layer —
-// CLI, sweep engine, tests — build identical graphs from the same spec.
+// This file is the declarative entry point to the generator zoo: a
+// first-class registry of graph families, each named by a string plus a
+// size token ("16x16", "8", "256x4") — the format shared by the CLI
+// flags and the sweep grid specs. Keeping the registry here (rather
+// than in cmd/faultexp) lets every layer — CLI, sweep engine, tests —
+// build identical graphs from the same spec, and mirrors the measure
+// (sweep.Register) and fault-model (faults.ModelByName) registries: a
+// new family is one RegisterFamily call away from every grid axis.
 
 import (
 	"fmt"
@@ -15,100 +18,386 @@ import (
 	"faultexp/internal/xrand"
 )
 
-// FamilyNames lists the graph families FromFamily understands, in the
-// order they are documented in the CLI help.
-func FamilyNames() []string {
-	return []string{
-		"mesh", "torus", "hypercube", "butterfly", "wbutterfly", "ccc",
-		"debruijn", "shuffle", "expander", "complete", "cycle", "path",
-		"rr", "chain",
+// Budget caps for declaratively-built graphs. A typo'd size token
+// ("100000x100000") must fail with a clear error instead of OOM-ing the
+// process mid-grid; families estimate their vertex and edge counts
+// before building and reject anything over these.
+const (
+	// MaxVertices caps the vertex count of any family built through the
+	// registry (and the product of any ParseDims size token).
+	MaxVertices = 1 << 24
+	// MaxEdges caps the (estimated) undirected edge count.
+	MaxEdges = 1 << 27
+)
+
+// Family is one entry of the graph-family registry: a named,
+// deterministic, seeded constructor plus enough metadata to document
+// itself (CLI help, the README families table) and to validate spec
+// tokens without building anything.
+type Family interface {
+	// Name is the canonical registry key ("mesh", "gnp", …).
+	Name() string
+	// SizeSyntax documents the family's size token, e.g. "L1xL2[x…]"
+	// for lattices, "D" for exponent-sized networks, "NxD" for
+	// random-graph families.
+	SizeSyntax() string
+	// KUse documents the family's use of the optional k parameter
+	// (the ":k" suffix of a family token). Empty means the family takes
+	// no k, and spec parsing rejects tokens that carry one.
+	KUse() string
+	// Doc is a one-line description for CLI help and the README table.
+	Doc() string
+	// Build constructs the family's graph for the given size token and
+	// k parameter. Randomized families draw all randomness from rng
+	// (same rng state ⇒ byte-identical graph); deterministic families
+	// ignore it. The returned dims are the parsed lattice dimensions
+	// (nil for non-lattice families).
+	Build(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error)
+}
+
+// familyDef is the concrete registry entry.
+type familyDef struct {
+	name, sizeSyntax, kUse, doc string
+
+	build func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error)
+}
+
+func (f *familyDef) Name() string       { return f.name }
+func (f *familyDef) SizeSyntax() string { return f.sizeSyntax }
+func (f *familyDef) KUse() string       { return f.kUse }
+func (f *familyDef) Doc() string        { return f.doc }
+func (f *familyDef) Build(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+	return f.build(size, k, rng)
+}
+
+var (
+	familyOrder []Family
+	familyIndex = map[string]Family{}
+)
+
+// RegisterFamily adds a family to the global registry; duplicate or
+// empty names panic (a wiring bug, mirroring sweep.Register).
+func RegisterFamily(f Family) {
+	name := f.Name()
+	if name == "" {
+		panic("gen: RegisterFamily with empty name")
 	}
+	if _, dup := familyIndex[name]; dup {
+		panic("gen: duplicate family " + name)
+	}
+	familyIndex[name] = f
+	familyOrder = append(familyOrder, f)
+}
+
+// FamilyByName resolves a registered family name.
+func FamilyByName(name string) (Family, bool) {
+	f, ok := familyIndex[name]
+	return f, ok
+}
+
+// Families returns the registered families in registration (canonical
+// documentation) order. The returned slice must not be modified.
+func Families() []Family { return familyOrder }
+
+// FamilyNames lists the registered family names in canonical order.
+func FamilyNames() []string {
+	out := make([]string, len(familyOrder))
+	for i, f := range familyOrder {
+		out[i] = f.Name()
+	}
+	return out
 }
 
 // ParseDims parses a size token such as "16x16" or "4x4x4" into its
-// dimension list. Components must be positive integers.
+// dimension list. Components must be positive integers, and the product
+// of all components must not exceed MaxVertices — a typo'd
+// "100000x100000" fails here with a clear error instead of an OOM.
 func ParseDims(s string) ([]int, error) {
 	if s == "" {
 		return nil, fmt.Errorf("need -size")
 	}
 	parts := strings.Split(strings.ToLower(s), "x")
 	dims := make([]int, len(parts))
+	total := int64(1)
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("bad size component %q", p)
+		}
+		if int64(v) > MaxVertices {
+			return nil, fmt.Errorf("size component %d exceeds the %d cap", v, MaxVertices)
+		}
+		// total ≤ MaxVertices before the multiply and v ≤ MaxVertices,
+		// so the int64 product cannot overflow.
+		total *= int64(v)
+		if total > MaxVertices {
+			return nil, fmt.Errorf("size %q asks for %d+ vertices (cap %d)", s, total, int64(MaxVertices))
 		}
 		dims[i] = v
 	}
 	return dims, nil
 }
 
-// FromFamily builds a graph of the named family at the given size. The
-// size token is family-specific: a dimension list for mesh/torus, a
-// single integer for hypercube/butterfly/… , and "NxD" (vertices x
-// degree) for rr. k is the chain length used only by the chain family.
-// The returned dims are the parsed mesh/torus dimensions (nil for other
-// families). Randomized families (rr) draw from rng; deterministic
-// families ignore it.
-func FromFamily(family, size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+// checkBudget rejects a family instance whose estimated vertex or edge
+// count exceeds the build caps.
+func checkBudget(family, size string, n, m int64) error {
+	if n > MaxVertices {
+		return fmt.Errorf("family %q size %q needs %d vertices (cap %d)", family, size, n, int64(MaxVertices))
+	}
+	if m > MaxEdges {
+		return fmt.Errorf("family %q size %q needs ~%d edges (cap %d)", family, size, m, int64(MaxEdges))
+	}
+	return nil
+}
+
+// parseSingle parses the size token of a family that takes one integer,
+// rejecting multi-component tokens outright: building Hypercube(0) from
+// a typo'd "6x2" spec would stream plausible-looking n=1 results
+// instead of failing.
+func parseSingle(family, size string, min int) (int, error) {
+	dims, err := ParseDims(size)
+	if err != nil {
+		return 0, err
+	}
+	if len(dims) != 1 {
+		return 0, fmt.Errorf("family %q needs a single integer -size, got %q", family, size)
+	}
+	if dims[0] < min {
+		return 0, fmt.Errorf("family %q needs -size ≥ %d, got %d", family, min, dims[0])
+	}
+	return dims[0], nil
+}
+
+// parsePair parses the "NxD" size token shared by the random-graph
+// families (vertices x degree).
+func parsePair(family, size string) (n, d int, err error) {
 	dims, derr := ParseDims(size)
-	// Families taking a single integer size must reject "6x2"-style
-	// tokens outright: building Hypercube(0) from a typo'd spec would
-	// stream plausible-looking n=1 results instead of failing.
-	one := 0
-	switch family {
-	case "hypercube", "butterfly", "wbutterfly", "ccc", "debruijn",
-		"shuffle", "expander", "complete", "cycle", "path", "chain":
-		if derr == nil && len(dims) != 1 {
-			return nil, nil, fmt.Errorf("family %q needs a single integer -size, got %q", family, size)
-		}
+	if derr != nil || len(dims) != 2 {
+		return 0, 0, fmt.Errorf("%s needs -size NxD (vertices x degree)", family)
 	}
-	if derr == nil && len(dims) == 1 {
-		one = dims[0]
+	return dims[0], dims[1], nil
+}
+
+// latticeFamily builds a mesh-style family whose size token is a full
+// dimension list.
+func latticeFamily(name, doc string, build func(dims ...int) *graph.Graph) Family {
+	return &familyDef{
+		name: name, sizeSyntax: "L1xL2[x…]", doc: doc,
+		build: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			dims, err := ParseDims(size)
+			if err != nil {
+				return nil, nil, err
+			}
+			// ≤ len(dims) edges per vertex in a lattice.
+			if err := checkBudget(name, size, prodDims(dims), prodDims(dims)*int64(len(dims))); err != nil {
+				return nil, nil, err
+			}
+			return build(dims...), dims, nil
+		},
 	}
-	switch family {
-	case "mesh":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		return Mesh(dims...), dims, nil
-	case "torus":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		return Torus(dims...), dims, nil
-	case "hypercube":
-		return Hypercube(one), nil, derr
-	case "butterfly":
-		return Butterfly(one), nil, derr
-	case "wbutterfly":
-		return WrappedButterfly(one), nil, derr
-	case "ccc":
-		return CCC(one), nil, derr
-	case "debruijn":
-		return DeBruijn(one), nil, derr
-	case "shuffle":
-		return ShuffleExchange(one), nil, derr
-	case "expander":
-		return GabberGalil(one), nil, derr
-	case "complete":
-		return Complete(one), nil, derr
-	case "cycle":
-		return Cycle(one), nil, derr
-	case "path":
-		return Path(one), nil, derr
-	case "rr":
-		if derr != nil || len(dims) != 2 {
-			return nil, nil, fmt.Errorf("rr needs -size NxD (vertices x degree)")
-		}
-		return ConnectedRandomRegular(dims[0], dims[1], rng), nil, nil
-	case "chain":
-		if derr != nil {
-			return nil, nil, derr
-		}
-		base := GabberGalil(one)
-		return ChainReplace(base, k).G, nil, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown family %q", family)
+}
+
+func prodDims(dims []int) int64 {
+	p := int64(1)
+	for _, d := range dims {
+		p *= int64(d)
 	}
+	return p
+}
+
+// oneIntFamily builds a family whose size token is a single integer.
+// est (may be nil) maps the parsed size to estimated (vertices, edges)
+// for the budget check; sizes where the estimate itself would overflow
+// must be caught inside est by returning saturated values.
+func oneIntFamily(name, sizeSyntax, doc string, min int, est func(v int) (n, m int64), build func(v int) *graph.Graph) Family {
+	return &familyDef{
+		name: name, sizeSyntax: sizeSyntax, doc: doc,
+		build: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			v, err := parseSingle(name, size, min)
+			if err != nil {
+				return nil, nil, err
+			}
+			if est != nil {
+				n, m := est(v)
+				if err := checkBudget(name, size, n, m); err != nil {
+					return nil, nil, err
+				}
+			}
+			return build(v), nil, nil
+		},
+	}
+}
+
+// pow2Est returns a budget estimator for exponent-sized families
+// (vertex and edge counts polynomial in 2^d), saturating for absurd
+// exponents instead of overflowing.
+func pow2Est(nm func(d int) (int64, int64)) func(int) (int64, int64) {
+	return func(d int) (int64, int64) {
+		if d > 32 {
+			return int64(MaxVertices) + 1, int64(MaxEdges) + 1
+		}
+		return nm(d)
+	}
+}
+
+func init() {
+	// The 14 seed families, in the order they have always been
+	// documented in the CLI help.
+	RegisterFamily(latticeFamily("mesh", "d-dimensional mesh with the given side lengths", Mesh))
+	RegisterFamily(latticeFamily("torus", "d-dimensional torus (mesh with wraparound edges)", Torus))
+	RegisterFamily(oneIntFamily("hypercube", "D", "D-dimensional hypercube on 2^D vertices", 1,
+		pow2Est(func(d int) (int64, int64) { return 1 << d, int64(d) << uint(d-1) }), Hypercube))
+	RegisterFamily(oneIntFamily("butterfly", "D", "unwrapped D-dimensional butterfly on (D+1)·2^D vertices", 1,
+		pow2Est(func(d int) (int64, int64) { return int64(d+1) << uint(d), int64(d) << uint(d+1) }), Butterfly))
+	RegisterFamily(oneIntFamily("wbutterfly", "D", "wrapped butterfly on D·2^D vertices (4-regular)", 1,
+		pow2Est(func(d int) (int64, int64) { return int64(d) << uint(d), int64(d) << uint(d+1) }), WrappedButterfly))
+	RegisterFamily(oneIntFamily("ccc", "D", "cube-connected cycles on D·2^D vertices (degree 3)", 3,
+		pow2Est(func(d int) (int64, int64) { n := int64(d) << uint(d); return n, 3 * n / 2 }), CCC))
+	RegisterFamily(oneIntFamily("debruijn", "D", "binary de Bruijn graph on 2^D vertices", 1,
+		pow2Est(func(d int) (int64, int64) { return 1 << d, 1 << uint(d+1) }), DeBruijn))
+	RegisterFamily(oneIntFamily("shuffle", "D", "binary shuffle-exchange network on 2^D vertices", 1,
+		pow2Est(func(d int) (int64, int64) { return 1 << d, 1 << uint(d+1) }), ShuffleExchange))
+	RegisterFamily(oneIntFamily("expander", "M", "Margulis–Gabber–Galil expander on M² vertices (8-regular)", 2,
+		func(v int) (int64, int64) { n := int64(v) * int64(v); return n, 4 * n }, GabberGalil))
+	RegisterFamily(oneIntFamily("complete", "N", "complete graph K_N", 1,
+		func(v int) (int64, int64) { n := int64(v); return n, n * (n - 1) / 2 }, Complete))
+	RegisterFamily(oneIntFamily("cycle", "N", "N-cycle", 1,
+		func(v int) (int64, int64) { return int64(v), int64(v) }, Cycle))
+	RegisterFamily(oneIntFamily("path", "N", "path graph on N vertices", 1,
+		func(v int) (int64, int64) { return int64(v), int64(v) }, Path))
+	RegisterFamily(&familyDef{
+		name: "rr", sizeSyntax: "NxD",
+		doc: "connected random D-regular graph on N vertices",
+		build: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("rr", size)
+			if err != nil {
+				return nil, nil, err
+			}
+			// ConnectedRandomRegular retries until connected, so degrees
+			// that are almost surely disconnected (d ≤ 1 on n > 2) or
+			// infeasible would loop forever — reject them here.
+			if d >= n || (d == 1 && n != 2) || n*d%2 != 0 {
+				return nil, nil, fmt.Errorf("rr size %q infeasible: need 2 ≤ D < N with N·D even", size)
+			}
+			if err := checkBudget("rr", size, int64(n), int64(n)*int64(d)/2); err != nil {
+				return nil, nil, err
+			}
+			return ConnectedRandomRegular(n, d, rng), nil, nil
+		},
+	})
+	RegisterFamily(&familyDef{
+		name: "chain", sizeSyntax: "M",
+		kUse: "chain length: internal vertices replacing each base-expander edge",
+		doc:  "Theorem 2.3 chain construction over an expander base of side M",
+		build: func(size string, k int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			v, err := parseSingle("chain", size, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if k < 1 {
+				return nil, nil, fmt.Errorf("chain needs k ≥ 1, got %d", k)
+			}
+			n0 := int64(v) * int64(v)
+			m0 := 4 * n0 // GabberGalil is ≤ 8-regular
+			// Check the base and the k multiplier separately so the
+			// m0·k product can never overflow int64 before the cap test.
+			if err := checkBudget("chain", size, n0, m0); err != nil {
+				return nil, nil, err
+			}
+			if int64(k) > int64(MaxEdges)/m0 {
+				return nil, nil, fmt.Errorf("family %q size %q with k=%d needs more than %d chain edges (cap %d)",
+					"chain", size, k, int64(MaxEdges), int64(MaxEdges))
+			}
+			if err := checkBudget("chain", size, n0+m0*int64(k), m0*int64(k+1)); err != nil {
+				return nil, nil, err
+			}
+			base := GabberGalil(v)
+			return ChainReplace(base, k).G, nil, nil
+		},
+	})
+
+	// Randomized families motivated by the related work (PAPERS.md):
+	// Erdős–Rényi graphs, Watts–Strogatz small worlds (Demichev et al.),
+	// and shortcut-augmented lattices (Hayashi & Matsukubo).
+	RegisterFamily(&familyDef{
+		name: "gnp", sizeSyntax: "NxD",
+		doc: "Erdős–Rényi G(n,p) on N vertices at expected degree D (p = D/(N−1))",
+		build: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("gnp", size)
+			if err != nil {
+				return nil, nil, err
+			}
+			if n < 2 || d >= n {
+				return nil, nil, fmt.Errorf("gnp size %q infeasible: need N ≥ 2 and D < N", size)
+			}
+			if err := checkBudget("gnp", size, int64(n), int64(n)*int64(d)/2+1); err != nil {
+				return nil, nil, err
+			}
+			return GNP(n, float64(d)/float64(n-1), rng), nil, nil
+		},
+	})
+	RegisterFamily(&familyDef{
+		name: "smallworld", sizeSyntax: "NxD",
+		kUse: "number of randomly rewired lattice edges (Watts–Strogatz)",
+		doc:  "Watts–Strogatz ring lattice C(N,D) with k edges randomly rewired",
+		build: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("smallworld", size)
+			if err != nil {
+				return nil, nil, err
+			}
+			if n < 3 || d < 2 || d%2 != 0 || d >= n {
+				return nil, nil, fmt.Errorf("smallworld size %q infeasible: need N ≥ 3 and even 2 ≤ D < N", size)
+			}
+			m := int64(n) * int64(d) / 2
+			if k < 0 || int64(k) > m {
+				return nil, nil, fmt.Errorf("smallworld k=%d outside [0, %d] (the lattice's edge count)", k, m)
+			}
+			if err := checkBudget("smallworld", size, int64(n), m); err != nil {
+				return nil, nil, err
+			}
+			return SmallWorld(n, d, k, rng), nil, nil
+		},
+	})
+	RegisterFamily(&familyDef{
+		name: "shortcut", sizeSyntax: "L1xL2[x…]",
+		kUse: "number of random shortcut edges added to the mesh",
+		doc:  "mesh of the given side lengths plus k random shortcut edges",
+		build: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			dims, err := ParseDims(size)
+			if err != nil {
+				return nil, nil, err
+			}
+			if k < 0 || k > MaxEdges {
+				return nil, nil, fmt.Errorf("shortcut k=%d outside [0, %d]", k, MaxEdges)
+			}
+			n := prodDims(dims)
+			if err := checkBudget("shortcut", size, n, n*int64(len(dims))+int64(k)); err != nil {
+				return nil, nil, err
+			}
+			base := Mesh(dims...)
+			// Keep rejection sampling in Shortcut fast: require at least
+			// half the non-edges to stay free.
+			free := n*(n-1)/2 - int64(base.M())
+			if int64(k) > free/2 {
+				return nil, nil, fmt.Errorf("shortcut k=%d exceeds %d placeable shortcuts on %q", k, free/2, size)
+			}
+			return Shortcut(base, k, rng), dims, nil
+		},
+	})
+}
+
+// FromFamily builds a graph of the named family at the given size — a
+// thin wrapper over the registry, kept for the CLI and older callers.
+// The size token is family-specific (each Family documents its
+// SizeSyntax); k is the family parameter used by chain (chain length),
+// smallworld (rewired edges), and shortcut (shortcut edges), and is
+// ignored by every other family. The returned dims are the parsed
+// lattice dimensions (nil for non-lattice families). Randomized
+// families draw from rng; deterministic families ignore it.
+func FromFamily(family, size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+	f, ok := FamilyByName(family)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown family %q (have %s)", family, strings.Join(FamilyNames(), ", "))
+	}
+	return f.Build(size, k, rng)
 }

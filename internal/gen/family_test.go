@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"strings"
 	"testing"
 
 	"faultexp/internal/xrand"
@@ -95,6 +96,196 @@ func TestFromFamily(t *testing.T) {
 	for _, fam := range []string{"hypercube", "expander", "complete", "chain"} {
 		if _, _, err := FromFamily(fam, "4x4", 2, rng); err == nil {
 			t.Errorf("FromFamily(%s, 4x4) should error", fam)
+		}
+	}
+	// New randomized families.
+	for _, c := range []struct {
+		family, size string
+		k, wantN     int
+	}{
+		{"gnp", "40x4", 0, 40},
+		{"smallworld", "32x4", 0, 32},
+		{"smallworld", "32x4", 5, 32},
+		{"shortcut", "4x4", 0, 16},
+		{"shortcut", "4x4", 6, 16},
+	} {
+		g, _, err := FromFamily(c.family, c.size, c.k, rng)
+		if err != nil {
+			t.Errorf("FromFamily(%s, %s, k=%d): %v", c.family, c.size, c.k, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("FromFamily(%s, %s): n=%d, want %d", c.family, c.size, g.N(), c.wantN)
+		}
+	}
+	// smallworld preserves the lattice's edge count; shortcut adds
+	// exactly k edges on top of the base mesh.
+	if g, _, _ := FromFamily("smallworld", "32x4", 5, rng); g.M() != 64 {
+		t.Errorf("smallworld:32x4:5 has m=%d, want 64", g.M())
+	}
+	if g, _, _ := FromFamily("shortcut", "4x4", 6, rng); g.M() != 24+6 {
+		t.Errorf("shortcut:4x4:6 has m=%d, want 30", g.M())
+	}
+}
+
+// TestRegistryLookups pins the registry surface: every documented name
+// resolves, order is canonical, metadata is populated.
+func TestRegistryLookups(t *testing.T) {
+	names := FamilyNames()
+	if len(names) < 17 {
+		t.Fatalf("%d families registered, want ≥ 17", len(names))
+	}
+	if names[0] != "mesh" || names[1] != "torus" {
+		t.Errorf("canonical order starts %v, want mesh, torus, …", names[:2])
+	}
+	for _, want := range []string{"gnp", "smallworld", "shortcut"} {
+		if _, ok := FamilyByName(want); !ok {
+			t.Errorf("family %q not registered", want)
+		}
+	}
+	if _, ok := FamilyByName("nosuch"); ok {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+	kFamilies := map[string]bool{"chain": true, "smallworld": true, "shortcut": true}
+	for _, f := range Families() {
+		if f.Name() == "" || f.SizeSyntax() == "" || f.Doc() == "" {
+			t.Errorf("family %q has empty metadata: syntax=%q doc=%q", f.Name(), f.SizeSyntax(), f.Doc())
+		}
+		if got := f.KUse() != ""; got != kFamilies[f.Name()] {
+			t.Errorf("family %q KUse()=%q, want k-use=%v", f.Name(), f.KUse(), kFamilies[f.Name()])
+		}
+	}
+}
+
+// TestFamilyErrorPaths feeds every family a malformed size token (and
+// family-specific infeasible parameters) and demands a clear error.
+func TestFamilyErrorPaths(t *testing.T) {
+	rng := xrand.New(1)
+	bad := map[string][]string{
+		"mesh":       {"", "axb", "0x4"},
+		"torus":      {"", "-2x3"},
+		"hypercube":  {"", "4x4", "x"},
+		"butterfly":  {"", "3x3"},
+		"wbutterfly": {"", "2x2"},
+		"ccc":        {"", "2", "3x3"}, // ccc needs D ≥ 3
+		"debruijn":   {"", "4x4"},
+		"shuffle":    {"", "4x4"},
+		"expander":   {"", "1", "5x5"}, // expander needs M ≥ 2
+		"complete":   {"", "7x7"},
+		"cycle":      {"", "9x9"},
+		"path":       {"", "6x6"},
+		"rr":         {"", "7", "20x3x2", "20x21", "3x1", "9x3"}, // d<n, d≥2, n·d even
+		"chain":      {"", "4x4", "1"},                           // base needs M ≥ 2
+		"gnp":        {"", "40", "40x40", "1x0"},                 // D < N, N ≥ 2
+		"smallworld": {"", "32", "32x3", "32x32", "2x2"},         // even 2 ≤ D < N, N ≥ 3
+		"shortcut":   {"", "0x4", "axb"},
+	}
+	for family, sizes := range bad {
+		for _, size := range sizes {
+			if _, _, err := FromFamily(family, size, 1, rng); err == nil {
+				t.Errorf("FromFamily(%s, %q) should error", family, size)
+			}
+		}
+	}
+	// Family-parameter errors. Negative k must error cleanly, not panic
+	// in the generator (the CLI -k flag accepts any int).
+	if _, _, err := FromFamily("chain", "4", 0, rng); err == nil {
+		t.Error("chain with k=0 should error")
+	}
+	if _, _, err := FromFamily("smallworld", "32x4", 65, rng); err == nil {
+		t.Error("smallworld with k > m should error")
+	}
+	if _, _, err := FromFamily("smallworld", "32x4", -1, rng); err == nil {
+		t.Error("smallworld with negative k should error")
+	}
+	if _, _, err := FromFamily("shortcut", "3x3", 100, rng); err == nil {
+		t.Error("shortcut with k > free/2 should error")
+	}
+	if _, _, err := FromFamily("shortcut", "3x3", -1, rng); err == nil {
+		t.Error("shortcut with negative k should error")
+	}
+}
+
+// TestSizeCaps is the OOM guard: absurd size tokens must fail fast with
+// an error, not allocate.
+func TestSizeCaps(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := ParseDims("100000x100000"); err == nil {
+		t.Error("ParseDims(100000x100000) should exceed the vertex cap")
+	}
+	if _, err := ParseDims("99999999999999999999"); err == nil {
+		t.Error("ParseDims with an overflowing component should error")
+	}
+	if dims, err := ParseDims("1024x1024"); err != nil || len(dims) != 2 {
+		t.Errorf("ParseDims(1024x1024) = %v, %v; want accepted", dims, err)
+	}
+	for _, c := range []struct{ family, size string }{
+		{"mesh", "100000x100000"},
+		{"hypercube", "60"},
+		{"hypercube", "28"}, // 2^28 vertices > MaxVertices
+		{"butterfly", "40"},
+		{"complete", "100000"}, // n² / 2 edges > MaxEdges
+		{"expander", "8192"},   // 67M vertices
+		{"chain", "4000"},      // 16M base vertices + 64M·k chain vertices
+		{"rr", "16777215x9"},   // odd n·d and edge budget
+		{"gnp", "16000000x20"}, // 160M expected edges
+	} {
+		if _, _, err := FromFamily(c.family, c.size, 1, rng); err == nil {
+			t.Errorf("FromFamily(%s, %s) should exceed a budget cap", c.family, c.size)
+		}
+	}
+	// chain's m0·k estimate must not overflow int64 past the cap check:
+	// a small base with an astronomically large k has to fail cleanly.
+	for _, k := range []int{10000000, 1 << 50} {
+		if _, _, err := FromFamily("chain", "100", k, rng); err == nil {
+			t.Errorf("FromFamily(chain, 100, k=%d) should exceed the edge cap", k)
+		}
+	}
+}
+
+// TestRandomizedFamilyDeterminism is the registry's reproducibility
+// contract: for every randomized family, the same (size, k, seed)
+// yields a byte-identical edge list, and different seeds yield
+// different graphs.
+func TestRandomizedFamilyDeterminism(t *testing.T) {
+	cases := []struct {
+		family, size string
+		k            int
+	}{
+		{"rr", "48x3", 0},
+		{"gnp", "64x4", 0},
+		{"smallworld", "64x4", 12},
+		{"shortcut", "6x6", 10},
+	}
+	for _, c := range cases {
+		dump := func(seed uint64) string {
+			g, _, err := FromFamily(c.family, c.size, c.k, xrand.New(seed))
+			if err != nil {
+				t.Fatalf("FromFamily(%s, %s, k=%d): %v", c.family, c.size, c.k, err)
+			}
+			var b strings.Builder
+			if err := g.Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		if dump(7) != dump(7) {
+			t.Errorf("%s:%s:%d: same seed produced different graphs", c.family, c.size, c.k)
+		}
+		if dump(7) == dump(8) {
+			t.Errorf("%s:%s:%d: different seeds produced identical graphs", c.family, c.size, c.k)
+		}
+	}
+	// Deterministic families must ignore the RNG entirely.
+	for _, fam := range []string{"mesh", "hypercube", "expander"} {
+		size := map[string]string{"mesh": "4x4", "hypercube": "4", "expander": "4"}[fam]
+		g1, _, _ := FromFamily(fam, size, 1, xrand.New(1))
+		g2, _, _ := FromFamily(fam, size, 1, xrand.New(999))
+		var b1, b2 strings.Builder
+		g1.Write(&b1)
+		g2.Write(&b2)
+		if b1.String() != b2.String() {
+			t.Errorf("deterministic family %q varied with the seed", fam)
 		}
 	}
 }

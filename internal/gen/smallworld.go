@@ -1,0 +1,138 @@
+package gen
+
+// Small-world and shortcut-augmented generators, motivated by the
+// related work on fault tolerance beyond the paper's structured
+// topologies: Watts–Strogatz-style rewired lattices (Demichev et al.,
+// "Fault Tolerance of Small-World Regular and Stochastic Interconnection
+// Networks") and lattices hardened with random shortcut edges (Hayashi &
+// Matsukubo, "Improvement of the robustness on geographical networks by
+// adding shortcuts"). Both keep the library's determinism contract:
+// identical (parameters, rng state) produce byte-identical graphs.
+
+import (
+	"fmt"
+	"sort"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// RingLattice returns the ring lattice C(n, d): n vertices on a cycle,
+// each joined to its d nearest neighbors (d even, d/2 on each side) —
+// the Watts–Strogatz substrate. Requires n ≥ 3 and even 2 ≤ d < n.
+func RingLattice(n, d int) *graph.Graph {
+	if n < 3 || d < 2 || d%2 != 0 || d >= n {
+		panic(fmt.Sprintf("gen: RingLattice needs n ≥ 3 and even 2 ≤ d < n, got n=%d d=%d", n, d))
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= d/2; j++ {
+			b.AddEdge(v, (v+j)%n)
+		}
+	}
+	return b.Build()
+}
+
+// SmallWorld returns a Watts–Strogatz small-world graph with an exact
+// rewire count: starting from RingLattice(n, d), `rewires` distinct
+// lattice edges are chosen uniformly and each has its far endpoint
+// redirected to a uniform random vertex (no self-loops, no duplicate
+// edges), preserving the edge count. Using an exact count rather than a
+// per-edge probability keeps the family's size token integral and the
+// output graph size deterministic.
+func SmallWorld(n, d, rewires int, rng *xrand.RNG) *graph.Graph {
+	base := RingLattice(n, d)
+	if rewires == 0 {
+		return base
+	}
+	edges := base.Edges()
+	if rewires < 0 || rewires > len(edges) {
+		panic(fmt.Sprintf("gen: SmallWorld rewires=%d outside [0, %d]", rewires, len(edges)))
+	}
+	seen := make(map[[2]int32]bool, len(edges))
+	key := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+	for _, e := range edges {
+		seen[key(e[0], e[1])] = true
+	}
+	picked := rng.SampleK(len(edges), rewires)
+	// Canonical processing order, so the rewire sequence depends only on
+	// which edges were picked, not on SampleK's internal ordering.
+	sort.Ints(picked)
+	for _, ei := range picked {
+		u, v := edges[ei][0], edges[ei][1]
+		// Find a fresh endpoint w for u. The original edge is still in
+		// `seen`, so w == v is excluded automatically. Random probing
+		// first; if u's neighborhood is nearly saturated, fall back to a
+		// deterministic scan, and keep the original edge when no free
+		// endpoint exists at all.
+		w := int32(-1)
+		for try := 0; try < 4*n; try++ {
+			c := int32(rng.Intn(n))
+			if c != u && !seen[key(u, c)] {
+				w = c
+				break
+			}
+		}
+		if w < 0 {
+			for c := int32(0); c < int32(n); c++ {
+				if c != u && !seen[key(u, c)] {
+					w = c
+					break
+				}
+			}
+		}
+		if w < 0 {
+			continue // u is adjacent to every other vertex; keep the edge
+		}
+		delete(seen, key(u, v))
+		seen[key(u, w)] = true
+		edges[ei] = [2]int32{u, w}
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	return b.Build()
+}
+
+// Shortcut returns base plus k random shortcut edges: k distinct
+// uniformly-chosen vertex pairs that are not already adjacent. The base
+// graph is not modified. Callers must leave enough free pairs for
+// rejection sampling to terminate quickly (the registry's shortcut
+// family enforces k ≤ free/2); k exceeding the number of non-edges
+// panics.
+func Shortcut(base *graph.Graph, k int, rng *xrand.RNG) *graph.Graph {
+	n := base.N()
+	if k < 0 {
+		panic("gen: Shortcut needs k ≥ 0")
+	}
+	free := int64(n)*int64(n-1)/2 - int64(base.M())
+	if int64(k) > free {
+		panic(fmt.Sprintf("gen: Shortcut k=%d exceeds %d available non-edges", k, free))
+	}
+	b := graph.NewBuilder(n)
+	base.ForEachEdge(func(u, v int) { b.AddEdge(u, v) })
+	seen := make(map[[2]int32]bool, k)
+	for added := 0; added < k; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if seen[key] || base.HasEdge(u, v) {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+		added++
+	}
+	return b.Build()
+}

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"testing"
+
+	"faultexp/internal/xrand"
+)
+
+func TestRingLattice(t *testing.T) {
+	g := RingLattice(12, 4)
+	if g.N() != 12 || g.M() != 24 {
+		t.Fatalf("RingLattice(12,4) = %v, want n=12 m=24", g)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("RingLattice(12,4) degree(%d)=%d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("ring lattice should be connected")
+	}
+	for _, bad := range [][2]int{{2, 2}, {8, 3}, {8, 8}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RingLattice(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			RingLattice(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSmallWorldPreservesEdgeCount(t *testing.T) {
+	for _, rewires := range []int{0, 1, 10, 64} {
+		g := SmallWorld(64, 4, rewires, xrand.New(3))
+		if g.N() != 64 {
+			t.Fatalf("SmallWorld n=%d, want 64", g.N())
+		}
+		if g.M() != 128 {
+			t.Errorf("SmallWorld(64, 4, rewires=%d) has m=%d, want 128 (rewiring must preserve edge count)", rewires, g.M())
+		}
+	}
+	// Rewiring must actually change the graph.
+	base := RingLattice(64, 4)
+	g := SmallWorld(64, 4, 16, xrand.New(3))
+	diff := 0
+	g.ForEachEdge(func(u, v int) {
+		if !base.HasEdge(u, v) {
+			diff++
+		}
+	})
+	if diff == 0 {
+		t.Error("SmallWorld with 16 rewires left the lattice unchanged")
+	}
+}
+
+// TestSmallWorldSaturated drives the rewire loop into its fallback: on
+// a near-complete graph most candidate endpoints are taken, and for a
+// fully saturated vertex the original edge must be kept (never lost).
+func TestSmallWorldSaturated(t *testing.T) {
+	// n=6, d=4: ring lattice is K6 minus a perfect matching (each v
+	// misses only v+3). Every rewire can only move an edge onto a
+	// diagonal or keep it; edge count must be exactly preserved.
+	g := SmallWorld(6, 4, 12, xrand.New(11))
+	if g.M() != 12 {
+		t.Fatalf("saturated SmallWorld has m=%d, want 12", g.M())
+	}
+}
+
+func TestShortcut(t *testing.T) {
+	base := Mesh(5, 5)
+	g := Shortcut(base, 7, xrand.New(9))
+	if g.N() != base.N() || g.M() != base.M()+7 {
+		t.Fatalf("Shortcut added %d edges, want 7", g.M()-base.M())
+	}
+	// Every base edge survives.
+	base.ForEachEdge(func(u, v int) {
+		if !g.HasEdge(u, v) {
+			t.Fatalf("Shortcut dropped base edge {%d,%d}", u, v)
+		}
+	})
+	if got := Shortcut(base, 0, xrand.New(9)); got.M() != base.M() {
+		t.Errorf("Shortcut(k=0) changed the edge count")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Shortcut with k > non-edges should panic")
+			}
+		}()
+		Shortcut(Complete(4), 1, xrand.New(1))
+	}()
+}

@@ -1,0 +1,228 @@
+package sweep
+
+// Sharded execution: a big grid can be split round-robin across
+// processes or machines (`faultexp sweep -shard i/m`) and the per-shard
+// JSONL streams merged back (`faultexp merge`) into output
+// byte-identical to the unsharded run. This falls out of the existing
+// determinism design: a cell's seed depends only on its semantic key,
+// so which process executes it cannot change its bytes, and round-robin
+// assignment makes the merge a pure line interleave — no parsing, no
+// re-sorting, no coordination between shards.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Shard selects the subset of grid cells one process executes: cell i
+// of the expanded grid runs on shard i mod Count. Count ≤ 1 disables
+// sharding (the whole grid runs). Shards are independent — no shared
+// state, no ordering constraints between their runs.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// Enabled reports whether the shard actually restricts the cell set.
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// Validate checks 0 ≤ Index < Count (for Count ≥ 1; the zero value is
+// valid and means "no sharding").
+func (s Shard) Validate() error {
+	if s.Count < 0 || s.Index < 0 || (s.Count > 0 && s.Index >= s.Count) {
+		return fmt.Errorf("sweep: shard %d/%d out of range (want 0 ≤ i < m)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the shard in the CLI "i/m" form.
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// ParseShard parses the CLI token "i/m" (0-based: shards of a 3-way
+// split are 0/3, 1/3, 2/3).
+func ParseShard(tok string) (Shard, error) {
+	is, ms, ok := strings.Cut(strings.TrimSpace(tok), "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: shard token %q, want i/m (e.g. 0/3)", tok)
+	}
+	i, err1 := strconv.Atoi(is)
+	m, err2 := strconv.Atoi(ms)
+	if err1 != nil || err2 != nil || m < 1 || i < 0 || i >= m {
+		return Shard{}, fmt.Errorf("sweep: shard token %q, want i/m with 0 ≤ i < m", tok)
+	}
+	return Shard{Index: i, Count: m}, nil
+}
+
+// shardLineCount returns how many of total round-robin-assigned records
+// land on shard i of m.
+func shardLineCount(total, i, m int) int {
+	return (total - i + m - 1) / m
+}
+
+// shardStream reads one shard's JSONL stream a line at a time, skipping
+// blank lines.
+type shardStream struct {
+	sc   *bufio.Scanner
+	done bool
+}
+
+// next returns the shard's next non-blank line (valid until the next
+// call), or ok=false at EOF.
+func (s *shardStream) next() (line []byte, ok bool, err error) {
+	if s.done {
+		return nil, false, nil
+	}
+	for s.sc.Scan() {
+		if len(bytes.TrimSpace(s.sc.Bytes())) == 0 {
+			continue
+		}
+		return s.sc.Bytes(), true, nil
+	}
+	s.done = true
+	return nil, false, s.sc.Err()
+}
+
+// MergeShards reassembles the output of a sharded sweep, streaming: it
+// holds one line per shard in memory, so multi-gigabyte grids merge in
+// O(shards) space. shards are the per-shard JSONL streams, given in
+// shard order (0/m first); jsonl (if non-nil) receives the original
+// lines byte-for-byte, interleaved back into unsharded cell order; w
+// (if non-nil) receives every record decoded and re-emitted in the same
+// order — pass a CSV writer to produce the merged CSV. Returns the
+// number of merged records.
+//
+// Byte identity with the unsharded run holds for the JSONL output
+// because lines pass through untouched; for the CSV output because the
+// CSV encoding is a pure function of the decoded Result (fixed column
+// order, sorted metric keys, shortest-round-trip floats).
+//
+// The shard record counts are checked against the round-robin profile
+// (shard i holds cells i, i+m, i+2m, … — counts non-increasing across
+// the file list, spread ≤ 1): a truncated file or unequal-length files
+// in the wrong order are refused. The profile check alone cannot catch
+// equal-length files swapped or an equal-length subset of the shards —
+// pass the grid spec (nil to skip) and the merge additionally checks
+// every record's seed against its exact cell position, which catches
+// both. Output may be partially written when an error is returned.
+func MergeShards(shards []io.Reader, jsonl io.Writer, w Writer, spec *Spec) (merged int, err error) {
+	if len(shards) == 0 {
+		return 0, fmt.Errorf("sweep: merge needs at least one shard")
+	}
+	var cells []Cell
+	if spec != nil {
+		if err := spec.Validate(); err != nil {
+			return 0, err
+		}
+		cells = spec.Cells()
+	}
+	streams := make([]*shardStream, len(shards))
+	for i, r := range shards {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+		streams[i] = &shardStream{sc: sc}
+	}
+	var bw *bufio.Writer
+	if jsonl != nil {
+		bw = bufio.NewWriter(jsonl)
+	}
+	flush := func() error {
+		if bw != nil {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("sweep: flushing merged JSONL: %w", err)
+			}
+		}
+		if w != nil {
+			if err := w.Flush(); err != nil {
+				return fmt.Errorf("sweep: flushing merged records: %w", err)
+			}
+		}
+		return nil
+	}
+	emit := func(shard int, line []byte) error {
+		if cells != nil && merged >= len(cells) {
+			return fmt.Errorf("sweep: shards hold more records than the spec's %d cells", len(cells))
+		}
+		if bw != nil {
+			if _, err := bw.Write(line); err != nil {
+				return fmt.Errorf("sweep: writing merged JSONL: %w", err)
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return fmt.Errorf("sweep: writing merged JSONL: %w", err)
+			}
+		}
+		if w != nil || cells != nil {
+			var res Result
+			if err := json.Unmarshal(line, &res); err != nil {
+				return fmt.Errorf("sweep: shard %d record %d: %w", shard, merged, err)
+			}
+			if cells != nil {
+				// Cell seeds are unique per semantic key, so a seed match
+				// pins the record to its exact grid position.
+				if c := cells[merged]; res.Seed != c.Seed {
+					return fmt.Errorf("sweep: record %d (shard %d) is cell %s/%s/%s rate %s seed %d, want seed %d — shard files out of order or from a different grid",
+						merged, shard, res.Family, res.Measure, res.Model, rateToken(res.Rate), res.Seed, c.Seed)
+				}
+			}
+			if w != nil {
+				if err := w.Write(&res); err != nil {
+					return fmt.Errorf("sweep: writing merged record: %w", err)
+				}
+			}
+		}
+		merged++
+		return nil
+	}
+	for {
+		// One interleave round: a line from each shard in order. Once a
+		// shard is exhausted, every later shard must be exhausted too
+		// (round-robin counts are non-increasing), and after a partial
+		// round the merge is over — any shard still holding lines means
+		// the files are truncated or misordered.
+		sawEOF := -1
+		sawLine := false
+		for i, s := range streams {
+			line, ok, err := s.next()
+			if err != nil {
+				return merged, fmt.Errorf("sweep: reading shard %d: %w", i, err)
+			}
+			if !ok {
+				if sawEOF < 0 {
+					sawEOF = i
+				}
+				continue
+			}
+			if sawEOF >= 0 {
+				return merged, fmt.Errorf("sweep: shard %d has more records than shard %d — shard files truncated or not in 0/%d..%d/%d order",
+					i, sawEOF, len(shards), len(shards)-1, len(shards))
+			}
+			sawLine = true
+			if err := emit(i, line); err != nil {
+				return merged, err
+			}
+		}
+		if !sawLine {
+			break
+		}
+		if sawEOF >= 0 {
+			// Partial final round: every shard must now be dry.
+			for i, s := range streams {
+				if _, ok, err := s.next(); err != nil {
+					return merged, fmt.Errorf("sweep: reading shard %d: %w", i, err)
+				} else if ok {
+					return merged, fmt.Errorf("sweep: shard %d has more records than shard %d — shard files truncated or not in 0/%d..%d/%d order",
+						i, sawEOF, len(shards), len(shards)-1, len(shards))
+				}
+			}
+			break
+		}
+	}
+	if cells != nil && merged != len(cells) {
+		return merged, fmt.Errorf("sweep: shards hold %d records but the spec expands to %d cells", merged, len(cells))
+	}
+	return merged, flush()
+}

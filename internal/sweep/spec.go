@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"faultexp/internal/faults"
+	"faultexp/internal/gen"
 	"faultexp/internal/xrand"
 )
 
@@ -37,22 +38,48 @@ const (
 )
 
 // Models lists the supported fault models, in canonical order.
-func Models() []string {
-	ms := faults.Models()
-	out := make([]string, len(ms))
-	for i, m := range ms {
-		out[i] = m.Name()
-	}
-	return out
-}
+func Models() []string { return faults.ModelNames() }
 
 // FamilySpec names one graph of the generator zoo: a family plus its
-// size token (gen.FromFamily semantics). K is the chain length, used
-// only by the chain family.
+// size token (gen registry semantics). K is the family parameter —
+// chain length for chain, rewired edges for smallworld, shortcut edges
+// for shortcut — and must be zero for families whose KUse is empty.
 type FamilySpec struct {
 	Family string `json:"family"`
 	Size   string `json:"size"`
 	K      int    `json:"k,omitempty"`
+}
+
+// Validate checks the entry against the gen family registry: the family
+// must be registered, and a k parameter is only allowed where the
+// family declares a use for it.
+func (f FamilySpec) Validate() error {
+	if f.Family == "" || f.Size == "" {
+		return fmt.Errorf("sweep: family entry %+v missing family or size", f)
+	}
+	fam, ok := gen.FamilyByName(f.Family)
+	if !ok {
+		return fmt.Errorf("sweep: unknown family %q (have %s)", f.Family, strings.Join(gen.FamilyNames(), ", "))
+	}
+	if f.K < 0 {
+		return fmt.Errorf("sweep: family %q has negative k %d", f.Family, f.K)
+	}
+	if f.K > 0 && fam.KUse() == "" {
+		return fmt.Errorf("sweep: family %q takes no k parameter (only %s)", f.Family, strings.Join(familiesWithK(), ", "))
+	}
+	return nil
+}
+
+// familiesWithK lists the registered families that accept a k
+// parameter, for error messages.
+func familiesWithK() []string {
+	var out []string
+	for _, fam := range gen.Families() {
+		if fam.KUse() != "" {
+			out = append(out, fam.Name())
+		}
+	}
+	return out
 }
 
 // String renders the spec in the CLI token form family:size[:k].
@@ -63,19 +90,26 @@ func (f FamilySpec) String() string {
 	return f.Family + ":" + f.Size
 }
 
-// ParseFamily parses a family:size[:k] token.
+// ParseFamily parses a family:size[:k] token against the gen family
+// registry: the family must be registered, and the :k suffix is only
+// accepted for families that declare a use for it (chain, smallworld,
+// shortcut) — previously any family silently accepted (and ignored) a
+// chain-length suffix.
 func ParseFamily(tok string) (FamilySpec, error) {
 	parts := strings.Split(strings.TrimSpace(tok), ":")
-	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
 		return FamilySpec{}, fmt.Errorf("sweep: family token %q, want family:size[:k]", tok)
 	}
 	f := FamilySpec{Family: parts[0], Size: parts[1]}
-	if len(parts) >= 3 {
+	if len(parts) == 3 {
 		k, err := strconv.Atoi(parts[2])
 		if err != nil || k < 1 {
-			return FamilySpec{}, fmt.Errorf("sweep: bad chain length in %q", tok)
+			return FamilySpec{}, fmt.Errorf("sweep: bad k parameter in %q", tok)
 		}
 		f.K = k
+	}
+	if err := f.Validate(); err != nil {
+		return FamilySpec{}, fmt.Errorf("%w (token %q)", err, tok)
 	}
 	return f, nil
 }
@@ -95,6 +129,21 @@ func ParseFamilies(list string) ([]FamilySpec, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("sweep: empty family list")
+	}
+	return out, nil
+}
+
+// ParseModels parses and validates a comma-separated list of fault
+// models.
+func ParseModels(list string) ([]string, error) {
+	var out []string
+	for _, tok := range strings.Split(list, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	if err := faults.ValidateModels(out); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
 	}
 	return out, nil
 }
@@ -119,17 +168,34 @@ func ParseRates(list string) ([]float64, error) {
 }
 
 // Spec is a declarative parameter grid. The cell set is the cross
-// product Families × Measures × Rates; each cell runs Trials trials.
+// product Families × Measures × Models × Rates; each cell runs Trials
+// trials.
 type Spec struct {
 	Families []FamilySpec `json:"families"`
 	Measures []string     `json:"measures"`
-	Model    string       `json:"model"`
-	Rates    []float64    `json:"rates"`
-	Trials   int          `json:"trials"`
-	Seed     uint64       `json:"seed"`
+	// Models is the fault-model axis of the grid.
+	Models []string `json:"models,omitempty"`
+	// Model is the legacy scalar form of Models, still accepted in spec
+	// JSON; Validate folds it into Models. Setting both is an error.
+	Model  string    `json:"model,omitempty"`
+	Rates  []float64 `json:"rates"`
+	Trials int       `json:"trials"`
+	Seed   uint64    `json:"seed"`
 	// Workers is the default pool size (0 = GOMAXPROCS); it affects
 	// wall-clock only, never the output bytes.
 	Workers int `json:"workers,omitempty"`
+}
+
+// modelList returns the effective fault-model axis, honoring the legacy
+// scalar field when the list is unset.
+func (s *Spec) modelList() []string {
+	if len(s.Models) > 0 {
+		return s.Models
+	}
+	if s.Model != "" {
+		return []string{s.Model}
+	}
+	return nil
 }
 
 // Load reads and validates a JSON grid spec.
@@ -146,15 +212,17 @@ func Load(r io.Reader) (*Spec, error) {
 	return &s, nil
 }
 
-// Validate checks the grid is well-formed and every measure is
-// registered.
+// Validate checks the grid is well-formed: every family entry passes
+// the gen registry (known family, k only where meaningful), every
+// measure and fault model is registered, and the legacy scalar model
+// field is folded into the Models list.
 func (s *Spec) Validate() error {
 	if len(s.Families) == 0 {
 		return fmt.Errorf("sweep: no families")
 	}
 	for _, f := range s.Families {
-		if f.Family == "" || f.Size == "" {
-			return fmt.Errorf("sweep: family entry %+v missing family or size", f)
+		if err := f.Validate(); err != nil {
+			return err
 		}
 	}
 	if len(s.Measures) == 0 {
@@ -165,11 +233,15 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: unknown measure %q (have %s)", m, strings.Join(Measures(), ", "))
 		}
 	}
-	switch s.Model {
-	case ModelIIDNode, ModelIIDEdge, ModelAdversarial:
-	default:
-		return fmt.Errorf("sweep: unknown fault model %q (have %s)", s.Model, strings.Join(Models(), ", "))
+	if s.Model != "" && len(s.Models) > 0 {
+		return fmt.Errorf("sweep: spec sets both models and the legacy scalar model; use models")
 	}
+	if err := faults.ValidateModels(s.modelList()); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	// Normalize the legacy scalar so downstream consumers see one form.
+	s.Models = s.modelList()
+	s.Model = ""
 	if len(s.Rates) == 0 {
 		return fmt.Errorf("sweep: no rates")
 	}
@@ -216,21 +288,27 @@ func GraphSeed(gridSeed uint64, f FamilySpec) uint64 {
 }
 
 // Cells expands the grid in deterministic order: families × measures ×
-// rates, rates innermost.
+// models × rates, rates innermost. A single-model grid therefore
+// expands in exactly the order (and with exactly the seeds) of the
+// historical families × measures × rates form — cell seeds depend only
+// on semantic keys, never on grid shape or position.
 func (s *Spec) Cells() []Cell {
-	out := make([]Cell, 0, len(s.Families)*len(s.Measures)*len(s.Rates))
+	models := s.modelList()
+	out := make([]Cell, 0, len(s.Families)*len(s.Measures)*len(models)*len(s.Rates))
 	for _, f := range s.Families {
 		for _, m := range s.Measures {
-			for _, r := range s.Rates {
-				out = append(out, Cell{
-					Index:   len(out),
-					Family:  f,
-					Measure: m,
-					Model:   s.Model,
-					Rate:    r,
-					Trials:  s.Trials,
-					Seed:    CellSeed(s.Seed, f, m, s.Model, r),
-				})
+			for _, mod := range models {
+				for _, r := range s.Rates {
+					out = append(out, Cell{
+						Index:   len(out),
+						Family:  f,
+						Measure: m,
+						Model:   mod,
+						Rate:    r,
+						Trials:  s.Trials,
+						Seed:    CellSeed(s.Seed, f, m, mod, r),
+					})
+				}
 			}
 		}
 	}

@@ -126,6 +126,10 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, is called after each cell is emitted.
 	Progress func(done, total int)
+	// Shard restricts the run to one round-robin slice of the grid (the
+	// zero value runs everything). Per-shard outputs merge back to the
+	// unsharded bytes with MergeShards.
+	Shard Shard
 }
 
 // Run expands the spec, builds each family graph once, executes every
@@ -137,13 +141,29 @@ func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
 	if err := spec.Validate(); err != nil {
 		return Summary{}, err
 	}
+	if err := opt.Shard.Validate(); err != nil {
+		return Summary{}, err
+	}
 	cells := spec.Cells()
+	if opt.Shard.Enabled() {
+		kept := make([]Cell, 0, shardLineCount(len(cells), opt.Shard.Index, opt.Shard.Count))
+		for _, c := range cells {
+			if c.Index%opt.Shard.Count == opt.Shard.Index {
+				kept = append(kept, c)
+			}
+		}
+		cells = kept
+	}
 
 	// Build each distinct family graph once, serially, up front: graphs
 	// are immutable so cells can share them, and a bad family spec fails
-	// before any output is written.
+	// before any output is written. Only families that actually appear
+	// in this run's (possibly sharded) cell set are built; the graph
+	// seed is semantic (GraphSeed), so every shard that does build a
+	// family builds the identical instance.
 	graphs := map[string]*graph.Graph{}
-	for _, f := range spec.Families {
+	for _, c := range cells {
+		f := c.Family
 		key := f.String()
 		if _, ok := graphs[key]; ok {
 			continue

@@ -250,10 +250,26 @@ func TestParseHelpers(t *testing.T) {
 	if len(fams) != 3 || fams[2].K != 3 || fams[2].String() != "chain:4:3" {
 		t.Fatalf("ParseFamilies = %+v", fams)
 	}
-	for _, bad := range []string{"torus", ":8x8", "chain:4:0", ""} {
+	for _, bad := range []string{"torus", ":8x8", "chain:4:0", "", "chain:4:3:9"} {
 		if _, err := ParseFamilies(bad); err == nil {
 			t.Errorf("ParseFamilies(%q) accepted", bad)
 		}
+	}
+	// The :k suffix is only valid for families that declare a use for it
+	// — it used to be silently accepted (and ignored) everywhere.
+	for _, tok := range []string{"smallworld:32x4:5", "shortcut:4x4:6"} {
+		if _, err := ParseFamily(tok); err != nil {
+			t.Errorf("ParseFamily(%q): %v", tok, err)
+		}
+	}
+	for _, tok := range []string{"torus:8x8:3", "hypercube:6:2", "rr:24x3:1", "gnp:24x3:1"} {
+		if _, err := ParseFamily(tok); err == nil || !strings.Contains(err.Error(), "takes no k") {
+			t.Errorf("ParseFamily(%q) = %v, want 'takes no k' error", tok, err)
+		}
+	}
+	// Unknown families now fail at parse time, not at graph-build time.
+	if _, err := ParseFamily("nosuch:4x4"); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Errorf("ParseFamily(nosuch:4x4) = %v, want 'unknown family' error", err)
 	}
 	rs, err := ParseRates("0, 0.05,0.1")
 	if err != nil || len(rs) != 3 || rs[1] != 0.05 {
@@ -261,6 +277,95 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if _, err := ParseRates("a,b"); err == nil {
 		t.Error("ParseRates accepted garbage")
+	}
+}
+
+// TestMultiModelCells pins the grid expansion order (families ×
+// measures × models × rates) and that a cell's seed is independent of
+// which other models share the grid.
+func TestMultiModelCells(t *testing.T) {
+	spec := toySpec()
+	spec.Model = ""
+	spec.Models = []string{ModelIIDNode, ModelIIDEdge, ModelAdversarial}
+	cells := spec.Cells()
+	if want := len(spec.Families) * len(spec.Models) * len(spec.Rates); len(cells) != want {
+		t.Fatalf("%d cells, want %d", len(cells), want)
+	}
+	// Models vary faster than families/measures, slower than rates.
+	if cells[0].Model != ModelIIDNode || cells[len(spec.Rates)].Model != ModelIIDEdge {
+		t.Errorf("model axis not in expected position: cells[0]=%s cells[%d]=%s",
+			cells[0].Model, len(spec.Rates), cells[len(spec.Rates)].Model)
+	}
+	// Single-model grids keep their historical seeds: the iid-node slice
+	// of the multi-model grid matches the legacy scalar expansion.
+	legacy := toySpec() // Model: iid-node
+	legacySeeds := map[string]uint64{}
+	for _, c := range legacy.Cells() {
+		legacySeeds[fmt.Sprintf("%s|%s|%g", c.Family, c.Measure, c.Rate)] = c.Seed
+	}
+	matched := 0
+	for _, c := range cells {
+		if c.Model != ModelIIDNode {
+			continue
+		}
+		key := fmt.Sprintf("%s|%s|%g", c.Family, c.Measure, c.Rate)
+		if legacySeeds[key] != c.Seed {
+			t.Errorf("cell %s changed seed when the model axis grew", key)
+		}
+		matched++
+	}
+	if matched != len(legacy.Cells()) {
+		t.Errorf("matched %d iid-node cells, want %d", matched, len(legacy.Cells()))
+	}
+}
+
+// TestLegacyScalarModelEquivalence: a spec using the legacy scalar
+// "model" field must produce byte-identical output to the same grid
+// written with a one-element "models" list.
+func TestLegacyScalarModelEquivalence(t *testing.T) {
+	legacyJSON, _ := runToBytes(t, toySpec(), 2)
+	list := toySpec()
+	list.Model = ""
+	list.Models = []string{ModelIIDNode}
+	listJSON, _ := runToBytes(t, list, 2)
+	if !bytes.Equal(legacyJSON, listJSON) {
+		t.Errorf("legacy scalar model output differs from models list:\n--- scalar ---\n%s\n--- list ---\n%s", legacyJSON, listJSON)
+	}
+	// The JSON spec forms load equivalently too.
+	s, err := Load(strings.NewReader(`{"families":[{"family":"torus","size":"4x4"}],
+		"measures":["toy"],"model":"iid-node","rates":[0],"trials":1,"seed":3}`))
+	if err != nil {
+		t.Fatalf("Load(legacy): %v", err)
+	}
+	if len(s.Models) != 1 || s.Models[0] != ModelIIDNode || s.Model != "" {
+		t.Errorf("legacy scalar not normalized: %+v", s)
+	}
+}
+
+func TestModelListValidation(t *testing.T) {
+	s := toySpec()
+	s.Models = []string{ModelIIDEdge}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "both") {
+		t.Errorf("Validate with both model and models = %v, want error", err)
+	}
+	s = toySpec()
+	s.Model = ""
+	s.Models = []string{ModelIIDNode, ModelIIDNode}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Validate with duplicate models = %v, want duplicate error", err)
+	}
+	s = toySpec()
+	s.Model = ""
+	if err := s.Validate(); err == nil {
+		t.Error("Validate with no models succeeded")
+	}
+	if _, err := ParseModels("iid-node, iid-edge"); err != nil {
+		t.Errorf("ParseModels: %v", err)
+	}
+	for _, bad := range []string{"", "meteor", "iid-node,iid-node"} {
+		if _, err := ParseModels(bad); err == nil {
+			t.Errorf("ParseModels(%q) accepted", bad)
+		}
 	}
 }
 

@@ -62,6 +62,61 @@ func TestREADMEMeasuresInSync(t *testing.T) {
 	}
 }
 
+// readmeFamilies extracts (name, size token, k cell) from the
+// marker-delimited families table in README.md.
+func readmeFamilies(t *testing.T) map[string][2]string {
+	t.Helper()
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- families:begin")
+	end := strings.Index(s, "<!-- families:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the families:begin/families:end markers")
+	}
+	section := s[begin:end]
+	row := regexp.MustCompile("(?m)^\\| `([a-z0-9]+)`\\s*\\| `([^`]+)`\\s*\\| ([^|]*)\\|")
+	out := map[string][2]string{}
+	for _, m := range row.FindAllStringSubmatch(section, -1) {
+		out[m[1]] = [2]string{m[2], strings.TrimSpace(m[3])}
+	}
+	return out
+}
+
+// TestREADMEFamiliesInSync keeps README's families table in lockstep
+// with the live gen registry (the same mechanism as the measures
+// table): every registered family appears with its exact size-token
+// syntax and a k cell consistent with its KUse, and no stale rows
+// survive.
+func TestREADMEFamiliesInSync(t *testing.T) {
+	rows := readmeFamilies(t)
+	registered := map[string]bool{}
+	for _, f := range faultexp.GraphFamilies() {
+		registered[f.Name()] = true
+		row, ok := rows[f.Name()]
+		if !ok {
+			t.Errorf("family %q registered but missing from README's families table", f.Name())
+			continue
+		}
+		if row[0] != f.SizeSyntax() {
+			t.Errorf("family %q: README size token %q, registry says %q", f.Name(), row[0], f.SizeSyntax())
+		}
+		if hasK := f.KUse() != ""; hasK == (row[1] == "—") {
+			t.Errorf("family %q: README k cell %q inconsistent with KUse %q", f.Name(), row[1], f.KUse())
+		}
+	}
+	for name := range rows {
+		if !registered[name] {
+			t.Errorf("README lists family %q which is not registered", name)
+		}
+	}
+	if len(registered) < 17 {
+		t.Errorf("%d families registered, want ≥ 17", len(registered))
+	}
+}
+
 // TestREADMEModelsListed checks the fault-model names appear in README
 // (prose, not a table — just presence).
 func TestREADMEModelsListed(t *testing.T) {
