@@ -20,8 +20,11 @@ import (
 
 	"faultexp"
 	"faultexp/internal/experiments"
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
 	"faultexp/internal/harness"
 	"faultexp/internal/sweep"
+	"faultexp/internal/xrand"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -107,6 +110,63 @@ func BenchmarkSweepTrialPrune2(b *testing.B) { benchSweepCell(b, "prune2", sweep
 func BenchmarkSweepTrialSpan(b *testing.B)   { benchSweepCell(b, "span", sweep.ModelIIDNode, 0.05) }
 func BenchmarkSweepTrialShatter(b *testing.B) {
 	benchSweepCell(b, "shatter", sweep.ModelIIDNode, 0.05)
+}
+
+// Bare trial path: one op = ONE trial through the trial-grained layer
+// (setup amortized away), with a warm workspace and recorder — the
+// number the "steady-state trial path ≈ 0 allocs/op" acceptance
+// criterion is measured on. The cell-level BenchmarkSweepTrial* above
+// include per-cell setup (spec expansion, registry, baselines); these
+// isolate what a sweep pays per additional -trials.
+
+func benchTrialPath(b *testing.B, measure, model string, rate float64) {
+	setup, ok := sweep.LookupTrials(measure)
+	if !ok {
+		b.Fatalf("measure %s is not trial-grained", measure)
+	}
+	spec := &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}},
+		Measures: []string{measure},
+		Model:    model,
+		Rates:    []float64{rate},
+		Trials:   1,
+		Seed:     7,
+	}
+	c := spec.Cells()[0]
+	g, _, err := gen.FromFamily("torus", "16x16", 0, xrand.New(sweep.GraphSeed(spec.Seed, c.Family)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := graph.NewWorkspace()
+	rec := sweep.NewRecorder()
+	run, err := setup(g, c, ws, xrand.New(c.Seed), rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm pass: grow workspace buffers and recorder slots.
+	if err := sweep.RunTrials(c, ws, rec, run.Trial); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep.RunTrials(c, ws, rec, run.Trial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialPathGamma(b *testing.B) { benchTrialPath(b, "gamma", sweep.ModelIIDNode, 0.05) }
+func BenchmarkTrialPathGammaEdge(b *testing.B) {
+	benchTrialPath(b, "gamma", sweep.ModelIIDEdge, 0.05)
+}
+func BenchmarkTrialPathShatter(b *testing.B) {
+	benchTrialPath(b, "shatter", sweep.ModelIIDNode, 0.05)
+}
+func BenchmarkTrialPathPrune(b *testing.B)  { benchTrialPath(b, "prune", sweep.ModelIIDNode, 0.02) }
+func BenchmarkTrialPathPrune2(b *testing.B) { benchTrialPath(b, "prune2", sweep.ModelIIDNode, 0.02) }
+func BenchmarkTrialPathPercolation(b *testing.B) {
+	benchTrialPath(b, "percolation", sweep.ModelIIDNode, 0.05)
 }
 
 // Micro-benchmarks for the primitives.

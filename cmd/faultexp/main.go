@@ -13,6 +13,8 @@
 //	faultexp prune2     -family torus -size 16x16 -p 0.001 -alphae 0.25 -eps 0.125
 //	faultexp percolate  -family torus -size 32x32 -mode bond [-trials 20]
 //	faultexp sweep      -families torus:8x8,hypercube:6 -measures gamma,prune2 -rates 0,0.02,0.05,0.1 [-jsonl out.jsonl] [-csv out.csv]
+//	faultexp sweep      -spec grid.json -resume out.jsonl | -dry-run
+//	faultexp agg        -by family,rate out.jsonl [-csv summary.csv]
 //	faultexp experiment E7 [-full] [-seed 42]
 //	faultexp experiment all
 //	faultexp list
@@ -69,6 +71,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "agg":
+		err = cmdAgg(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "list":
@@ -100,7 +104,9 @@ commands:
   balance     diffusion load-balancing rounds (§1.3 application)
   route       random-pairs routing congestion (§1.3 application)
   sweep       run a parameter grid (family × measure × model × rate) streaming JSONL/CSV
+              (-resume picks up an interrupted run; -dry-run prints the plan)
   merge       reassemble 'sweep -shard i/m' JSONL outputs into the unsharded stream
+  agg         group sweep JSONL records and emit summary tables (CSV/JSONL) for plotting
   experiment  run a reproduction experiment (E1–E19) or "all"
   list        list experiments, graph families, sweep measures, and fault models
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"faultexp/internal/sweep"
@@ -29,6 +30,8 @@ func cmdSweep(args []string) error {
 	shard := fs.String("shard", "", `run only shard i of m ("i/m", 0-based); reassemble with 'faultexp merge'`)
 	jsonlOut := fs.String("jsonl", "", `JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
 	csvOut := fs.String("csv", "", `CSV output path ("-" = stdout)`)
+	resume := fs.String("resume", "", "resume an interrupted run: verify this JSONL output against the grid and append only the missing cells (JSONL only; composes with -shard)")
+	dryRun := fs.Bool("dry-run", false, "validate the spec and print the expanded cell/shard plan without executing")
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
 
@@ -40,6 +43,47 @@ func cmdSweep(args []string) error {
 	if *shard != "" {
 		if sh, err = sweep.ParseShard(*shard); err != nil {
 			return err
+		}
+	}
+	if *dryRun {
+		return printSweepPlan(spec, sh)
+	}
+
+	skip := 0
+	var resumeFile *os.File
+	if *resume != "" {
+		if *csvOut != "" {
+			return fmt.Errorf("-resume supports JSONL output only (re-derive CSV from the JSONL, e.g. with 'faultexp agg' or 'faultexp merge')")
+		}
+		if *jsonlOut != "" && *jsonlOut != *resume {
+			return fmt.Errorf("-jsonl %q conflicts with -resume %q (resume appends to the resumed file)", *jsonlOut, *resume)
+		}
+		cells := spec.ShardCells(sh)
+		resumeFile, err = os.OpenFile(*resume, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		st, err := sweep.ScanResume(resumeFile, cells)
+		if err != nil {
+			resumeFile.Close()
+			return err
+		}
+		// Drop any mid-write partial record and position for append.
+		if err := resumeFile.Truncate(st.Offset); err != nil {
+			resumeFile.Close()
+			return err
+		}
+		if _, err := resumeFile.Seek(st.Offset, io.SeekStart); err != nil {
+			resumeFile.Close()
+			return err
+		}
+		skip = st.Done
+		if !*quiet {
+			note := ""
+			if st.Truncated {
+				note = " (dropped a partial trailing record)"
+			}
+			fmt.Fprintf(os.Stderr, "resume: %d of %d cells already complete%s\n", st.Done, len(cells), note)
 		}
 	}
 
@@ -64,24 +108,30 @@ func cmdSweep(args []string) error {
 			c()
 		}
 	}()
-	if *jsonlOut != "" {
-		w, cl, err := open(*jsonlOut)
-		if err != nil {
-			return err
+	switch {
+	case resumeFile != nil:
+		closers = append(closers, resumeFile.Close)
+		writers = append(writers, sweep.NewJSONL(resumeFile))
+	default:
+		if *jsonlOut != "" {
+			w, cl, err := open(*jsonlOut)
+			if err != nil {
+				return err
+			}
+			closers = append(closers, cl)
+			writers = append(writers, sweep.NewJSONL(w))
 		}
-		closers = append(closers, cl)
-		writers = append(writers, sweep.NewJSONL(w))
-	}
-	if *csvOut != "" {
-		w, cl, err := open(*csvOut)
-		if err != nil {
-			return err
+		if *csvOut != "" {
+			w, cl, err := open(*csvOut)
+			if err != nil {
+				return err
+			}
+			closers = append(closers, cl)
+			writers = append(writers, sweep.NewCSV(w))
 		}
-		closers = append(closers, cl)
-		writers = append(writers, sweep.NewCSV(w))
 	}
 
-	opt := sweep.Options{Workers: *workers, Shard: sh}
+	opt := sweep.Options{Workers: *workers, Shard: sh, SkipCells: skip}
 	if !*quiet {
 		prefix := "sweep"
 		if sh.Enabled() {
@@ -101,6 +151,30 @@ func cmdSweep(args []string) error {
 	if sum.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells reported errors (see the err field)\n", sum.Errors, sum.Cells)
 	}
+	return nil
+}
+
+// printSweepPlan renders the -dry-run view: what the grid expands to
+// and what this (possibly sharded) invocation would execute — without
+// building a single graph.
+func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
+	p, err := spec.Plan(sh)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dry run: grid expands to %d cells (%d trials total)\n", p.GridCells, p.GridCells*p.Trials)
+	if sh.Enabled() {
+		fmt.Printf("shard %s runs %d cells (%d trials)\n", sh, p.RunCells, p.RunTrials)
+	}
+	rateToks := make([]string, len(p.Rates))
+	for i, r := range p.Rates {
+		rateToks[i] = strconv.FormatFloat(r, 'g', -1, 64)
+	}
+	fmt.Printf("families to build (%d): %s\n", len(p.Families), strings.Join(p.Families, ", "))
+	fmt.Printf("measures (%d): %s\n", len(p.Measures), strings.Join(p.Measures, ", "))
+	fmt.Printf("models (%d): %s\n", len(p.Models), strings.Join(p.Models, ", "))
+	fmt.Printf("rates (%d): %s\n", len(p.Rates), strings.Join(rateToks, ", "))
+	fmt.Printf("trials/cell: %d  seed: %d\n", p.Trials, p.Seed)
 	return nil
 }
 

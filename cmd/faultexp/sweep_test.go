@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"faultexp/internal/sweep"
@@ -234,5 +236,161 @@ func TestSweepFlagErrors(t *testing.T) {
 		if err := cmdSweep(args); err == nil {
 			t.Errorf("cmdSweep(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// resumeGridArgs is a small grid used by the resume/dry-run CLI tests.
+func resumeGridArgs(extra ...string) []string {
+	base := []string{
+		"-families", "torus:4x4,hypercube:4",
+		"-measures", "gamma",
+		"-model", "iid-node",
+		"-rates", "0,0.25,0.5",
+		"-trials", "2",
+		"-seed", "11",
+		"-quiet",
+	}
+	return append(base, extra...)
+}
+
+// TestSweepResumeCLI drives the full resume workflow: a run killed at a
+// cell boundary (with a partial trailing record) is resumed and the
+// result is byte-identical to the uninterrupted run.
+func TestSweepResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if err := cmdSweep(resumeGridArgs("-jsonl", full)); err != nil {
+		t.Fatal(err)
+	}
+	want := readFile(t, full)
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	for _, cut := range []struct {
+		name    string
+		content []byte
+	}{
+		{"empty", nil},
+		{"two-cells", bytes.Join(lines[:2], nil)},
+		{"partial-line", append(append([]byte{}, bytes.Join(lines[:3], nil)...), lines[3][:20]...)},
+		{"complete", want},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			resumed := filepath.Join(t.TempDir(), "out.jsonl")
+			if cut.content != nil {
+				if err := os.WriteFile(resumed, cut.content, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cmdSweep(resumeGridArgs("-resume", resumed)); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if got := readFile(t, resumed); !bytes.Equal(got, want) {
+				t.Errorf("resumed output differs from uninterrupted run:\n--- got ---\n%s", got)
+			}
+		})
+	}
+}
+
+// TestSweepResumeShardCLI: resume composes with -shard — each shard's
+// file resumes independently and the merge still reproduces the
+// unsharded bytes.
+func TestSweepResumeShardCLI(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if err := cmdSweep(resumeGridArgs("-jsonl", full)); err != nil {
+		t.Fatal(err)
+	}
+	shardPaths := make([]string, 2)
+	for i := range shardPaths {
+		shardPaths[i] = filepath.Join(dir, "s"+string(rune('0'+i))+".jsonl")
+		sh := string(rune('0'+i)) + "/2"
+		// First pass: run the shard fully, then truncate to one record.
+		if err := cmdSweep(resumeGridArgs("-shard", sh, "-jsonl", shardPaths[i])); err != nil {
+			t.Fatal(err)
+		}
+		b := readFile(t, shardPaths[i])
+		cut := bytes.SplitAfter(b, []byte("\n"))[0]
+		if err := os.WriteFile(shardPaths[i], cut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Resume the shard.
+		if err := cmdSweep(resumeGridArgs("-shard", sh, "-resume", shardPaths[i])); err != nil {
+			t.Fatalf("resume shard %d: %v", i, err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := cmdMerge(append([]string{"-quiet", "-jsonl", merged}, shardPaths...)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, merged); !bytes.Equal(got, readFile(t, full)) {
+		t.Errorf("merged resumed shards differ from unsharded run")
+	}
+}
+
+// TestSweepResumeRefusals pins the user-facing refusal modes.
+func TestSweepResumeRefusals(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	if err := cmdSweep(resumeGridArgs("-jsonl", out)); err != nil {
+		t.Fatal(err)
+	}
+	// A different grid seed must refuse.
+	mismatch := []string{
+		"-families", "torus:4x4,hypercube:4", "-measures", "gamma",
+		"-model", "iid-node", "-rates", "0,0.25,0.5", "-trials", "2",
+		"-seed", "999", "-quiet", "-resume", out,
+	}
+	if err := cmdSweep(mismatch); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Errorf("mismatched spec resume = %v, want refusal", err)
+	}
+	// -csv and a conflicting -jsonl are rejected up front.
+	if err := cmdSweep(resumeGridArgs("-resume", out, "-csv", filepath.Join(dir, "x.csv"))); err == nil {
+		t.Error("-resume with -csv accepted")
+	}
+	if err := cmdSweep(resumeGridArgs("-resume", out, "-jsonl", filepath.Join(dir, "other.jsonl"))); err == nil {
+		t.Error("-resume with conflicting -jsonl accepted")
+	}
+	// Interior corruption refuses.
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, []byte("{junk}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep(resumeGridArgs("-resume", corrupt)); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("corrupt resume = %v, want malformed error", err)
+	}
+}
+
+// TestSweepDryRun pins the -dry-run plan output and that it executes
+// nothing.
+func TestSweepDryRun(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := cmdSweep(resumeGridArgs("-shard", "0/2", "-dry-run"))
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("dry run: %v", runErr)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"grid expands to 6 cells (12 trials total)",
+		"shard 0/2 runs 3 cells (6 trials)",
+		"families to build (2): torus:4x4, hypercube:4",
+		"measures (1): gamma",
+		"models (1): iid-node",
+		"rates (3): 0, 0.25, 0.5",
+		"trials/cell: 2  seed: 11",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dry-run output missing %q:\n%s", want, s)
+		}
+	}
+	// A dry run with an invalid grid still fails validation.
+	if err := cmdSweep([]string{"-families", "torus:4x4", "-rates", "0", "-measures", "nope", "-dry-run", "-quiet"}); err == nil {
+		t.Error("dry run validated an unknown measure")
 	}
 }

@@ -405,6 +405,56 @@ func SweepMeasures() []string { return sweep.Measures() }
 // SweepFaultModels lists the fault-model names a sweep grid accepts.
 func SweepFaultModels() []string { return sweep.Models() }
 
+// SweepPlan describes what a run would execute — cells before and after
+// shard selection, trial volume, and the family graphs to build —
+// without executing anything (the `faultexp sweep -dry-run` surface).
+// Obtain one with spec.Plan(shard).
+type SweepPlan = sweep.Plan
+
+// SweepResumeState is the verified prefix of an interrupted sweep's
+// JSONL output: how many leading cells are complete and the byte offset
+// appending must start from.
+type SweepResumeState = sweep.ResumeState
+
+// ScanSweepResume validates an existing JSONL output against the grid's
+// (sharded) cell sequence so the run can be resumed: records are pinned
+// to their exact cell position by seed and trial budget, mismatched
+// specs are refused, and a trailing mid-write partial record is marked
+// for truncation. Execute the remainder with SweepOptions.SkipCells =
+// state.Done; the resumed file is byte-identical to an uninterrupted
+// run.
+func ScanSweepResume(r io.Reader, spec *SweepSpec, shard SweepShard) (SweepResumeState, error) {
+	if err := spec.Validate(); err != nil {
+		return SweepResumeState{}, err
+	}
+	if err := shard.Validate(); err != nil {
+		return SweepResumeState{}, err
+	}
+	return sweep.ScanResume(r, spec.ShardCells(shard))
+}
+
+// SweepTrialSeed derives the deterministic RNG root for trial t of a
+// cell: it depends only on (cell seed, t), so any single trial of any
+// cell can be replayed in isolation, and growing a cell's trial budget
+// never changes its earlier trials.
+func SweepTrialSeed(cellSeed uint64, t int) uint64 { return sweep.TrialSeed(cellSeed, t) }
+
+// SweepAggregator groups sweep records by chosen dimensions and reduces
+// every metric to n/mean/std/min/max/median summary rows, streaming —
+// O(groups × metrics) memory however large the input (the `faultexp
+// agg` surface).
+type SweepAggregator = sweep.Aggregator
+
+// NewSweepAggregator returns an aggregator grouping by the given
+// dimensions (see SweepAggDims; empty = one global group), keeping only
+// the named metrics (nil = all).
+func NewSweepAggregator(by, metrics []string) (*SweepAggregator, error) {
+	return sweep.NewAggregator(by, metrics)
+}
+
+// SweepAggDims lists the record dimensions a summary can group by.
+func SweepAggDims() []string { return append([]string(nil), sweep.AggDims...) }
+
 // --- Embedding / emulation (package embed, §1.2) ---
 
 // Embedding maps a guest graph into a host graph with routed paths.

@@ -1,19 +1,21 @@
 package experiments
 
 // Sweep cell adapters: the prune / prune2 / span / percolation pipelines
-// repackaged as sweep.CellFunc measures, so the declarative grid engine
-// can run the paper's pipelines over family × fault-model × rate cross
-// products. Each adapter derives every random draw from the cell's
-// private RNG (one Split per consumer, in a fixed order), which is what
-// makes a cell's metrics a pure function of (grid seed, cell key), and
-// routes fault injection and component work through the worker's
-// Workspace so the per-trial steady state allocates (near-)nothing.
+// repackaged as trial-grained sweep measures, so the declarative grid
+// engine can run the paper's pipelines over family × fault-model × rate
+// cross products. Each measure registers a sweep.TrialSetup: setup runs
+// once per cell (fault-free baselines, theorem constants — recorded as
+// constants), and the returned TrialFunc measures ONE fault realization,
+// drawing all randomness from the trial's private RNG (seeded
+// independently per trial by the engine) and routing fault injection and
+// component work through the worker's Workspace so the steady-state
+// trial path allocates (near-)nothing. Every observed base metric gains
+// deterministic _mean/_std/_min/_max companions in the Result stream.
 // The extension measures extracted from the E1–E19 experiment kernels
 // live in measures.go.
 
 import (
 	"fmt"
-	"math"
 
 	"faultexp/internal/core"
 	"faultexp/internal/cuts"
@@ -29,62 +31,48 @@ import (
 const spanSamples = 24
 
 func init() {
-	sweep.Register("gamma", cellGamma)
-	sweep.Register("prune", cellPrune)
-	sweep.Register("prune2", cellPrune2)
-	sweep.Register("span", cellSpan)
-	sweep.Register("percolation", cellPercolation)
+	sweep.RegisterTrials("gamma", setupGamma)
+	sweep.RegisterTrials("prune", setupPrune)
+	sweep.RegisterTrials("prune2", setupPrune2)
+	sweep.RegisterTrials("span", setupSpan)
+	sweep.RegisterTrials("percolation", setupPercolation)
 }
 
-// cellGamma measures the largest-component fraction γ of the faulted
+// setupGamma measures the largest-component fraction γ of the faulted
 // graph — the paper's connectivity baseline (what survives before any
-// pruning). The trial loop is the zero-allocation reference path:
-// inject into ws, size the largest component in ws, accumulate scalars.
-func cellGamma(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// pruning). The trial path is the zero-allocation reference: inject into
+// ws, size the largest component in ws, fold two scalars.
+func setupGamma(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
-	sum, minG, maxG, faultSum := 0.0, 1.0, 0.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gm := float64(sub.G.LargestComponentSizeInto(ws)) / n
-		sum += gm
-		faultSum += float64(nf)
-		if gm < minG {
-			minG = gm
-		}
-		if gm > maxG {
-			maxG = gm
-		}
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"gamma_mean":  sum / tr,
-		"gamma_min":   minG,
-		"gamma_max":   maxG,
-		"faults_mean": faultSum / tr,
-	}, nil
+		rec.Observe("gamma", float64(sub.G.LargestComponentSizeInto(ws))/n)
+		rec.Observe("faults", float64(nf))
+		return nil
+	}}, nil
 }
 
-// cellPrune runs the Figure 1 pipeline (faults → Prune) with measured
+// setupPrune runs the Figure 1 pipeline (faults → Prune) with measured
 // fault-free node expansion and the paper's k = 2 (ε = 1/2).
-func cellPrune(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
-	return pruneCell(g, c, ws, rng, false)
+func setupPrune(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
+	return setupPruneCell(g, c, rng, rec, false)
 }
 
-// cellPrune2 runs the Figure 2 pipeline (faults → Prune2) with measured
+// setupPrune2 runs the Figure 2 pipeline (faults → Prune2) with measured
 // fault-free edge expansion and Theorem 3.4's maximal ε = 1/(2δ).
-func cellPrune2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
-	return pruneCell(g, c, ws, rng, true)
+func setupPrune2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
+	return setupPruneCell(g, c, rng, rec, true)
 }
 
-func pruneCell(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, edgeMode bool) (map[string]float64, error) {
+func setupPruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, rec *sweep.Recorder, edgeMode bool) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	var alpha, eps float64
 	if edgeMode {
@@ -94,20 +82,19 @@ func pruneCell(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG
 		alpha = measuredNodeAlpha(g, rng.Split())
 		eps = 0.5
 	}
+	rec.Const("alpha", alpha)
+	rec.Const("eps", eps)
+	rec.Const("threshold", alpha*eps)
 	n := float64(g.N())
-	survSum, survMin := 0.0, 1.0
-	culledSum, faultSum := 0.0, 0.0
-	certSum, certTrials := 0.0, 0
-	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		faultSum += float64(nf)
-		prng := rng.Split()
+		rec.Observe("faults", float64(nf))
 		frac := 0.0
 		if sub.G.N() > 0 {
-			opt := core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws}
+			opt := core.Options{Finder: cuts.Options{RNG: rng}, Ws: ws}
 			var res *core.Result
 			if edgeMode {
 				res = core.Prune2(sub.G, alpha, eps, opt)
@@ -115,70 +102,48 @@ func pruneCell(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG
 				res = core.Prune(sub.G, alpha, eps, opt)
 			}
 			frac = float64(res.SurvivorSize()) / n
-			culledSum += float64(res.CulledTotal)
-			if q := res.CertifiedQuotient; !math.IsNaN(q) && !math.IsInf(q, 0) {
-				certSum += q
-				certTrials++
+			rec.Observe("culled", float64(res.CulledTotal))
+			if q := res.CertifiedQuotient; isFinite(q) {
+				rec.Observe("cert", q)
 			}
 		}
-		survSum += frac
-		if frac < survMin {
-			survMin = frac
-		}
+		rec.Observe("survivor_frac", frac)
+		return nil
 	}
-	tr := float64(c.Trials)
-	m := map[string]float64{
-		"alpha":              alpha,
-		"eps":                eps,
-		"threshold":          alpha * eps,
-		"survivor_frac_mean": survSum / tr,
-		"survivor_frac_min":  survMin,
-		"culled_mean":        culledSum / tr,
-		"faults_mean":        faultSum / tr,
-		"cert_trials":        float64(certTrials),
+	finish := func(rec *sweep.Recorder) error {
+		rec.Const("cert_trials", float64(rec.Count("cert")))
+		return nil
 	}
-	if certTrials > 0 {
-		m["cert_mean"] = certSum / float64(certTrials)
-	}
-	return m, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellSpan injects faults, restricts to the largest surviving component,
-// and estimates its span σ by compact-set sampling — how the §1.4
-// parameter itself degrades as faults accumulate.
-func cellSpan(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// setupSpan injects faults, restricts to the largest surviving
+// component, and estimates its span σ by compact-set sampling — how the
+// §1.4 parameter itself degrades as faults accumulate.
+func setupSpan(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
-	sigmaSum, sigmaMax, gammaSum := 0.0, 0.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
-		gammaSum += float64(comp.G.N()) / n
-		est := span.Sampled(comp.G, spanSamples, rng.Split())
-		sigmaSum += est.Sigma
-		if est.Sigma > sigmaMax {
-			sigmaMax = est.Sigma
-		}
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"sigma_mean": sigmaSum / tr,
-		"sigma_max":  sigmaMax,
-		"gamma_mean": gammaSum / tr,
-	}, nil
+		rec.Observe("gamma", float64(comp.G.N())/n)
+		rec.Observe("sigma", span.Sampled(comp.G, spanSamples, rng).Sigma)
+		return nil
+	}}, nil
 }
 
-// cellPercolation maps the cell onto a Newman–Ziff-style percolation
+// setupPercolation maps the cell onto a Newman–Ziff-style percolation
 // measurement: elements survive independently with probability 1−rate
-// (sites for iid-node, bonds for iid-edge) and the metric is E[γ].
-func cellPercolation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// (sites for iid-node, bonds for iid-edge) and each trial contributes
+// one realization of γ.
+func setupPercolation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	var mode perc.Mode
 	switch c.Model {
@@ -187,12 +152,12 @@ func cellPercolation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xra
 	case sweep.ModelIIDEdge:
 		mode = perc.Bond
 	default:
-		return nil, fmt.Errorf("percolation measure needs an iid fault model, got %q", c.Model)
+		return sweep.TrialRun{}, fmt.Errorf("percolation measure needs an iid fault model, got %q", c.Model)
 	}
 	p := 1 - c.Rate
-	gamma := perc.GammaAtP(g, mode, p, c.Trials, rng.Split())
-	return map[string]float64{
-		"gamma_mean": gamma,
-		"p_survive":  p,
-	}, nil
+	rec.Const("p_survive", p)
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		rec.Observe("gamma", perc.GammaAtP(g, mode, p, 1, rng))
+		return nil
+	}}, nil
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"faultexp/internal/cuts"
 	"faultexp/internal/graph"
@@ -49,6 +50,11 @@ func measuredNodeAlpha(g *graph.Graph, rng *xrand.RNG) float64 {
 func measuredEdgeAlpha(g *graph.Graph, rng *xrand.RNG) float64 {
 	r, _ := cuts.EstimateEdgeExpansion(g, cuts.Options{RNG: rng})
 	return r.EdgeAlpha
+}
+
+// isFinite reports whether v can ride in a JSON metric stream.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // fmtF renders a float compactly for table cells.

@@ -1,15 +1,18 @@
 package experiments
 
 // The extension measures: the measurement kernels of the E1–E19
-// experiment wrappers, extracted into sweepable sweep.CellFunc measures
+// experiment wrappers, extracted into sweepable trial-grained measures
 // so the grid engine can run every part of the paper's story — not just
 // the prune pipelines — over family × fault-model × rate cross products.
 // The experiments remain the curated, checked reproductions; these
-// measures are the same kernels as pure (cell → metrics) functions.
+// measures are the same kernels as per-trial observation functions.
 //
-// Conventions shared with cells.go: all randomness comes from the cell
-// RNG via Split() in a fixed order; fault injection and component work
-// go through the worker's Workspace; metrics are flat snake_case keys.
+// Conventions shared with cells.go: per-cell baselines are measured in
+// setup (splitting the cell RNG in a fixed order) and recorded as
+// constants; each trial draws all randomness from its private trial RNG
+// (seeded independently by the engine) and routes fault injection and
+// component work through the worker's Workspace; observed base metrics
+// are flat snake_case keys that expand to _mean/_std/_min/_max.
 
 import (
 	"fmt"
@@ -43,38 +46,37 @@ const (
 )
 
 func init() {
-	sweep.Register("shatter", cellShatter)
-	sweep.Register("separator", cellSeparator)
-	sweep.Register("dilation", cellDilation)
-	sweep.Register("predictor", cellPredictor)
-	sweep.Register("counting", cellCounting)
-	sweep.Register("loadbalance", cellLoadBalance)
-	sweep.Register("multibutterfly", cellMultibutterfly)
-	sweep.Register("diameter", cellDiameter)
-	sweep.Register("agreement", cellAgreement)
-	sweep.Register("routing", cellRouting)
-	sweep.Register("upfal", cellUpfal)
-	sweep.Register("residual", cellResidual)
-	sweep.Register("lambda2", cellLambda2)
-	sweep.Register("conjecture", cellConjecture)
+	sweep.RegisterTrials("shatter", setupShatter)
+	sweep.RegisterTrials("separator", setupSeparator)
+	sweep.RegisterTrials("dilation", setupDilation)
+	sweep.RegisterTrials("predictor", setupPredictor)
+	sweep.RegisterTrials("counting", setupCounting)
+	sweep.RegisterTrials("loadbalance", setupLoadBalance)
+	sweep.RegisterTrials("multibutterfly", setupMultibutterfly)
+	sweep.RegisterTrials("diameter", setupDiameter)
+	sweep.RegisterTrials("agreement", setupAgreement)
+	sweep.RegisterTrials("routing", setupRouting)
+	sweep.RegisterTrials("upfal", setupUpfal)
+	sweep.RegisterTrials("residual", setupResidual)
+	sweep.RegisterTrials("lambda2", setupLambda2)
+	sweep.RegisterTrials("conjecture", setupConjecture)
 }
 
-// cellShatter measures how faults fragment the graph (the E3/E4 shape):
+// setupShatter measures how faults fragment the graph (the E3/E4 shape):
 // component count, largest-component fraction, and the Herfindahl
 // fragmentation index Σ(s_i/n)² (1 = intact, →0 = shattered). The trial
-// loop is allocation-free.
-func cellShatter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// path is allocation-free.
+func setupShatter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
-	gammaSum, compsSum, fragSum, faultSum := 0.0, 0.0, 0.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		faultSum += float64(nf)
+		rec.Observe("faults", float64(nf))
 		_, sizes := sub.G.ComponentsInto(ws)
 		largest, frag := 0, 0.0
 		for _, s := range sizes {
@@ -84,262 +86,222 @@ func cellShatter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.R
 			f := float64(s) / n
 			frag += f * f
 		}
-		gammaSum += float64(largest) / n
-		compsSum += float64(len(sizes))
-		fragSum += frag
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"gamma_mean":  gammaSum / tr,
-		"comps_mean":  compsSum / tr,
-		"frag_mean":   fragSum / tr,
-		"faults_mean": faultSum / tr,
-	}, nil
+		rec.Observe("gamma", float64(largest)/n)
+		rec.Observe("comps", float64(len(sizes)))
+		rec.Observe("frag", frag)
+		return nil
+	}}, nil
 }
 
-// cellSeparator runs the Theorem 2.5 recursive separator attack with the
-// cell rate as the fragment threshold ε: the attack faults boundaries
-// until every fragment is below ε·n. The fault model is ignored (the
-// attack is its own adversary); metrics report the budget normalized by
-// Theorem 2.5's O(log(1/ε)/ε · α·n) scale with measured α.
-func cellSeparator(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// setupSeparator runs the Theorem 2.5 recursive separator attack with
+// the cell rate as the fragment threshold ε: the attack faults
+// boundaries until every fragment is below ε·n. The fault model is
+// ignored (the attack is its own adversary); metrics report the budget
+// normalized by Theorem 2.5's O(log(1/ε)/ε · α·n) scale with measured α.
+func setupSeparator(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	if c.Rate <= 0 || c.Rate > 1 {
-		return nil, fmt.Errorf("separator measure needs rate in (0,1] (rate is the fragment threshold ε)")
+		return sweep.TrialRun{}, fmt.Errorf("separator measure needs rate in (0,1] (rate is the fragment threshold ε)")
 	}
 	alpha := measuredNodeAlpha(g, rng.Split())
+	rec.Const("alpha", alpha)
 	n := float64(g.N())
 	scale := math.Log(1/c.Rate) / c.Rate * alpha * n
-	faultSum, normSum, maxFragSum, fragsSum := 0.0, 0.0, 0.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		pat, fragSizes := faults.SeparatorAttack(g, c.Rate, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		pat, fragSizes := faults.SeparatorAttack(g, c.Rate, rng)
 		maxFrag := 0
 		for _, s := range fragSizes {
 			if s > maxFrag {
 				maxFrag = s
 			}
 		}
-		faultSum += float64(pat.Count())
+		rec.Observe("faults", float64(pat.Count()))
 		if scale > 0 {
-			normSum += float64(pat.Count()) / scale
+			rec.Observe("normalized", float64(pat.Count())/scale)
 		}
-		maxFragSum += float64(maxFrag) / n
-		fragsSum += float64(len(fragSizes))
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"alpha":           alpha,
-		"faults_mean":     faultSum / tr,
-		"normalized_mean": normSum / tr,
-		"max_frag_mean":   maxFragSum / tr,
-		"frags_mean":      fragsSum / tr,
-	}, nil
+		rec.Observe("max_frag", float64(maxFrag)/n)
+		rec.Observe("frags", float64(len(fragSizes)))
+		return nil
+	}}, nil
 }
 
-// cellDilation runs the §4 emulation pipeline (E9): faults → Prune2 →
+// setupDilation runs the §4 emulation pipeline (E9): faults → Prune2 →
 // largest survivor → embed the ideal graph into it, tracking load,
 // congestion, dilation, and the Leighton–Maggs–Rao slowdown.
-func cellDilation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupDilation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	alphaE := measuredEdgeAlpha(g, rng.Split())
 	log2n := math.Log2(float64(g.N()))
-	loadSum, congSum, dilSum, slowSum := 0.0, 0.0, 0.0, 0.0
-	dilMax, embedded := 0.0, 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prng := rng.Split()
 		if sub.G.N() == 0 {
-			continue
+			return nil
 		}
 		res := core.Prune2(sub.G, alphaE, 0.1,
-			core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws})
+			core.Options{Finder: cuts.Options{RNG: rng}, Ws: ws})
 		host := res.H.LargestComponentSubInto(ws)
 		if host.G.N() == 0 {
-			continue
+			return nil
 		}
 		emb, err := embed.EmulateFaultyMesh(g, host)
 		if err != nil {
-			continue
+			return nil
 		}
 		m := emb.Evaluate()
-		loadSum += float64(m.Load)
-		congSum += float64(m.Congestion)
-		dilSum += float64(m.Dilation)
-		slowSum += float64(m.Slowdown)
-		if float64(m.Dilation) > dilMax {
-			dilMax = float64(m.Dilation)
+		rec.Observe("load", float64(m.Load))
+		rec.Observe("congestion", float64(m.Congestion))
+		rec.Observe("dilation", float64(m.Dilation))
+		rec.Observe("slowdown", float64(m.Slowdown))
+		return nil
+	}
+	finish := func(rec *sweep.Recorder) error {
+		embedded := rec.Count("dilation")
+		if embedded == 0 {
+			return fmt.Errorf("no trial produced an embeddable survivor")
 		}
-		embedded++
+		rec.Const("dil_per_log2n", rec.Stream("dilation").Max()/math.Max(log2n, 1))
+		rec.Const("embedded_frac", float64(embedded)/float64(c.Trials))
+		return nil
 	}
-	if embedded == 0 {
-		return nil, fmt.Errorf("no trial produced an embeddable survivor")
-	}
-	e := float64(embedded)
-	return map[string]float64{
-		"load_mean":       loadSum / e,
-		"congestion_mean": congSum / e,
-		"dilation_mean":   dilSum / e,
-		"dilation_max":    dilMax,
-		"slowdown_mean":   slowSum / e,
-		"dil_per_log2n":   dilMax / math.Max(log2n, 1),
-		"embedded_frac":   e / float64(c.Trials),
-	}, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellPredictor is the E10 kernel: the span (not the expansion) predicts
-// random-fault tolerance. It reports both predictors of the fault-free
-// graph plus the measured γ at this cell's rate, so sweeping rates
-// traces the measured tolerance curve against the prediction
+// setupPredictor is the E10 kernel: the span (not the expansion)
+// predicts random-fault tolerance. It reports both predictors of the
+// fault-free graph plus the measured γ at this cell's rate, so sweeping
+// rates traces the measured tolerance curve against the prediction
 // 1/(2e·δ⁴·σ) of Theorem 3.4.
-func cellPredictor(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupPredictor(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
-	alpha := measuredNodeAlpha(g, rng.Split())
+	rec.Const("alpha", measuredNodeAlpha(g, rng.Split()))
 	sigma := span.Sampled(g, predictorSamples, rng.Split()).Sigma
 	pred := span.FaultToleranceFromSpan(g.MaxDegree(), sigma)
+	rec.Const("sigma", sigma)
+	rec.Const("pred_tolerance", pred)
+	rec.Const("pred_margin", pred-c.Rate)
 	n := float64(g.N())
-	gammaSum := 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gammaSum += float64(sub.G.LargestComponentSizeInto(ws)) / n
-	}
-	return map[string]float64{
-		"alpha":          alpha,
-		"sigma":          sigma,
-		"pred_tolerance": pred,
-		"pred_margin":    pred - c.Rate,
-		"gamma_mean":     gammaSum / float64(c.Trials),
-	}, nil
+		rec.Observe("gamma", float64(sub.G.LargestComponentSizeInto(ws))/n)
+		return nil
+	}}, nil
 }
 
-// cellCounting is the Claim 3.2 kernel (E12): connected-subgraph counts
+// setupCounting is the Claim 3.2 kernel (E12): connected-subgraph counts
 // against the Euler-tour bound n·δ^{2r}, evaluated on the faulted
 // survivor's largest component, with r = 3.
-func cellCounting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupCounting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
-	countSum, fracSum := 0.0, 0.0
-	counted := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	rec.Const("r", countingR)
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		if comp.G.N() < countingR {
-			continue
+			return nil
 		}
 		count := float64(comp.G.CountConnectedSubgraphs(countingR, 0))
 		delta := float64(comp.G.MaxDegree())
 		bound := float64(comp.G.N()) * math.Pow(delta, 2*countingR)
-		countSum += count
+		rec.Observe("count", count)
 		if bound > 0 {
-			fracSum += count / bound
+			rec.Observe("bound_frac", count/bound)
 		}
-		counted++
+		return nil
 	}
-	if counted == 0 {
-		return nil, fmt.Errorf("every survivor smaller than r=%d", countingR)
+	finish := func(rec *sweep.Recorder) error {
+		counted := rec.Count("count")
+		if counted == 0 {
+			return fmt.Errorf("every survivor smaller than r=%d", countingR)
+		}
+		rec.Const("counted_frac", float64(counted)/float64(c.Trials))
+		return nil
 	}
-	cn := float64(counted)
-	return map[string]float64{
-		"count_mean":      countSum / cn,
-		"bound_frac_mean": fracSum / cn,
-		"r":               countingR,
-		"counted_frac":    cn / float64(c.Trials),
-	}, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellLoadBalance is the §1.3 diffusion kernel (E13): rounds to balance
+// setupLoadBalance is the §1.3 diffusion kernel (E13): rounds to balance
 // a point load on the faulted survivor versus the fault-free graph.
-func cellLoadBalance(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupLoadBalance(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() < 2 {
-		return nil, fmt.Errorf("graph too small to balance")
+		return sweep.TrialRun{}, fmt.Errorf("graph too small to balance")
 	}
 	ideal := balance.RoundsToBalance(g, balance.PointLoad(g.N(), 0, float64(g.N())), balanceTol, balanceMaxRounds)
 	if ideal >= balanceMaxRounds || ideal == 0 {
-		return nil, fmt.Errorf("fault-free graph did not balance within %d rounds", balanceMaxRounds)
+		return sweep.TrialRun{}, fmt.Errorf("fault-free graph did not balance within %d rounds", balanceMaxRounds)
 	}
-	roundsSum, ratioSum := 0.0, 0.0
-	balanced := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	rec.Const("rounds_ideal", float64(ideal))
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		h := comp.G
 		if h.N() < 2 {
-			continue
+			return nil
 		}
 		r := balance.RoundsToBalance(h, balance.PointLoad(h.N(), 0, float64(h.N())), balanceTol, balanceMaxRounds)
 		if r >= balanceMaxRounds {
-			continue
+			return nil
 		}
-		roundsSum += float64(r)
-		ratioSum += float64(r) / float64(ideal)
-		balanced++
+		rec.Observe("rounds", float64(r))
+		rec.Observe("ratio", float64(r)/float64(ideal))
+		return nil
 	}
-	if balanced == 0 {
-		return nil, fmt.Errorf("no survivor balanced within %d rounds", balanceMaxRounds)
+	finish := func(rec *sweep.Recorder) error {
+		balanced := rec.Count("rounds")
+		if balanced == 0 {
+			return fmt.Errorf("no survivor balanced within %d rounds", balanceMaxRounds)
+		}
+		rec.Const("balanced_frac", float64(balanced)/float64(c.Trials))
+		return nil
 	}
-	b := float64(balanced)
-	return map[string]float64{
-		"rounds_ideal":  float64(ideal),
-		"rounds_mean":   roundsSum / b,
-		"ratio_mean":    ratioSum / b,
-		"balanced_frac": b / float64(c.Trials),
-	}, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellMultibutterfly is the Leighton–Maggs kernel (E14): the fraction of
-// inputs that still reach at least half of the surviving outputs after
-// faults. It requires the (unwrapped) butterfly family: the addressing
-// below assumes distinct input/output levels 0 and d, which the wrapped
-// butterfly merges away.
-func cellMultibutterfly(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// setupMultibutterfly is the Leighton–Maggs kernel (E14): the fraction
+// of inputs that still reach at least half of the surviving outputs
+// after faults. It requires the (unwrapped) butterfly family: the
+// addressing below assumes distinct input/output levels 0 and d, which
+// the wrapped butterfly merges away.
+func setupMultibutterfly(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if c.Family.Family != "butterfly" {
-		return nil, fmt.Errorf("multibutterfly measure needs a butterfly-family cell, got %q", c.Family.Family)
+		return sweep.TrialRun{}, fmt.Errorf("multibutterfly measure needs a butterfly-family cell, got %q", c.Family.Family)
 	}
 	d, err := strconv.Atoi(c.Family.Size)
 	if err != nil || d < 1 {
-		return nil, fmt.Errorf("bad butterfly dimension %q", c.Family.Size)
+		return sweep.TrialRun{}, fmt.Errorf("bad butterfly dimension %q", c.Family.Size)
 	}
 	rows := 1 << uint(d)
+	rec.Const("rows", float64(rows))
 	// Input row r is vertex r (level 0); output row r is vertex d·2^d+r.
 	newID := make([]int32, g.N())
-	goodSum, goodMin, faultSum := 0.0, 1.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		faultSum += float64(nf)
-		frac := wellConnectedInputFrac(sub, newID, rows, d, ws)
-		goodSum += frac
-		if frac < goodMin {
-			goodMin = frac
-		}
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"good_frac_mean": goodSum / tr,
-		"good_frac_min":  goodMin,
-		"faults_mean":    faultSum / tr,
-		"rows":           float64(rows),
-	}, nil
+		rec.Observe("faults", float64(nf))
+		rec.Observe("good_frac", wellConnectedInputFrac(sub, newID, rows, d, ws))
+		return nil
+	}}, nil
 }
 
 // wellConnectedInputFrac counts butterfly inputs that reach ≥ half of
@@ -383,83 +345,70 @@ func wellConnectedInputFrac(sub *graph.Sub, newID []int32, rows, d int, ws *grap
 	return float64(good) / float64(rows)
 }
 
-// cellDiameter is the E16 kernel: the survivor's exact diameter against
+// setupDiameter is the E16 kernel: the survivor's exact diameter against
 // the ball-growth bound 2·⌈log_{1+α}(n/2)⌉+1 from its measured
 // expansion — the lemma that turns certified expansion into the §4
 // dilation claim.
-func cellDiameter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupDiameter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
-	diamSum, diamMax, ratioMax, boundSum := 0.0, 0.0, 0.0, 0.0
-	measured := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		if comp.G.N() < 2 {
-			continue
+			return nil
 		}
-		alpha := measuredNodeAlpha(comp.G, rng.Split())
+		alpha := measuredNodeAlpha(comp.G, rng)
 		if alpha <= 0 {
-			continue
+			return nil
 		}
 		diam := float64(expansion.ExactDiameter(comp.G))
 		bound := float64(expansion.DiameterUpperBound(alpha, comp.G.N()))
-		diamSum += diam
-		boundSum += bound
-		if diam > diamMax {
-			diamMax = diam
+		rec.Observe("diameter", diam)
+		rec.Observe("bound", bound)
+		if bound > 0 {
+			rec.Observe("ratio", diam/bound)
 		}
-		if bound > 0 && diam/bound > ratioMax {
-			ratioMax = diam / bound
+		return nil
+	}
+	finish := func(rec *sweep.Recorder) error {
+		measured := rec.Count("diameter")
+		if measured == 0 {
+			return fmt.Errorf("no survivor was measurable")
 		}
-		measured++
+		rec.Const("measured_frac", float64(measured)/float64(c.Trials))
+		return nil
 	}
-	if measured == 0 {
-		return nil, fmt.Errorf("no survivor was measurable")
-	}
-	m := float64(measured)
-	return map[string]float64{
-		"diameter_mean": diamSum / m,
-		"diameter_max":  diamMax,
-		"bound_mean":    boundSum / m,
-		"ratio_max":     ratioMax,
-		"measured_frac": m / float64(c.Trials),
-	}, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellAgreement is the §1.3 almost-everywhere-agreement kernel (E17),
+// setupAgreement is the §1.3 almost-everywhere-agreement kernel (E17),
 // with the fault pattern reinterpreted: faulty nodes stay in the network
 // as Byzantine parties (rate = Byzantine fraction) and the metric is the
 // fraction of honest nodes that end holding the honest initial majority.
-func cellAgreement(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupAgreement(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
-	agreeSum, agreeMin, byzSum := 0.0, 1.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		byz, err := byzantinePattern(g, c.Model, c.Rate, rng.Split())
+	// Validate the model once, up front, instead of on trial 1.
+	if _, err := byzantinePattern(g, c.Model, 0, rng.Split()); err != nil {
+		return sweep.TrialRun{}, err
+	}
+	rec.Const("rounds", agreementRounds)
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		byz, err := byzantinePattern(g, c.Model, c.Rate, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		inst := agree.NewInstance(g, byz.Nodes, agreementPTrue, rng.Split())
-		frac := inst.Run(agreementRounds)
-		agreeSum += frac
-		if frac < agreeMin {
-			agreeMin = frac
-		}
-		byzSum += float64(byz.Count())
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"agreement_mean": agreeSum / tr,
-		"agreement_min":  agreeMin,
-		"byz_mean":       byzSum / tr,
-		"rounds":         agreementRounds,
-	}, nil
+		inst := agree.NewInstance(g, byz.Nodes, agreementPTrue, rng)
+		rec.Observe("agreement", inst.Run(agreementRounds))
+		rec.Observe("byz", float64(byz.Count()))
+		return nil
+	}}, nil
 }
 
 // byzantinePattern draws a node fault pattern for models that produce
@@ -475,211 +424,183 @@ func byzantinePattern(g *graph.Graph, model string, rate float64, rng *xrand.RNG
 	return faults.Pattern{}, fmt.Errorf("agreement measure needs a node fault model, got %q", model)
 }
 
-// cellRouting is the §1.3 routing kernel (E18): random-pairs
+// setupRouting is the §1.3 routing kernel (E18): random-pairs
 // shortest-path congestion on the faulted survivor versus the fault-free
 // graph.
-func cellRouting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupRouting(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() < 2 {
-		return nil, fmt.Errorf("graph too small to route")
+		return sweep.TrialRun{}, fmt.Errorf("graph too small to route")
 	}
 	pairs := 2 * g.N()
 	ideal := route.RandomPairs(g, pairs, rng.Split())
 	idealCPP := ideal.CongestionPerPair()
-	cppSum, ratioSum, lenSum, unreachedSum := 0.0, 0.0, 0.0, 0.0
-	routed := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	rec.Const("congperpair_ideal", idealCPP)
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		if comp.G.N() < 2 {
-			continue
+			return nil
 		}
-		r := route.RandomPairs(comp.G, pairs, rng.Split())
+		r := route.RandomPairs(comp.G, pairs, rng)
 		cpp := r.CongestionPerPair()
-		cppSum += cpp
+		rec.Observe("congperpair", cpp)
 		if idealCPP > 0 {
-			ratioSum += cpp / idealCPP
+			rec.Observe("ratio", cpp/idealCPP)
 		}
-		lenSum += r.AvgLen()
-		unreachedSum += float64(r.Unreached)
-		routed++
+		rec.Observe("avglen", r.AvgLen())
+		rec.Observe("unreached", float64(r.Unreached))
+		return nil
 	}
-	if routed == 0 {
-		return nil, fmt.Errorf("no survivor was routable")
+	finish := func(rec *sweep.Recorder) error {
+		if rec.Count("congperpair") == 0 {
+			return fmt.Errorf("no survivor was routable")
+		}
+		return nil
 	}
-	rt := float64(routed)
-	return map[string]float64{
-		"congperpair_ideal": idealCPP,
-		"congperpair_mean":  cppSum / rt,
-		"ratio_mean":        ratioSum / rt,
-		"avglen_mean":       lenSum / rt,
-		"unreached_mean":    unreachedSum / rt,
-	}, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellUpfal is the E11 kernel: Prune versus size-only (Upfal-style)
+// setupUpfal is the E11 kernel: Prune versus size-only (Upfal-style)
 // pruning on the same faulted graph — survivor sizes and the residual
 // expansion each certifies.
-func cellUpfal(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupUpfal(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	alpha := measuredNodeAlpha(g, rng.Split())
+	rec.Const("alpha", alpha)
 	n := float64(g.N())
-	pruneSum, upfalSum := 0.0, 0.0
-	alphaPruneSum, alphaUpfalSum := 0.0, 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		prng := rng.Split()
-		mrng := rng.Split()
 		if sub.G.N() == 0 {
-			continue
+			return nil
 		}
 		// Upfal first: it reads the workspace-backed sub but allocates
 		// its own survivors, while Prune's culling rounds rebuild into
 		// the same workspace and would invalidate sub.
 		up := core.UpfalPrune(sub, func(o int32) int { return g.Degree(int(o)) }, 0.51)
-		aUp, _ := core.MeasureResidual(up.H.G, mrng.Split())
-		upfalSum += float64(up.SurvivorSize()) / n
-		alphaUpfalSum += aUp
-		pr := core.Prune(sub.G, alpha, 0.5, core.Options{Finder: cuts.Options{RNG: prng}, Ws: ws})
-		aPr, _ := core.MeasureResidual(pr.H.G, mrng.Split())
-		pruneSum += float64(pr.SurvivorSize()) / n
-		alphaPruneSum += aPr
-	}
-	tr := float64(c.Trials)
-	return map[string]float64{
-		"alpha":            alpha,
-		"prune_frac_mean":  pruneSum / tr,
-		"upfal_frac_mean":  upfalSum / tr,
-		"alpha_prune_mean": alphaPruneSum / tr,
-		"alpha_upfal_mean": alphaUpfalSum / tr,
-	}, nil
+		aUp, _ := core.MeasureResidual(up.H.G, rng)
+		rec.Observe("upfal_frac", float64(up.SurvivorSize())/n)
+		rec.Observe("alpha_upfal", aUp)
+		pr := core.Prune(sub.G, alpha, 0.5, core.Options{Finder: cuts.Options{RNG: rng}, Ws: ws})
+		aPr, _ := core.MeasureResidual(pr.H.G, rng)
+		rec.Observe("prune_frac", float64(pr.SurvivorSize())/n)
+		rec.Observe("alpha_prune", aPr)
+		return nil
+	}}, nil
 }
 
-// cellResidual measures how much of the fault-free expansion the largest
-// surviving component retains — the quantity the paper's theorems are
-// about, measured directly instead of via pruning.
-func cellResidual(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+// setupResidual measures how much of the fault-free expansion the
+// largest surviving component retains — the quantity the paper's
+// theorems are about, measured directly instead of via pruning.
+func setupResidual(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() < 2 {
-		return nil, fmt.Errorf("graph too small")
+		return sweep.TrialRun{}, fmt.Errorf("graph too small")
 	}
 	alpha0 := measuredNodeAlpha(g, rng.Split())
 	alphaE0 := measuredEdgeAlpha(g, rng.Split())
-	nodeSum, edgeSum, gammaSum := 0.0, 0.0, 0.0
-	measured := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	rec.Const("alpha_node_0", alpha0)
+	rec.Const("alpha_edge_0", alphaE0)
+	n := float64(g.N())
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		if comp.G.N() < 2 {
-			continue
+			return nil
 		}
-		na, ea := core.MeasureResidual(comp.G, rng.Split())
-		nodeSum += na
-		edgeSum += ea
-		gammaSum += float64(comp.G.N()) / float64(g.N())
-		measured++
+		na, ea := core.MeasureResidual(comp.G, rng)
+		rec.Observe("alpha_node", na)
+		rec.Observe("alpha_edge", ea)
+		rec.Observe("gamma", float64(comp.G.N())/n)
+		return nil
 	}
-	if measured == 0 {
-		return nil, fmt.Errorf("no survivor was measurable")
+	finish := func(rec *sweep.Recorder) error {
+		if rec.Count("gamma") == 0 {
+			return fmt.Errorf("no survivor was measurable")
+		}
+		if alpha0 > 0 {
+			rec.Const("retention_node", rec.Stream("alpha_node").Mean()/alpha0)
+		}
+		if alphaE0 > 0 {
+			rec.Const("retention_edge", rec.Stream("alpha_edge").Mean()/alphaE0)
+		}
+		return nil
 	}
-	m := float64(measured)
-	out := map[string]float64{
-		"alpha_node_0":    alpha0,
-		"alpha_edge_0":    alphaE0,
-		"alpha_node_mean": nodeSum / m,
-		"alpha_edge_mean": edgeSum / m,
-		"gamma_mean":      gammaSum / m,
-	}
-	if alpha0 > 0 {
-		out["retention_node"] = (nodeSum / m) / alpha0
-	}
-	if alphaE0 > 0 {
-		out["retention_edge"] = (edgeSum / m) / alphaE0
-	}
-	return out, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellLambda2 tracks the survivor's algebraic connectivity λ₂ (and its
+// setupLambda2 tracks the survivor's algebraic connectivity λ₂ (and its
 // Cheeger bounds) under faults — the spectral view of expansion decay.
-func cellLambda2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupLambda2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() < 3 {
-		return nil, fmt.Errorf("graph too small")
+		return sweep.TrialRun{}, fmt.Errorf("graph too small")
 	}
 	l0 := spectral.Lambda2(g, rng.Split())
-	lSum, lowSum, upSum := 0.0, 0.0, 0.0
-	measured := 0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
+	rec.Const("lambda2_0", l0)
+	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		if comp.G.N() < 3 {
-			continue
+			return nil
 		}
-		l2 := spectral.Lambda2(comp.G, rng.Split())
+		l2 := spectral.Lambda2(comp.G, rng)
 		lo, up := spectral.CheegerBounds(l2)
-		lSum += l2
-		lowSum += lo
-		upSum += up
-		measured++
+		rec.Observe("lambda2", l2)
+		rec.Observe("cheeger_lower", lo)
+		rec.Observe("cheeger_upper", up)
+		return nil
 	}
-	if measured == 0 {
-		return nil, fmt.Errorf("no survivor was measurable")
+	finish := func(rec *sweep.Recorder) error {
+		if rec.Count("lambda2") == 0 {
+			return fmt.Errorf("no survivor was measurable")
+		}
+		if l0 > 0 {
+			rec.Const("retention", rec.Stream("lambda2").Mean()/l0)
+		}
+		return nil
 	}
-	m := float64(measured)
-	out := map[string]float64{
-		"lambda2_0":          l0,
-		"lambda2_mean":       lSum / m,
-		"cheeger_lower_mean": lowSum / m,
-		"cheeger_upper_mean": upSum / m,
-	}
-	if l0 > 0 {
-		out["retention"] = (lSum / m) / l0
-	}
-	return out, nil
+	return sweep.TrialRun{Trial: trial, Finish: finish}, nil
 }
 
-// cellConjecture gathers evidence for the paper's open conjecture (E19):
-// butterfly-like networks have span O(1), hence constant fault
+// setupConjecture gathers evidence for the paper's open conjecture
+// (E19): butterfly-like networks have span O(1), hence constant fault
 // tolerance. It reports the sampled span normalized by log₂n (flat ⇒
 // O(1) evidence), the implied Theorem 3.4 tolerance, and the measured γ
 // at this rate — so a rate sweep shows whether the graph really
 // tolerates the constant rate its span predicts.
-func cellConjecture(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+func setupConjecture(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
 	if g.N() == 0 {
-		return nil, fmt.Errorf("empty graph")
+		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	est := span.Sampled(g, predictorSamples, rng.Split())
 	pred := span.FaultToleranceFromSpan(g.MaxDegree(), est.Sigma)
 	n := float64(g.N())
-	gammaSum := 0.0
-	for t := 0; t < c.Trials; t++ {
-		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		gammaSum += float64(sub.G.LargestComponentSizeInto(ws)) / n
+	rec.Const("sigma", est.Sigma)
+	rec.Const("sigma_per_log2n", est.Sigma/math.Max(math.Log2(n), 1))
+	rec.Const("pred_tolerance", pred)
+	if c.Rate > pred {
+		rec.Const("above_pred", 1)
+	} else {
+		rec.Const("above_pred", 0)
 	}
-	return map[string]float64{
-		"sigma":           est.Sigma,
-		"sigma_per_log2n": est.Sigma / math.Max(math.Log2(n), 1),
-		"pred_tolerance":  pred,
-		"above_pred": func() float64 {
-			if c.Rate > pred {
-				return 1
-			}
-			return 0
-		}(),
-		"gamma_mean": gammaSum / float64(c.Trials),
-	}, nil
+	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
+		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
+		if err != nil {
+			return err
+		}
+		rec.Observe("gamma", float64(sub.G.LargestComponentSizeInto(ws))/n)
+		return nil
+	}}, nil
 }

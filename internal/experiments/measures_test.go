@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"runtime"
+	"strings"
 	"testing"
 
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
 	"faultexp/internal/sweep"
+	"faultexp/internal/xrand"
 )
 
 // TestAdversarialSweepDeterministicAcrossWorkers extends the PR-1
@@ -85,5 +89,82 @@ func TestMeasuresCountAndNames(t *testing.T) {
 	}
 	if len(have) < 17 {
 		t.Errorf("%d measures registered, want ≥ 17", len(have))
+	}
+}
+
+// TestGammaTrialPathZeroAlloc pins the acceptance criterion directly:
+// with a warm workspace and recorder, the gamma measure's steady-state
+// trial path (inject → largest component → observe) allocates nothing.
+func TestGammaTrialPathZeroAlloc(t *testing.T) {
+	setup, ok := sweep.LookupTrials("gamma")
+	if !ok {
+		t.Fatal("gamma is not trial-grained")
+	}
+	g, _, err := gen.FromFamily("torus", "16x16", 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}},
+		Measures: []string{"gamma"},
+		Model:    sweep.ModelIIDNode,
+		Rates:    []float64{0.05},
+		Trials:   8,
+		Seed:     7,
+	}
+	c := spec.Cells()[0]
+	ws := graph.NewWorkspace()
+	rec := sweep.NewRecorder()
+	run, err := setup(g, c, ws, xrand.New(c.Seed), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm pass: grow workspace buffers and recorder slots.
+	if err := sweep.RunTrials(c, ws, rec, run.Trial); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sweep.RunTrials(c, ws, rec, run.Trial); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perTrial := allocs / float64(c.Trials); perTrial > 0 {
+		t.Errorf("gamma trial path allocates %.2f/trial (%.0f per %d-trial loop), want 0", perTrial, allocs, c.Trials)
+	}
+}
+
+// TestEveryMeasureEmitsCompanions pins the tentpole acceptance
+// criterion: for every registered measure, every per-trial base metric
+// X (surfaced as X_mean) is accompanied by X_std, X_min, and X_max in
+// the same record.
+func TestEveryMeasureEmitsCompanions(t *testing.T) {
+	for _, measure := range sweep.Measures() {
+		measure := measure
+		t.Run(measure, func(t *testing.T) {
+			spec := specForMeasure(measure)
+			out := runJSONL(t, spec, 2)
+			sawMean := false
+			for _, ln := range bytes.Split(bytes.TrimSpace(out), []byte("\n")) {
+				var r sweep.Result
+				if err := json.Unmarshal(ln, &r); err != nil {
+					t.Fatal(err)
+				}
+				for key := range r.Metrics {
+					base, isMean := strings.CutSuffix(key, "_mean")
+					if !isMean {
+						continue
+					}
+					sawMean = true
+					for _, suffix := range []string{"_std", "_min", "_max"} {
+						if _, ok := r.Metrics[base+suffix]; !ok {
+							t.Errorf("rate %g: %s present but %s missing", r.Rate, key, base+suffix)
+						}
+					}
+				}
+			}
+			if !sawMean {
+				t.Errorf("measure %s emitted no per-trial metrics at all", measure)
+			}
+		})
 	}
 }

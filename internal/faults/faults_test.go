@@ -217,3 +217,25 @@ func TestValidateModels(t *testing.T) {
 		t.Errorf("ModelNames() = %v", got)
 	}
 }
+
+// TestModelByNameCoversModels pins ModelByName (a hand-maintained
+// switch, kept allocation-free for the sweep trial loop) to the Models
+// registry: every registered model must resolve, under its own name.
+func TestModelByNameCoversModels(t *testing.T) {
+	for _, m := range Models() {
+		got, ok := ModelByName(m.Name())
+		if !ok {
+			t.Errorf("ModelByName(%q) not found but Models() lists it", m.Name())
+			continue
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("ModelByName(%q) resolved to %q", m.Name(), got.Name())
+		}
+	}
+	if len(Models()) != len(ModelNames()) {
+		t.Errorf("Models()/ModelNames() length mismatch")
+	}
+	if _, ok := ModelByName("nope"); ok {
+		t.Error("ModelByName accepted an unknown name")
+	}
+}

@@ -107,12 +107,17 @@ func Models() []Model {
 	}
 }
 
-// ModelByName resolves a canonical model name.
+// ModelByName resolves a canonical model name. It allocates nothing
+// (the built-in models are zero-size), so the sweep trial loop can
+// resolve per call without paying for it.
 func ModelByName(name string) (Model, bool) {
-	for _, m := range Models() {
-		if m.Name() == name {
-			return m, true
-		}
+	switch name {
+	case ModelIIDNode:
+		return IIDNodeModel{}, true
+	case ModelIIDEdge:
+		return IIDEdgeModel{}, true
+	case ModelAdversarial:
+		return AdversarialModel{Adv: BottleneckAdversary{}}, true
 	}
 	return nil, false
 }

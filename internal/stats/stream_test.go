@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"faultexp/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestStreamMatchesSummarize: the single-pass moments must agree with
+// the batch two-pass computation on random data.
+func TestStreamMatchesSummarize(t *testing.T) {
+	rng := xrand.New(7)
+	for _, n := range []int{0, 1, 2, 3, 10, 1000} {
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 10
+			s.Add(xs[i])
+		}
+		want := Summarize(xs)
+		if int(s.N()) != want.N {
+			t.Fatalf("n=%d: N=%d", n, s.N())
+		}
+		if n == 0 {
+			continue
+		}
+		if !almostEq(s.Mean(), want.Mean, 1e-12) ||
+			!almostEq(s.Var(), want.Var, 1e-9) ||
+			!almostEq(s.Std(), want.Std, 1e-9) ||
+			s.Min() != want.Min || s.Max() != want.Max ||
+			!almostEq(s.StdErr(), want.StdErr, 1e-9) {
+			t.Errorf("n=%d: stream %+v vs batch %+v", n, s.Summary(), want)
+		}
+	}
+}
+
+// TestStreamMerge: merging partial streams must equal streaming the
+// concatenation, in any split.
+func TestStreamMerge(t *testing.T) {
+	rng := xrand.New(9)
+	xs := make([]float64, 257)
+	var whole Stream
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 50
+		whole.Add(xs[i])
+	}
+	for _, cut := range []int{0, 1, 100, 256, 257} {
+		var a, b Stream
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() || !almostEq(a.Mean(), whole.Mean(), 1e-12) ||
+			!almostEq(a.Var(), whole.Var(), 1e-9) ||
+			a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("cut=%d: merged %+v vs whole %+v", cut, a.Summary(), whole.Summary())
+		}
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	var s Stream
+	s.Add(3)
+	s.Add(5)
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("Reset left state: %+v", s)
+	}
+	s.Add(-2)
+	if s.Min() != -2 || s.Max() != -2 || s.Mean() != -2 {
+		t.Errorf("post-Reset Add wrong: %+v", s)
+	}
+}
+
+// TestStreamAddNoAlloc pins the zero-allocation contract of the trial
+// hot path.
+func TestStreamAddNoAlloc(t *testing.T) {
+	var s Stream
+	var q = NewP2(0.5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(1.5)
+		q.Add(1.5)
+	})
+	if allocs != 0 {
+		t.Errorf("Stream.Add/P2Quantile.Add allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestP2SmallSampleExact: up to five observations the estimator must
+// return the exact interpolated quantile.
+func TestP2SmallSampleExact(t *testing.T) {
+	e := NewP2(0.5)
+	for _, x := range []float64{9, 1, 5} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 5 {
+		t.Errorf("median of {9,1,5} = %g, want 5", got)
+	}
+	q := NewP2(0.25)
+	q.Add(4)
+	if got := q.Value(); got != 4 {
+		t.Errorf("single-sample quantile = %g, want 4", got)
+	}
+}
+
+// TestP2Accuracy: on large iid samples the P² estimate must land close
+// to the exact order statistic.
+func TestP2Accuracy(t *testing.T) {
+	rng := xrand.New(12345)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		e := NewP2(p)
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			e.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := Quantile(xs, p)
+		if math.Abs(e.Value()-exact) > 0.05 {
+			t.Errorf("p=%g: P² %.4f vs exact %.4f", p, e.Value(), exact)
+		}
+	}
+}
+
+// TestP2Deterministic: the same input order yields the same estimate.
+func TestP2Deterministic(t *testing.T) {
+	run := func() float64 {
+		rng := xrand.New(42)
+		e := NewP2(0.5)
+		for i := 0; i < 1000; i++ {
+			e.Add(rng.Float64())
+		}
+		return e.Value()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("P² not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%g) did not panic", p)
+				}
+			}()
+			NewP2(p)
+		}()
+	}
+}

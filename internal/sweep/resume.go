@@ -1,0 +1,159 @@
+package sweep
+
+// Resumable sweeps. A sweep's JSONL output is an append-only stream in
+// deterministic cell order, and every record carries its cell's
+// semantic seed — so an interrupted run can be picked up by scanning
+// the file, verifying each leading record against the run's cell
+// sequence (seed + trial budget pin a record to its exact position),
+// truncating any mid-write partial line, and executing only the
+// remainder. Because a cell's bytes depend solely on (grid seed, cell
+// key), the resumed file is byte-identical to an uninterrupted run;
+// the same holds per shard, so resume composes with `-shard i/m` +
+// `merge` unchanged.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ResumeState describes the usable prefix of an existing JSONL output.
+type ResumeState struct {
+	// Done is how many leading records are complete and verified
+	// against the run's cell sequence — the cells to skip.
+	Done int
+	// Offset is the byte offset where the verified prefix ends; the
+	// file must be truncated here and appended to from here.
+	Offset int64
+	// Truncated reports that a trailing partial record (a mid-write
+	// kill) was found after the verified prefix and will be overwritten.
+	Truncated bool
+}
+
+// ScanResume validates an existing JSONL output stream against the
+// run's cell sequence (the spec expanded, shard already applied — see
+// Spec.ShardCells) and returns how many leading cells are already
+// complete and where appending must start.
+//
+// The scan refuses mismatches rather than guessing: a record whose seed
+// or trial budget differs from its cell position means the file was
+// produced by a different spec, seed, or shard; a malformed record in
+// the interior means corruption; more records than cells means the
+// wrong spec. Only a trailing line without its newline — the signature
+// of a killed write — is treated as incomplete and marked for
+// truncation.
+func ScanResume(r io.Reader, cells []Cell) (ResumeState, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var st ResumeState
+	for {
+		line, err := br.ReadBytes('\n')
+		switch {
+		case err == nil:
+			// A complete, newline-terminated record.
+			trimmed := bytes.TrimSpace(line)
+			var res Result
+			if len(trimmed) == 0 || json.Unmarshal(trimmed, &res) != nil {
+				return st, fmt.Errorf("sweep: resume: record %d is malformed — output corrupt, refusing to resume", st.Done)
+			}
+			if st.Done >= len(cells) {
+				return st, fmt.Errorf("sweep: resume: output holds more than the run's %d cells — wrong spec or shard", len(cells))
+			}
+			c := cells[st.Done]
+			if res.Seed != c.Seed {
+				return st, fmt.Errorf("sweep: resume: record %d is %s/%s/%s rate %s seed %d, want seed %d — output from a different spec, seed, or shard",
+					st.Done, res.Family, res.Measure, res.Model, rateToken(res.Rate), res.Seed, c.Seed)
+			}
+			// The seed pins every semantic coordinate except the trial
+			// budget; check it explicitly so growing -trials can't splice
+			// cheap old cells into an expensive new run.
+			if res.Trials != c.Trials {
+				return st, fmt.Errorf("sweep: resume: record %d ran %d trials, spec wants %d — output from a different trial budget",
+					st.Done, res.Trials, c.Trials)
+			}
+			st.Done++
+			st.Offset += int64(len(line))
+		case err == io.EOF:
+			// Trailing bytes with no newline: a mid-write kill. The
+			// partial record is re-run, not trusted.
+			if len(line) > 0 {
+				st.Truncated = true
+			}
+			return st, nil
+		default:
+			return st, fmt.Errorf("sweep: resume: reading existing output: %w", err)
+		}
+	}
+}
+
+// ShardCells expands the grid and applies the shard's round-robin
+// selection — the exact cell sequence (order and identity) a run with
+// that shard executes and streams. This is the sequence ScanResume
+// verifies against.
+func (s *Spec) ShardCells(sh Shard) []Cell {
+	cells := s.Cells()
+	if !sh.Enabled() {
+		return cells
+	}
+	kept := make([]Cell, 0, shardLineCount(len(cells), sh.Index, sh.Count))
+	for _, c := range cells {
+		if c.Index%sh.Count == sh.Index {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Plan describes what a run would execute, without executing it — the
+// `sweep -dry-run` surface.
+type Plan struct {
+	// GridCells is the full grid size (families × measures × models ×
+	// rates); RunCells is what remains after shard selection, and
+	// RunTrials = RunCells × Trials is the Monte-Carlo volume this run
+	// would pay for.
+	GridCells int
+	RunCells  int
+	RunTrials int
+	// Families lists the distinct family graphs this run would build
+	// (only families appearing in the sharded cell set), in cell order.
+	Families []string
+	Measures []string
+	Models   []string
+	Rates    []float64
+	Trials   int
+	Seed     uint64
+	Shard    Shard
+}
+
+// Plan expands the grid under the given shard and summarizes it. The
+// spec must already validate; Validate is re-run defensively.
+func (s *Spec) Plan(sh Shard) (Plan, error) {
+	if err := s.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if err := sh.Validate(); err != nil {
+		return Plan{}, err
+	}
+	cells := s.ShardCells(sh)
+	p := Plan{
+		GridCells: len(s.Cells()),
+		RunCells:  len(cells),
+		RunTrials: len(cells) * s.Trials,
+		Measures:  append([]string(nil), s.Measures...),
+		Models:    append([]string(nil), s.Models...),
+		Rates:     append([]float64(nil), s.Rates...),
+		Trials:    s.Trials,
+		Seed:      s.Seed,
+		Shard:     sh,
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		key := c.Family.String()
+		if !seen[key] {
+			seen[key] = true
+			p.Families = append(p.Families, key)
+		}
+	}
+	return p, nil
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -100,7 +101,11 @@ type Result struct {
 	Trials  int                `json:"trials"`
 	Seed    uint64             `json:"seed"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Err     string             `json:"err,omitempty"`
+	// Nonfinite lists (comma-joined, sorted) the metric keys whose
+	// values were NaN/±Inf and therefore dropped from Metrics — a
+	// half-broken measure is visibly different from a clean one.
+	Nonfinite string `json:"nonfinite,omitempty"`
+	Err       string `json:"err,omitempty"`
 }
 
 // MetricNames returns the result's metric keys, sorted — the iteration
@@ -130,6 +135,11 @@ type Options struct {
 	// zero value runs everything). Per-shard outputs merge back to the
 	// unsharded bytes with MergeShards.
 	Shard Shard
+	// SkipCells skips the first SkipCells cells of the (sharded) cell
+	// sequence — the resume path: those records already sit in the
+	// output (verified by ScanResume), so the run appends only the
+	// remainder. Skipped cells do not appear in the Summary or Progress.
+	SkipCells int
 }
 
 // Run expands the spec, builds each family graph once, executes every
@@ -144,16 +154,11 @@ func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
 	if err := opt.Shard.Validate(); err != nil {
 		return Summary{}, err
 	}
-	cells := spec.Cells()
-	if opt.Shard.Enabled() {
-		kept := make([]Cell, 0, shardLineCount(len(cells), opt.Shard.Index, opt.Shard.Count))
-		for _, c := range cells {
-			if c.Index%opt.Shard.Count == opt.Shard.Index {
-				kept = append(kept, c)
-			}
-		}
-		cells = kept
+	cells := spec.ShardCells(opt.Shard)
+	if opt.SkipCells < 0 || opt.SkipCells > len(cells) {
+		return Summary{}, fmt.Errorf("sweep: skip of %d cells out of range (run has %d)", opt.SkipCells, len(cells))
 	}
+	cells = cells[opt.SkipCells:]
 
 	// Build each distinct family graph once, serially, up front: graphs
 	// are immutable so cells can share them, and a bad family spec fails
@@ -206,14 +211,22 @@ func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
 			return runCell(graphs[cells[i].Family.String()], cells[i], workspaces[worker])
 		},
 		func(i int, r *Result) {
+			if writeErr != nil {
+				// The sink already failed: the remaining results — the
+				// synthetic aborted placeholders and any real cells that
+				// were in flight — can never be written, so they are not
+				// part of the run's outcome. Counting them would inflate
+				// the summary, and reporting progress for them would show
+				// a run marching on after its output died.
+				return
+			}
 			sum.Cells++
 			if r.Err != "" {
 				sum.Errors++
 			}
-			if writeErr == nil {
-				if writeErr = w.Write(r); writeErr != nil {
-					aborted.Store(true)
-				}
+			if writeErr = w.Write(r); writeErr != nil {
+				aborted.Store(true)
+				return
 			}
 			if opt.Progress != nil {
 				opt.Progress(sum.Cells, len(cells))
@@ -260,13 +273,19 @@ func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 		res.Err = err.Error()
 		return res
 	}
-	// Drop non-finite values: JSON cannot represent them and a ±Inf
-	// certificate just means "nothing left to certify" — its absence is
-	// the deterministic signal.
+	// Non-finite values cannot ride in JSON, so they are dropped from
+	// Metrics — but their *names* are recorded in Nonfinite, so a cell
+	// where one measure overflowed is distinguishable from a clean one.
+	var dropped []string
 	for k, v := range metrics {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dropped = append(dropped, k)
 			delete(metrics, k)
 		}
+	}
+	if len(dropped) > 0 {
+		sort.Strings(dropped)
+		res.Nonfinite = strings.Join(dropped, ",")
 	}
 	if len(metrics) == 0 {
 		// Keep the cell visible in every output format (a long-format

@@ -138,9 +138,79 @@ func TestJSONLShapeAndInfStripping(t *testing.T) {
 			if _, ok := r.Metrics["inf_gets_dropped"]; ok {
 				t.Errorf("non-finite metric leaked into output: %q", ln)
 			}
-		} else if r.Metrics["inf_gets_dropped"] != 1 {
-			t.Errorf("finite metric missing in %q", ln)
+			// The dropped key must be *recorded*, not silently deleted —
+			// a half-broken measure is distinguishable from a clean one.
+			if r.Nonfinite != "inf_gets_dropped" {
+				t.Errorf("nonfinite = %q, want %q in %q", r.Nonfinite, "inf_gets_dropped", ln)
+			}
+		} else {
+			if r.Metrics["inf_gets_dropped"] != 1 {
+				t.Errorf("finite metric missing in %q", ln)
+			}
+			if r.Nonfinite != "" {
+				t.Errorf("clean cell carries nonfinite %q", r.Nonfinite)
+			}
 		}
+	}
+}
+
+// TestNonfiniteKeysRecorded pins the satellite fix end-to-end: dropped
+// keys are sorted and comma-joined in JSONL, surface as a "nonfinite"
+// CSV row, and an all-nonfinite cell keeps both the error and the list.
+func TestNonfiniteKeysRecorded(t *testing.T) {
+	Register("allnan", func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+		nan := 0.0 / func() float64 { return 0 }()
+		return map[string]float64{"b_bad": nan, "a_bad": nan, "ok": c.Rate}, nil
+	})
+	spec := toySpec()
+	spec.Measures = []string{"allnan"}
+	spec.Families = spec.Families[:1]
+	spec.Rates = []float64{0, 0.5}
+	var jb, cb bytes.Buffer
+	w := MultiWriter{NewJSONL(&jb), NewCSV(&cb)}
+	if _, err := Run(spec, w, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(jb.Bytes()), []byte("\n"))
+	var r0, r1 Result
+	if err := json.Unmarshal(lines[0], &r0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(lines[1], &r1); err != nil {
+		t.Fatal(err)
+	}
+	// Rate 0: "ok" is 0 (finite), a_bad/b_bad dropped — sorted order.
+	if r0.Nonfinite != "a_bad,b_bad" || r0.Err != "" || r0.Metrics["ok"] != 0 {
+		t.Errorf("rate-0 record: %+v", r0)
+	}
+	if r1.Nonfinite != "a_bad,b_bad" || r1.Metrics["ok"] != 0.5 {
+		t.Errorf("rate-0.5 record: %+v", r1)
+	}
+	if !strings.Contains(cb.String(), ",nonfinite,\"a_bad,b_bad\"") {
+		t.Errorf("CSV missing nonfinite row:\n%s", cb.String())
+	}
+	// An all-nonfinite cell keeps both the error and the key list.
+	Register("allnan2", func(g *graph.Graph, c Cell, ws *graph.Workspace, rng *xrand.RNG) (map[string]float64, error) {
+		return map[string]float64{"only": 1 / func() float64 { return 0 }()}, nil
+	})
+	spec2 := toySpec()
+	spec2.Measures = []string{"allnan2"}
+	spec2.Families = spec2.Families[:1]
+	spec2.Rates = []float64{0}
+	var jb2 bytes.Buffer
+	sum, err := Run(spec2, NewJSONL(&jb2), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 1 {
+		t.Fatalf("summary %+v, want 1 error", sum)
+	}
+	var r2 Result
+	if err := json.Unmarshal(bytes.TrimSpace(jb2.Bytes()), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Err != "no finite metrics" || r2.Nonfinite != "only" {
+		t.Errorf("all-nonfinite record: %+v", r2)
 	}
 }
 
@@ -397,6 +467,38 @@ func TestWriterErrorAbortsRun(t *testing.T) {
 		t.Errorf("all %d cells computed after the writer died (want an early stop)", got)
 	} else if got < 1 {
 		t.Errorf("counted %d cells, expected at least the ones before the failure", got)
+	}
+}
+
+// TestAbortStopsSummaryAndProgress pins the satellite fix: after the
+// writer dies, the synthetic aborted placeholders (and in-flight cells)
+// are not counted in the summary and do not fire Progress.
+func TestAbortStopsSummaryAndProgress(t *testing.T) {
+	spec := toySpec() // 12 cells
+	var progress int
+	lastDone := -1
+	sum, err := Run(spec, &failWriter{left: 2}, Options{
+		Workers: 2,
+		Progress: func(done, total int) {
+			progress++
+			lastDone = done
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Run = %v, want writer error", err)
+	}
+	// Writes 0 and 1 succeed, write 2 fails: exactly 3 cells entered the
+	// outcome (the third died at the sink), progress fired for the 2
+	// written ones, and none of the 12-3=9 aborted results inflated
+	// anything.
+	if sum.Cells != 3 {
+		t.Errorf("sum.Cells = %d, want 3 (aborted placeholders must not count)", sum.Cells)
+	}
+	if sum.Errors != 0 {
+		t.Errorf("sum.Errors = %d, want 0 (synthetic 'aborted' results must not count)", sum.Errors)
+	}
+	if progress != 2 || lastDone != 2 {
+		t.Errorf("Progress fired %d times (last done=%d), want 2 calls ending at 2", progress, lastDone)
 	}
 }
 

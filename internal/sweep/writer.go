@@ -83,12 +83,20 @@ func (c *CSVWriter) Write(r *Result) error {
 		return c.cw.Write(append(base[:len(base):len(base)], metric, value))
 	}
 	if r.Err != "" {
-		return row("err", r.Err)
-	}
-	for _, k := range r.MetricNames() {
-		if err := row(k, strconv.FormatFloat(r.Metrics[k], 'g', -1, 64)); err != nil {
+		if err := row("err", r.Err); err != nil {
 			return err
 		}
+	} else {
+		for _, k := range r.MetricNames() {
+			if err := row(k, strconv.FormatFloat(r.Metrics[k], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	// Dropped non-finite keys ride as one extra row so the CSV stream
+	// carries the same half-broken-cell signal as the JSONL stream.
+	if r.Nonfinite != "" {
+		return row("nonfinite", r.Nonfinite)
 	}
 	return nil
 }

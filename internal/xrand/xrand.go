@@ -62,12 +62,30 @@ func (r *RNG) SplitN(n int) []*RNG {
 	return out
 }
 
+// Reseed resets the generator in place to the state New(seed) would
+// produce, without allocating — the trial loop's way of giving each
+// trial a fresh independent stream while reusing one RNG value.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // mix64 is the SplitMix64 finalizer: a bijective avalanche mix used for
 // seed derivation.
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * mixM1
 	z = (z ^ (z >> 27)) * mixM2
 	return z ^ (z >> 31)
+}
+
+// SeedAt derives the i-th indexed sub-seed of root: the allocation-free
+// numeric counterpart of SeedFor(root, "<i>") for hot loops that derive
+// one seed per trial. Distinct (root, i) pairs give statistically
+// independent streams, and — like SeedFor — the result depends only on
+// the pair, never on scheduling or on which other indices are used, so
+// extending a trial loop never perturbs earlier trials' streams.
+func SeedAt(root uint64, i uint64) uint64 {
+	// Two finalizer rounds with the split constant folded between them:
+	// the same avalanche structure as SeedFor, with the index taking the
+	// place of the hashed key.
+	return mix64(mix64(root^gamma) ^ (i+1)*splitK)
 }
 
 // SeedFor derives a stream seed from a root seed and a structured key by

@@ -270,3 +270,57 @@ func BenchmarkBinomialSparse(b *testing.B) {
 		_ = r.Binomial(1<<20, 1e-5)
 	}
 }
+
+// TestSeedAtIndependence: indexed sub-seeds must be distinct across
+// indices and roots, independent of other indices in use, and their
+// streams must not correlate with the root's own stream.
+func TestSeedAtIndependence(t *testing.T) {
+	type key struct {
+		root, i uint64
+	}
+	seen := map[uint64]key{}
+	for _, root := range []uint64{0, 1, 42, ^uint64(0)} {
+		for i := uint64(0); i < 64; i++ {
+			s := SeedAt(root, i)
+			if s2 := SeedAt(root, i); s2 != s {
+				t.Fatalf("SeedAt(%d,%d) not deterministic", root, i)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Errorf("SeedAt collision: (%d,%d) vs (%d,%d)", root, i, prev.root, prev.i)
+			}
+			seen[s] = key{root, i}
+		}
+	}
+	// Streams from adjacent indices must look unrelated.
+	r1, r2 := New(SeedAt(7, 0)), New(SeedAt(7, 1))
+	same := 0
+	for i := 0; i < 16; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent SeedAt streams share %d of 16 outputs", same)
+	}
+}
+
+// TestReseedMatchesNew: an in-place Reseed must reproduce New exactly,
+// and must not allocate.
+func TestReseedMatchesNew(t *testing.T) {
+	var r RNG
+	r.Reseed(12345)
+	fresh := New(12345)
+	for i := 0; i < 8; i++ {
+		if a, b := r.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("Reseed stream diverges at %d: %x vs %x", i, a, b)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Reseed(99)
+		_ = r.Uint64()
+		_ = SeedAt(3, 4)
+	})
+	if allocs != 0 {
+		t.Errorf("Reseed/SeedAt hot path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -117,6 +117,51 @@ func TestREADMEFamiliesInSync(t *testing.T) {
 	}
 }
 
+// TestREADMEAggDimsInSync keeps README's agg grouping-dimension list in
+// lockstep with the live sweep.AggDims (the same marker mechanism as
+// the measures and families tables).
+func TestREADMEAggDimsInSync(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- aggdims:begin")
+	end := strings.Index(s, "<!-- aggdims:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the aggdims:begin/aggdims:end markers")
+	}
+	section := s[begin:end]
+	var got []string
+	for _, m := range regexp.MustCompile("`([a-z]+)`").FindAllStringSubmatch(section, -1) {
+		got = append(got, m[1])
+	}
+	want := faultexp.SweepAggDims()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("README agg dims %v, registry says %v", got, want)
+	}
+}
+
+// TestREADMEDocumentsTrialStatsAndSubcommands pins the PR-4 surfaces
+// the README promises: the per-trial companion suffixes, the resume and
+// dry-run flags, and the agg subcommand with its summary columns.
+func TestREADMEDocumentsTrialStatsAndSubcommands(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"`_mean`", "`_std`", "`_min`", "`_max`", // companion suffixes
+		"-resume", "-dry-run", "faultexp agg", "-by",
+		"`median`", "`nonfinite`",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README does not document %s", want)
+		}
+	}
+}
+
 // TestREADMEModelsListed checks the fault-model names appear in README
 // (prose, not a table — just presence).
 func TestREADMEModelsListed(t *testing.T) {
