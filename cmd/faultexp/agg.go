@@ -7,6 +7,7 @@ package main
 // order (stdin when none given).
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,7 +17,9 @@ import (
 	"faultexp/internal/sweep"
 )
 
-func cmdAgg(args []string) error {
+func cmdAgg(ctx context.Context, args []string) error {
+	ctx, stop := signalContext(ctx)
+	defer stop()
 	fs := flag.NewFlagSet("agg", flag.ExitOnError)
 	by := fs.String("by", "measure,model,rate", "comma list of grouping dimensions ("+strings.Join(sweep.AggDims, "|")+"); empty = one global group")
 	metrics := fs.String("metrics", "", "comma list of metric keys to keep (default all)")
@@ -53,7 +56,7 @@ func cmdAgg(args []string) error {
 	}
 
 	if len(inputs) == 0 {
-		if err := agg.AddJSONL(os.Stdin); err != nil {
+		if err := agg.AddJSONL(ctxReader{ctx: ctx, r: os.Stdin}); err != nil {
 			return err
 		}
 	}
@@ -62,7 +65,8 @@ func cmdAgg(args []string) error {
 		if err != nil {
 			return err
 		}
-		err = agg.AddJSONL(f)
+		// SIGINT/SIGTERM aborts at the next record read.
+		err = agg.AddJSONL(ctxReader{ctx: ctx, r: f})
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -25,12 +26,12 @@ func TestAggCLI(t *testing.T) {
 		"-quiet",
 		"-jsonl", in,
 	}
-	if err := cmdSweep(args); err != nil {
+	if err := cmdSweep(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	csvOut := filepath.Join(dir, "sum.csv")
 	jsonlOut := filepath.Join(dir, "sum.jsonl")
-	if err := cmdAgg([]string{"-quiet", "-by", "measure,rate", "-metrics", "gamma_mean", "-csv", csvOut, "-jsonl", jsonlOut, in}); err != nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", "-by", "measure,rate", "-metrics", "gamma_mean", "-csv", csvOut, "-jsonl", jsonlOut, in}); err != nil {
 		t.Fatal(err)
 	}
 	b := readFile(t, csvOut)
@@ -55,7 +56,7 @@ func TestAggCLI(t *testing.T) {
 	}
 	// Determinism: a second pass produces identical bytes.
 	csvOut2 := filepath.Join(dir, "sum2.csv")
-	if err := cmdAgg([]string{"-quiet", "-by", "measure,rate", "-metrics", "gamma_mean", "-csv", csvOut2, in}); err != nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", "-by", "measure,rate", "-metrics", "gamma_mean", "-csv", csvOut2, in}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(readFile(t, csvOut), readFile(t, csvOut2)) {
@@ -63,20 +64,20 @@ func TestAggCLI(t *testing.T) {
 	}
 	// Flags may follow the input files (the README's documented form).
 	csvOut3 := filepath.Join(dir, "sum3.csv")
-	if err := cmdAgg([]string{"-quiet", "-by", "measure,rate", in, "-metrics", "gamma_mean", "-csv", csvOut3}); err != nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", "-by", "measure,rate", in, "-metrics", "gamma_mean", "-csv", csvOut3}); err != nil {
 		t.Fatalf("agg with trailing flags: %v", err)
 	}
 	if !bytes.Equal(readFile(t, csvOut), readFile(t, csvOut3)) {
 		t.Error("trailing-flag invocation differs from flags-first invocation")
 	}
 	// Bad dimensions and missing files are rejected.
-	if err := cmdAgg([]string{"-quiet", "-by", "bogus", in}); err == nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", "-by", "bogus", in}); err == nil {
 		t.Error("agg accepted a bogus dimension")
 	}
-	if err := cmdAgg([]string{"-quiet", filepath.Join(dir, "missing.jsonl")}); err == nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", filepath.Join(dir, "missing.jsonl")}); err == nil {
 		t.Error("agg accepted a missing input file")
 	}
-	if err := cmdAgg([]string{"-quiet", "-by", "rate,rate", in}); err == nil {
+	if err := cmdAgg(context.Background(), []string{"-quiet", "-by", "rate,rate", in}); err == nil {
 		t.Error("agg accepted duplicate dimensions")
 	}
 }
@@ -100,7 +101,7 @@ func TestAggCLIStdin(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = outW
-	aggErr := cmdAgg([]string{"-quiet", "-by", "measure"})
+	aggErr := cmdAgg(context.Background(), []string{"-quiet", "-by", "measure"})
 	outW.Close()
 	os.Stdin, os.Stdout = oldIn, oldOut
 	var buf bytes.Buffer

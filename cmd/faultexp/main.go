@@ -14,17 +14,23 @@
 //	faultexp percolate  -family torus -size 32x32 -mode bond [-trials 20]
 //	faultexp sweep      -families torus:8x8,hypercube:6 -measures gamma,prune2 -rates 0,0.02,0.05,0.1 [-jsonl out.jsonl] [-csv out.csv]
 //	faultexp sweep      -spec grid.json -resume out.jsonl | -dry-run
+//	faultexp serve      -addr 127.0.0.1:8080 [-max-active 2]
 //	faultexp agg        -by family,rate out.jsonl [-csv summary.csv]
 //	faultexp experiment E7 [-full] [-seed 42]
 //	faultexp experiment all
+//	faultexp version
 //	faultexp list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"faultexp/internal/balance"
 	"faultexp/internal/compact"
@@ -47,6 +53,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
 	var err error
 	switch os.Args[1] {
 	case "gen":
@@ -68,13 +75,17 @@ func main() {
 	case "route":
 		err = cmdRoute(os.Args[2:])
 	case "sweep":
-		err = cmdSweep(os.Args[2:])
+		err = cmdSweep(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "merge":
-		err = cmdMerge(os.Args[2:])
+		err = cmdMerge(ctx, os.Args[2:])
 	case "agg":
-		err = cmdAgg(os.Args[2:])
+		err = cmdAgg(ctx, os.Args[2:])
 	case "experiment":
-		err = cmdExperiment(os.Args[2:])
+		err = cmdExperiment(ctx, os.Args[2:])
+	case "version", "-version", "--version":
+		err = cmdVersion(os.Stdout)
 	case "list":
 		err = cmdList()
 	case "help", "-h", "--help":
@@ -88,6 +99,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faultexp:", err)
 		os.Exit(1)
 	}
+}
+
+// signalContext derives the command's context, cancelled on SIGINT or
+// SIGTERM so the long-running subcommands (sweep, serve, merge, agg,
+// experiment) shut down gracefully — sweep drains its Job at a cell
+// boundary and flushes a resumable prefix, serve stops accepting and
+// cancels its jobs. After the first signal the handler uninstalls
+// itself, so a second signal while draining kills the process the
+// default way instead of being swallowed.
+func signalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// ctxReader makes a streaming read loop interruptible: once the
+// command's context is cancelled, the next Read fails, unwinding
+// merge/agg promptly with a non-zero exit instead of grinding through
+// the rest of a multi-gigabyte file.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, fmt.Errorf("interrupted: %w", err)
+	}
+	return c.r.Read(p)
 }
 
 func usage() {
@@ -104,10 +147,13 @@ commands:
   balance     diffusion load-balancing rounds (§1.3 application)
   route       random-pairs routing congestion (§1.3 application)
   sweep       run a parameter grid (family × measure × model × rate) streaming JSONL/CSV
-              (-resume picks up an interrupted run; -dry-run prints the plan)
+              (-resume picks up an interrupted run; -dry-run prints the plan;
+              SIGINT/SIGTERM drains at a cell boundary and leaves a resumable prefix)
+  serve       HTTP daemon over the sweep Job API: POST /v1/jobs, snapshot, stream, cancel
   merge       reassemble 'sweep -shard i/m' JSONL outputs into the unsharded stream
   agg         group sweep JSONL records and emit summary tables (CSV/JSONL) for plotting
   experiment  run a reproduction experiment (E1–E19) or "all"
+  version     print module version, VCS revision, and toolchain (also: faultexp -version)
   list        list experiments, graph families, sweep measures, and fault models
 
 Run any command with -h for its flags.`)
@@ -376,7 +422,9 @@ func cmdRoute(args []string) error {
 	return nil
 }
 
-func cmdExperiment(args []string) error {
+func cmdExperiment(ctx context.Context, args []string) error {
+	ctx, stop := signalContext(ctx)
+	defer stop()
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	full := fs.Bool("full", false, "full (EXPERIMENTS.md) sizes instead of quick")
 	seed := fs.Uint64("seed", 20040627, "experiment seed")
@@ -408,6 +456,11 @@ func cmdExperiment(args []string) error {
 	}
 	failed := 0
 	for _, e := range exps {
+		// SIGINT/SIGTERM stops between experiments — the finished
+		// reports already rendered, the exit is non-zero.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		fmt.Printf("running %s (%s)…\n", e.ID, e.PaperRef)
 		rep := e.Run(cfg)
 		rep.Render(os.Stdout)

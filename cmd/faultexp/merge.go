@@ -5,6 +5,7 @@ package main
 // to the unsharded run (and optionally re-emit it as long-format CSV).
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -13,7 +14,9 @@ import (
 	"faultexp/internal/sweep"
 )
 
-func cmdMerge(args []string) error {
+func cmdMerge(ctx context.Context, args []string) error {
+	ctx, stop := signalContext(ctx)
+	defer stop()
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	specFile := fs.String("spec", "", "JSON grid spec the shards were run with; verifies every record lands at its exact cell position")
 	jsonlOut := fs.String("jsonl", "", `merged JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
@@ -44,7 +47,9 @@ func cmdMerge(args []string) error {
 			return err
 		}
 		defer f.Close()
-		readers = append(readers, f)
+		// SIGINT/SIGTERM aborts the merge at the next shard read instead
+		// of grinding through the remaining gigabytes.
+		readers = append(readers, ctxReader{ctx: ctx, r: f})
 	}
 
 	if *jsonlOut == "" && *csvOut == "" {

@@ -1,0 +1,438 @@
+package main
+
+// Tests for the HTTP daemon, driven through httptest against the same
+// handler `faultexp serve` mounts. The headline check mirrors the CI
+// smoke step: the daemon's streamed results are byte-identical to the
+// CLI sweep path for the same spec.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"faultexp/internal/sweep"
+)
+
+// serveSpecJSON is the golden grid (see sweep_test.go) in spec form, so
+// the HTTP stream can be diffed against the checked-in golden JSONL.
+const serveSpecJSON = `{
+  "families": [
+    {"family": "mesh", "size": "4x4"},
+    {"family": "torus", "size": "4x4"},
+    {"family": "hypercube", "size": "4"}
+  ],
+  "measures": ["gamma", "percolation"],
+  "model": "iid-node",
+  "rates": [0, 0.25, 0.5, 0.75],
+  "trials": 2,
+  "seed": 42
+}`
+
+// slowSpecJSON is a grid whose cells are genuinely slow (thousands of
+// BFS trials on a 2304-node torus each, ~300ms/cell — a multi-second
+// run in total), so cancellation tests catch it mid-run even when HTTP
+// round-trips on a loaded machine cost 100ms+. Nothing waits for it to
+// finish: every test that submits it cancels it.
+const slowSpecJSON = `{
+  "families": [{"family": "torus", "size": "48x48"}],
+  "measures": ["gamma"],
+  "model": "iid-node",
+  "rates": [0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4],
+  "trials": 3000,
+  "seed": 7,
+  "workers": 2
+}`
+
+func newTestServer(t *testing.T, maxActive, maxJobs int) (*httptest.Server, *jobManager) {
+	t.Helper()
+	mgr := newJobManager(context.Background(), maxActive, maxJobs)
+	srv := httptest.NewServer(mgr.handler())
+	t.Cleanup(func() {
+		mgr.cancelAll()
+		srv.Close()
+	})
+	return srv, mgr
+}
+
+func postJob(t *testing.T, srv *httptest.Server, spec string) jobView {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, b)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding POST response: %v", err)
+	}
+	if v.ID == "" {
+		t.Fatal("POST response carries no job id")
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+v.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, v.ID)
+	}
+	return v
+}
+
+func getView(t *testing.T, srv *httptest.Server, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s = %d", id, resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	return v
+}
+
+func waitTerminal(t *testing.T, srv *httptest.Server, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getView(t, srv, id)
+		if v.Snapshot.State.Terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobView{}
+}
+
+// TestServeResultsByteIdenticalToCLI is the acceptance check: the same
+// spec through `faultexp sweep` and through the daemon produces the
+// same bytes — and a re-attaching client using ?from= splices back into
+// the identical stream.
+func TestServeResultsByteIdenticalToCLI(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(serveSpecJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "ref.jsonl")
+	if err := cmdSweep(context.Background(), []string{"-spec", specPath, "-quiet", "-jsonl", ref}); err != nil {
+		t.Fatalf("CLI sweep: %v", err)
+	}
+	want := readFile(t, ref)
+
+	srv, _ := newTestServer(t, 2, 8)
+	v := postJob(t, srv, serveSpecJSON)
+	if v.Snapshot.CellsTotal != 24 {
+		t.Fatalf("submitted job sees %d cells, want 24", v.Snapshot.CellsTotal)
+	}
+
+	// The results stream follows the job live and ends at terminal
+	// state; reading it to EOF is the whole synchronization.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/results")
+	if err != nil {
+		t.Fatalf("GET results: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading results stream: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results Content-Type = %q", ct)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP results differ from CLI sweep output:\n--- http ---\n%s--- cli ---\n%s", got, want)
+	}
+
+	fin := waitTerminal(t, srv, v.ID)
+	if fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("final state %q, want done", fin.Snapshot.State)
+	}
+	if fin.Snapshot.CellsDone != 24 || fin.Snapshot.Errors != 0 {
+		t.Fatalf("final snapshot %+v", fin.Snapshot)
+	}
+
+	// A client that lost its stream after K records re-attaches with
+	// ?from=K and receives exactly the remaining bytes.
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	for _, from := range []int{0, 1, 5, 24} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/results?from=%d", srv.URL, v.ID, from))
+		if err != nil {
+			t.Fatalf("GET results?from=%d: %v", from, err)
+		}
+		part, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if want := bytes.Join(lines[from:], nil); !bytes.Equal(part, want) {
+			t.Errorf("results?from=%d returned %d bytes, want %d", from, len(part), len(want))
+		}
+	}
+
+	// The job list includes the finished job.
+	lresp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding job list: %v", err)
+	}
+	lresp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Errorf("job list = %+v, want exactly %s", list.Jobs, v.ID)
+	}
+}
+
+func TestServeCancelDrainsAtCellBoundary(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 8)
+	v := postJob(t, srv, slowSpecJSON)
+
+	// Wait for the first streamed record so the job is demonstrably
+	// mid-run, then cancel.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := make([]byte, 1)
+	if _, err := io.ReadFull(resp.Body, br); err != nil {
+		t.Fatalf("waiting for first result byte: %v", err)
+	}
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", dresp.StatusCode)
+	}
+	// The live stream must terminate (not hang) once the job drains.
+	rest, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("draining stream after cancel: %v", err)
+	}
+	got := append(br, rest...)
+
+	fin := waitTerminal(t, srv, v.ID)
+	if fin.Snapshot.State != sweep.JobCancelled {
+		t.Fatalf("state after DELETE = %q, want cancelled", fin.Snapshot.State)
+	}
+	if fin.Snapshot.CellsDone == 0 || fin.Snapshot.CellsDone >= fin.Snapshot.CellsTotal {
+		t.Fatalf("cancelled with %d of %d cells, want a proper nonempty prefix", fin.Snapshot.CellsDone, fin.Snapshot.CellsTotal)
+	}
+	if fin.Snapshot.Err == "" {
+		t.Error("cancelled snapshot carries no err message")
+	}
+
+	// The streamed prefix is complete records matching the snapshot.
+	if got[len(got)-1] != '\n' {
+		t.Fatal("cancelled stream ends mid-record")
+	}
+	if n := len(bytes.Split(bytes.TrimSpace(got), []byte("\n"))); n != fin.Snapshot.CellsDone {
+		t.Errorf("stream delivered %d records, snapshot says %d", n, fin.Snapshot.CellsDone)
+	}
+	// Each record decodes.
+	for i, ln := range bytes.Split(bytes.TrimSpace(got), []byte("\n")) {
+		var r sweep.Result
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestServeBoundedPoolQueuesAndRefuses(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 2)
+	first := postJob(t, srv, slowSpecJSON)
+	second := postJob(t, srv, slowSpecJSON)
+
+	// With one slot, the second job must still be pending while the
+	// first runs (poll briefly — submission is asynchronous).
+	deadline := time.Now().Add(5 * time.Second)
+	var s1, s2 sweep.JobState
+	for time.Now().Before(deadline) {
+		s1 = getView(t, srv, first.ID).Snapshot.State
+		s2 = getView(t, srv, second.ID).Snapshot.State
+		if s1 == sweep.JobRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s1 != sweep.JobRunning || s2 != sweep.JobPending {
+		t.Fatalf("states = %q/%q, want running/pending under a 1-slot pool", s1, s2)
+	}
+
+	// The store holds 2 of max 2: a third submission is refused.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(serveSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third POST = %d, want 503", resp.StatusCode)
+	}
+
+	// Cancelling the queued job resolves it without ever running a cell;
+	// cancelling the running one frees the slot.
+	for _, id := range []string{second.ID, first.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %s = %d", id, dresp.StatusCode)
+		}
+	}
+	if fin := waitTerminal(t, srv, second.ID); fin.Snapshot.State != sweep.JobCancelled || fin.Snapshot.CellsDone != 0 {
+		t.Errorf("queued-then-cancelled job = %+v, want cancelled with 0 cells", fin.Snapshot)
+	}
+	waitTerminal(t, srv, first.ID)
+}
+
+func TestServeErrorPaths(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 4)
+	// Malformed and invalid specs are 400 with a JSON error body.
+	for _, body := range []string{
+		"{not json",
+		`{"families":[{"family":"nosuch","size":"4x4"}],"measures":["gamma"],"rates":[0],"trials":1,"seed":1}`,
+		`{"families":[{"family":"torus","size":"4x4"}],"measures":["gamma"],"rates":[0],"trials":1,"seed":1,"bogus":true}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("POST bad spec: error body missing (%v)", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST bad spec = %d, want 400", resp.StatusCode)
+		}
+	}
+	// Unknown ids are 404 on every per-job route.
+	for _, req := range []*http.Request{
+		mustReq(t, http.MethodGet, srv.URL+"/v1/jobs/nope"),
+		mustReq(t, http.MethodGet, srv.URL+"/v1/jobs/nope/results"),
+		mustReq(t, http.MethodDelete, srv.URL+"/v1/jobs/nope"),
+	} {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", req.Method, req.URL.Path, resp.StatusCode)
+		}
+	}
+	// Bad ?from= is a 400.
+	v := postJob(t, srv, serveSpecJSON)
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/results?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("results?from=-1 = %d, want 400", resp.StatusCode)
+	}
+	waitTerminal(t, srv, v.ID)
+}
+
+// TestServeStoreEvictsFinishedJobs: a full store makes room by dropping
+// the oldest finished jobs rather than 503ing forever, and DELETE on a
+// finished job evicts it explicitly.
+func TestServeStoreEvictsFinishedJobs(t *testing.T) {
+	srv, _ := newTestServer(t, 2, 2)
+	a := postJob(t, srv, serveSpecJSON)
+	b := postJob(t, srv, serveSpecJSON)
+	waitTerminal(t, srv, a.ID)
+	waitTerminal(t, srv, b.ID)
+
+	// Store is at capacity (2/2) but both jobs are done: the next
+	// submission evicts the oldest (a) instead of failing.
+	c := postJob(t, srv, serveSpecJSON)
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job %s still answers %d, want 404", a.ID, resp.StatusCode)
+	}
+	waitTerminal(t, srv, c.ID)
+
+	// DELETE on a finished job removes it outright.
+	req := mustReq(t, http.MethodDelete, srv.URL+"/v1/jobs/"+b.ID)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(dresp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding DELETE response: %v", err)
+	}
+	dresp.Body.Close()
+	if !v.Removed {
+		t.Errorf("DELETE of finished job %s not marked removed: %+v", b.ID, v)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETEd finished job %s still answers %d, want 404", b.ID, resp.StatusCode)
+	}
+}
+
+// TestServeRejectsBadWorkers: a hostile workers value in a POSTed spec
+// is a 400, never a daemon-killing panic.
+func TestServeRejectsBadWorkers(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 4)
+	bad := `{"families":[{"family":"torus","size":"4x4"}],"measures":["gamma"],"model":"iid-node","rates":[0],"trials":1,"seed":1,"workers":-1}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST workers=-1 = %d, want 400", resp.StatusCode)
+	}
+	// A huge workers value is clamped, runs, and completes.
+	huge := `{"families":[{"family":"torus","size":"4x4"}],"measures":["gamma"],"model":"iid-node","rates":[0],"trials":1,"seed":1,"workers":1000000000}`
+	v := postJob(t, srv, huge)
+	if fin := waitTerminal(t, srv, v.ID); fin.Snapshot.State != sweep.JobDone {
+		t.Errorf("huge-workers job finished %q, want done", fin.Snapshot.State)
+	}
+}
+
+func mustReq(t *testing.T, method, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}

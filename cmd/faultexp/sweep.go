@@ -4,8 +4,16 @@ package main
 // fault model × fault rate × trials) and stream results as JSONL and/or
 // CSV. The grid comes either from flags or from a JSON spec file; output
 // is byte-identical for any -workers value (see internal/sweep).
+//
+// Execution rides the context-aware Job API: SIGINT/SIGTERM cancels the
+// job's context, the pool drains at a cell boundary, the writer is
+// flushed, and the command exits non-zero with a "resumable at cell K"
+// message — the flushed JSONL prefix picks up with -resume, byte-
+// identical to a run that was never interrupted.
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,7 +24,12 @@ import (
 	"faultexp/internal/sweep"
 )
 
-func cmdSweep(args []string) error {
+// sweepCellHook, when non-nil, observes every emitted cell (even under
+// -quiet). Tests use it to fire a SIGINT at a deterministic point
+// mid-run.
+var sweepCellHook func(done, total int)
+
+func cmdSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	specFile := fs.String("spec", "", "JSON grid spec file (overrides the grid flags)")
 	families := fs.String("families", "", "comma list of family:size[:k], e.g. torus:8x8,hypercube:6,smallworld:256x4:25")
@@ -131,21 +144,63 @@ func cmdSweep(args []string) error {
 		}
 	}
 
-	opt := sweep.Options{Workers: *workers, Shard: sh, SkipCells: skip}
-	if !*quiet {
-		prefix := "sweep"
-		if sh.Enabled() {
-			prefix = "sweep[" + sh.String() + "]"
-		}
-		opt.Progress = func(done, total int) {
+	prefix := "sweep"
+	if sh.Enabled() {
+		prefix = "sweep[" + sh.String() + "]"
+	}
+	progress := func(done, total int) {
+		if !*quiet {
 			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", prefix, done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+		if sweepCellHook != nil {
+			sweepCellHook(done, total)
+		}
 	}
-	sum, err := sweep.Run(spec, writers, opt)
+
+	// SIGINT/SIGTERM cancels the job's context; the pool drains at a
+	// cell boundary and the flushed JSONL prefix remains resumable.
+	ctx, stop := signalContext(ctx)
+	defer stop()
+
+	job, err := sweep.NewJob(spec,
+		sweep.WithWriter(writers),
+		sweep.WithWorkers(*workers),
+		sweep.WithShard(sh),
+		sweep.WithSkipCells(skip),
+		sweep.WithProgress(progress),
+	)
 	if err != nil {
+		return err
+	}
+	if err := job.Start(ctx); err != nil {
+		return err
+	}
+	sum, err := job.Wait()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The run was interrupted, not broken: report exactly where
+			// the durable output stands and how to pick it up.
+			done, total := skip+sum.Cells, skip+job.Cells()
+			if !*quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			resumePath := ""
+			switch {
+			case resumeFile != nil:
+				resumePath = *resume
+			case *jsonlOut != "" && *jsonlOut != "-":
+				resumePath = *jsonlOut
+			}
+			if resumePath != "" {
+				return fmt.Errorf("interrupted: %d of %d cells complete, resumable at cell %d — rerun with -resume %s",
+					done, total, done, resumePath)
+			}
+			return fmt.Errorf("interrupted: %d of %d cells complete, resumable at cell %d (JSONL to a file enables -resume)",
+				done, total, done)
+		}
 		return err
 	}
 	if sum.Errors > 0 {

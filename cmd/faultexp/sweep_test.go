@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"io"
@@ -47,7 +48,7 @@ func TestSweepGolden(t *testing.T) {
 	wantCSV := readFile(t, filepath.Join("testdata", "sweep_golden.csv"))
 	for _, workers := range []string{"1", "3", "8"} {
 		dir := t.TempDir()
-		if err := cmdSweep(goldenArgs(dir, workers)); err != nil {
+		if err := cmdSweep(context.Background(), goldenArgs(dir, workers)); err != nil {
 			t.Fatalf("cmdSweep(workers=%s): %v", workers, err)
 		}
 		if got := readFile(t, filepath.Join(dir, "out.jsonl")); !bytes.Equal(got, wantJSONL) {
@@ -104,7 +105,7 @@ func TestSweepSpecFile(t *testing.T) {
 		"-jsonl", filepath.Join(dir, "out.jsonl"),
 		"-csv", filepath.Join(dir, "out.csv"),
 	}
-	if err := cmdSweep(args); err != nil {
+	if err := cmdSweep(context.Background(), args); err != nil {
 		t.Fatalf("cmdSweep(-spec): %v", err)
 	}
 	wantJSONL := readFile(t, filepath.Join("testdata", "sweep_golden.jsonl"))
@@ -137,14 +138,14 @@ func TestSweepShardMergeCLI(t *testing.T) {
 			"-shard", string(rune('0'+i)) + "/3",
 			"-jsonl", shardPaths[i],
 		}
-		if err := cmdSweep(args); err != nil {
+		if err := cmdSweep(context.Background(), args); err != nil {
 			t.Fatalf("cmdSweep(shard %d/3): %v", i, err)
 		}
 	}
 	mergedJSONL := filepath.Join(dir, "merged.jsonl")
 	mergedCSV := filepath.Join(dir, "merged.csv")
 	margs := append([]string{"-quiet", "-jsonl", mergedJSONL, "-csv", mergedCSV}, shardPaths...)
-	if err := cmdMerge(margs); err != nil {
+	if err := cmdMerge(context.Background(), margs); err != nil {
 		t.Fatalf("cmdMerge: %v", err)
 	}
 	if got, want := readFile(t, mergedJSONL), readFile(t, filepath.Join("testdata", "sweep_golden.jsonl")); !bytes.Equal(got, want) {
@@ -155,7 +156,7 @@ func TestSweepShardMergeCLI(t *testing.T) {
 	}
 	// Merge refuses a wrong shard count / order profile when lengths
 	// make it detectable, and always refuses zero shard files.
-	if err := cmdMerge([]string{"-quiet", "-jsonl", filepath.Join(dir, "x.jsonl")}); err == nil {
+	if err := cmdMerge(context.Background(), []string{"-quiet", "-jsonl", filepath.Join(dir, "x.jsonl")}); err == nil {
 		t.Error("cmdMerge with no shard files succeeded")
 	}
 	// With -spec, a wrong shard order is caught even when the length
@@ -168,12 +169,12 @@ func TestSweepShardMergeCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	goodOrder := append([]string{"-quiet", "-spec", specPath, "-jsonl", filepath.Join(dir, "v.jsonl")}, shardPaths...)
-	if err := cmdMerge(goodOrder); err != nil {
+	if err := cmdMerge(context.Background(), goodOrder); err != nil {
 		t.Errorf("cmdMerge(-spec, correct order): %v", err)
 	}
 	badOrder := []string{"-quiet", "-spec", specPath, "-jsonl", filepath.Join(dir, "b.jsonl"),
 		shardPaths[1], shardPaths[0], shardPaths[2]}
-	if err := cmdMerge(badOrder); err == nil {
+	if err := cmdMerge(context.Background(), badOrder); err == nil {
 		t.Error("cmdMerge(-spec) accepted equal-length shards in the wrong order")
 	}
 }
@@ -193,7 +194,7 @@ func TestSweepMultiModelCLI(t *testing.T) {
 		"-quiet",
 		"-jsonl", out,
 	}
-	if err := cmdSweep(args); err != nil {
+	if err := cmdSweep(context.Background(), args); err != nil {
 		t.Fatalf("cmdSweep(-models): %v", err)
 	}
 	lines := bytes.Split(bytes.TrimSpace(readFile(t, out)), []byte("\n"))
@@ -212,7 +213,7 @@ func TestSweepMultiModelCLI(t *testing.T) {
 		t.Errorf("model counts %v, want 2 each", models)
 	}
 	conflict := []string{"-families", "torus:4x4", "-rates", "0", "-model", "iid-node", "-models", "iid-edge", "-quiet", "-jsonl", filepath.Join(dir, "c.jsonl")}
-	if err := cmdSweep(conflict); err == nil {
+	if err := cmdSweep(context.Background(), conflict); err == nil {
 		t.Error("cmdSweep accepted both -model and -models")
 	}
 }
@@ -220,20 +221,21 @@ func TestSweepMultiModelCLI(t *testing.T) {
 // TestSweepFlagErrors pins the user-facing failure modes.
 func TestSweepFlagErrors(t *testing.T) {
 	cases := [][]string{
-		{"-rates", "0,0.1", "-quiet"},                                     // no families
-		{"-families", "torus:4x4", "-quiet"},                              // no rates
-		{"-families", "nosuch:4x4", "-rates", "0", "-quiet"},              // unknown family
-		{"-families", "torus:4x4", "-rates", "2", "-quiet"},               // rate out of range
+		{"-rates", "0,0.1", "-quiet"},                                         // no families
+		{"-families", "torus:4x4", "-quiet"},                                  // no rates
+		{"-families", "nosuch:4x4", "-rates", "0", "-quiet"},                  // unknown family
+		{"-families", "torus:4x4", "-rates", "2", "-quiet"},                   // rate out of range
 		{"-families", "torus:4x4", "-rates", "0", "-measures", "x", "-quiet"}, // unknown measure
-		{"-spec", filepath.Join(t.TempDir(), "missing.json"), "-quiet"},   // missing spec file
-		{"-families", "torus:4x4:3", "-rates", "0", "-quiet"},             // :k on a family without k
+		{"-spec", filepath.Join(t.TempDir(), "missing.json"), "-quiet"},       // missing spec file
+		{"-families", "torus:4x4:3", "-rates", "0", "-quiet"},                 // :k on a family without k
 		{"-families", "torus:4x4", "-rates", "0", "-models", "x", "-quiet"},   // unknown model
 		{"-families", "torus:4x4", "-rates", "0", "-shard", "3/3", "-quiet"},  // shard out of range
 		{"-families", "torus:4x4", "-rates", "0", "-shard", "1of3", "-quiet"}, // malformed shard
+		{"-families", "torus:4x4", "-rates", "0", "-workers", "-1", "-quiet"}, // negative workers
 	}
 	for _, args := range cases {
 		args = append(args, "-jsonl", filepath.Join(t.TempDir(), "out.jsonl"))
-		if err := cmdSweep(args); err == nil {
+		if err := cmdSweep(context.Background(), args); err == nil {
 			t.Errorf("cmdSweep(%v) succeeded, want error", args)
 		}
 	}
@@ -259,7 +261,7 @@ func resumeGridArgs(extra ...string) []string {
 func TestSweepResumeCLI(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.jsonl")
-	if err := cmdSweep(resumeGridArgs("-jsonl", full)); err != nil {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", full)); err != nil {
 		t.Fatal(err)
 	}
 	want := readFile(t, full)
@@ -280,7 +282,7 @@ func TestSweepResumeCLI(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			if err := cmdSweep(resumeGridArgs("-resume", resumed)); err != nil {
+			if err := cmdSweep(context.Background(), resumeGridArgs("-resume", resumed)); err != nil {
 				t.Fatalf("resume: %v", err)
 			}
 			if got := readFile(t, resumed); !bytes.Equal(got, want) {
@@ -296,7 +298,7 @@ func TestSweepResumeCLI(t *testing.T) {
 func TestSweepResumeShardCLI(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.jsonl")
-	if err := cmdSweep(resumeGridArgs("-jsonl", full)); err != nil {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", full)); err != nil {
 		t.Fatal(err)
 	}
 	shardPaths := make([]string, 2)
@@ -304,7 +306,7 @@ func TestSweepResumeShardCLI(t *testing.T) {
 		shardPaths[i] = filepath.Join(dir, "s"+string(rune('0'+i))+".jsonl")
 		sh := string(rune('0'+i)) + "/2"
 		// First pass: run the shard fully, then truncate to one record.
-		if err := cmdSweep(resumeGridArgs("-shard", sh, "-jsonl", shardPaths[i])); err != nil {
+		if err := cmdSweep(context.Background(), resumeGridArgs("-shard", sh, "-jsonl", shardPaths[i])); err != nil {
 			t.Fatal(err)
 		}
 		b := readFile(t, shardPaths[i])
@@ -313,12 +315,12 @@ func TestSweepResumeShardCLI(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Resume the shard.
-		if err := cmdSweep(resumeGridArgs("-shard", sh, "-resume", shardPaths[i])); err != nil {
+		if err := cmdSweep(context.Background(), resumeGridArgs("-shard", sh, "-resume", shardPaths[i])); err != nil {
 			t.Fatalf("resume shard %d: %v", i, err)
 		}
 	}
 	merged := filepath.Join(dir, "merged.jsonl")
-	if err := cmdMerge(append([]string{"-quiet", "-jsonl", merged}, shardPaths...)); err != nil {
+	if err := cmdMerge(context.Background(), append([]string{"-quiet", "-jsonl", merged}, shardPaths...)); err != nil {
 		t.Fatal(err)
 	}
 	if got := readFile(t, merged); !bytes.Equal(got, readFile(t, full)) {
@@ -330,7 +332,7 @@ func TestSweepResumeShardCLI(t *testing.T) {
 func TestSweepResumeRefusals(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.jsonl")
-	if err := cmdSweep(resumeGridArgs("-jsonl", out)); err != nil {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", out)); err != nil {
 		t.Fatal(err)
 	}
 	// A different grid seed must refuse.
@@ -339,14 +341,14 @@ func TestSweepResumeRefusals(t *testing.T) {
 		"-model", "iid-node", "-rates", "0,0.25,0.5", "-trials", "2",
 		"-seed", "999", "-quiet", "-resume", out,
 	}
-	if err := cmdSweep(mismatch); err == nil || !strings.Contains(err.Error(), "different spec") {
+	if err := cmdSweep(context.Background(), mismatch); err == nil || !strings.Contains(err.Error(), "different spec") {
 		t.Errorf("mismatched spec resume = %v, want refusal", err)
 	}
 	// -csv and a conflicting -jsonl are rejected up front.
-	if err := cmdSweep(resumeGridArgs("-resume", out, "-csv", filepath.Join(dir, "x.csv"))); err == nil {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-resume", out, "-csv", filepath.Join(dir, "x.csv"))); err == nil {
 		t.Error("-resume with -csv accepted")
 	}
-	if err := cmdSweep(resumeGridArgs("-resume", out, "-jsonl", filepath.Join(dir, "other.jsonl"))); err == nil {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-resume", out, "-jsonl", filepath.Join(dir, "other.jsonl"))); err == nil {
 		t.Error("-resume with conflicting -jsonl accepted")
 	}
 	// Interior corruption refuses.
@@ -354,7 +356,7 @@ func TestSweepResumeRefusals(t *testing.T) {
 	if err := os.WriteFile(corrupt, []byte("{junk}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdSweep(resumeGridArgs("-resume", corrupt)); err == nil || !strings.Contains(err.Error(), "malformed") {
+	if err := cmdSweep(context.Background(), resumeGridArgs("-resume", corrupt)); err == nil || !strings.Contains(err.Error(), "malformed") {
 		t.Errorf("corrupt resume = %v, want malformed error", err)
 	}
 }
@@ -368,7 +370,7 @@ func TestSweepDryRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := cmdSweep(resumeGridArgs("-shard", "0/2", "-dry-run"))
+	runErr := cmdSweep(context.Background(), resumeGridArgs("-shard", "0/2", "-dry-run"))
 	w.Close()
 	os.Stdout = old
 	out, _ := io.ReadAll(r)
@@ -390,7 +392,7 @@ func TestSweepDryRun(t *testing.T) {
 		}
 	}
 	// A dry run with an invalid grid still fails validation.
-	if err := cmdSweep([]string{"-families", "torus:4x4", "-rates", "0", "-measures", "nope", "-dry-run", "-quiet"}); err == nil {
+	if err := cmdSweep(context.Background(), []string{"-families", "torus:4x4", "-rates", "0", "-measures", "nope", "-dry-run", "-quiet"}); err == nil {
 		t.Error("dry run validated an unknown measure")
 	}
 }

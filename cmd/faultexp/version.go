@@ -1,0 +1,49 @@
+package main
+
+// The version subcommand (also reachable as `faultexp -version`):
+// report what binary this is — module path and version, the VCS
+// revision and commit time it was built from, and the toolchain — all
+// read from the build info the Go linker embeds, so it needs no
+// ldflags plumbing and works for `go install`, a local `go build`, and
+// a test binary alike.
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+func cmdVersion(w io.Writer) error {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Errorf("no build info embedded in this binary")
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	fmt.Fprintf(w, "faultexp %s\n", version)
+	fmt.Fprintf(w, "  module    %s\n", bi.Main.Path)
+	fmt.Fprintf(w, "  go        %s\n", bi.GoVersion)
+	var rev, modified, vcsTime string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		}
+	}
+	if rev != "" {
+		if modified == "true" {
+			rev += " (modified)"
+		}
+		fmt.Fprintf(w, "  revision  %s\n", rev)
+	}
+	if vcsTime != "" {
+		fmt.Fprintf(w, "  built     %s\n", vcsTime)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+// Golden-ish test for `faultexp version`: the exact revision and
+// toolchain vary by build, so the test pins the shape — the header
+// line, the fixed field labels, and the module path — rather than
+// frozen bytes.
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+func TestVersionOutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cmdVersion(&buf); err != nil {
+		t.Fatalf("cmdVersion: %v", err)
+	}
+	out := buf.String()
+	for _, re := range []string{
+		`(?m)^faultexp \S+$`,         // header: name + version (devel under go test)
+		`(?m)^  module    faultexp$`, // module path from build info
+		`(?m)^  go        go\d`,      // toolchain line
+	} {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Errorf("version output missing %s:\n%s", re, out)
+		}
+	}
+	if bytes.Contains(buf.Bytes(), []byte("(devel)")) {
+		t.Errorf("raw (devel) leaked into output:\n%s", out)
+	}
+}

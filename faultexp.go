@@ -379,14 +379,77 @@ func ParseSweepShard(tok string) (SweepShard, error) { return sweep.ParseShard(t
 
 // RunSweep executes a grid on up to workers goroutines (0 = GOMAXPROCS),
 // streaming results to w in deterministic cell order.
+//
+// Deprecated: use NewSweepJob, which adds context cancellation,
+// mid-flight snapshots, and resumable interruption; RunSweep is a thin
+// synchronous wrapper kept for compatibility.
 func RunSweep(spec *SweepSpec, w SweepWriter, workers int) (SweepSummary, error) {
 	return sweep.Run(spec, w, sweep.Options{Workers: workers})
 }
 
 // RunSweepOpt is RunSweep with full options (shard, progress).
+//
+// Deprecated: use NewSweepJob with SweepJobShard/SweepJobSkipCells/
+// SweepJobProgress options; RunSweepOpt is a thin synchronous wrapper
+// kept for compatibility.
 func RunSweepOpt(spec *SweepSpec, w SweepWriter, opt SweepOptions) (SweepSummary, error) {
 	return sweep.Run(spec, w, opt)
 }
+
+// --- The context-aware Job API ---
+
+// SweepJob is one grid run as a first-class object: Start(ctx) launches
+// it, Snapshot() observes it lock-free mid-flight, Cancel() (or
+// cancelling ctx) drains the pool at a cell boundary — leaving JSONL
+// output that ScanSweepResume accepts and -resume completes to bytes
+// identical to an uninterrupted run — and Wait() collects the outcome.
+// This is the execution surface behind `faultexp sweep` and the
+// `faultexp serve` HTTP daemon.
+type SweepJob = sweep.Job
+
+// SweepJobOption configures a SweepJob at construction (writer, worker
+// count, shard, skip, progress callback).
+type SweepJobOption = sweep.JobOption
+
+// SweepSnapshot is a point-in-time, lock-free view of a job: state,
+// cells done/total, trials done, errors, wall-clock, shard.
+type SweepSnapshot = sweep.Snapshot
+
+// SweepJobState is a job's lifecycle phase as reported by snapshots.
+type SweepJobState = sweep.JobState
+
+// The SweepJob lifecycle states.
+const (
+	SweepJobPending   = sweep.JobPending
+	SweepJobRunning   = sweep.JobRunning
+	SweepJobDone      = sweep.JobDone
+	SweepJobCancelled = sweep.JobCancelled
+	SweepJobFailed    = sweep.JobFailed
+)
+
+// NewSweepJob validates the spec and options and returns a ready-to-
+// Start job; the expensive work happens after Start, on the job's own
+// goroutine.
+func NewSweepJob(spec *SweepSpec, opts ...SweepJobOption) (*SweepJob, error) {
+	return sweep.NewJob(spec, opts...)
+}
+
+// SweepJobWriter sets the job's streamed result sink.
+func SweepJobWriter(w SweepWriter) SweepJobOption { return sweep.WithWriter(w) }
+
+// SweepJobWorkers overrides the job's worker-pool size (0 = the spec's
+// Workers, then GOMAXPROCS). Worker count never affects output bytes.
+func SweepJobWorkers(n int) SweepJobOption { return sweep.WithWorkers(n) }
+
+// SweepJobShard restricts the job to one round-robin slice of the grid.
+func SweepJobShard(sh SweepShard) SweepJobOption { return sweep.WithShard(sh) }
+
+// SweepJobSkipCells skips the job's first n cells — the resume path
+// (pair with ScanSweepResume).
+func SweepJobSkipCells(n int) SweepJobOption { return sweep.WithSkipCells(n) }
+
+// SweepJobProgress installs a per-cell progress callback.
+func SweepJobProgress(fn func(done, total int)) SweepJobOption { return sweep.WithProgress(fn) }
 
 // MergeSweepShards reassembles per-shard JSONL streams (in shard order)
 // into unsharded cell order: jsonl receives the original lines

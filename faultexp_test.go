@@ -5,9 +5,12 @@ package faultexp_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"testing"
 
 	"faultexp"
@@ -241,5 +244,88 @@ func TestPublicFamilyRegistryAndShardedSweep(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Errorf("merged shards differ from unsharded run:\n--- want ---\n%s\n--- got ---\n%s", want.Bytes(), got.Bytes())
+	}
+}
+
+// TestPublicSweepJob drives the exported Job surface the way README's
+// Job API section shows it: construct, start, observe, cancel, resume —
+// with the cancelled-then-resumed output byte-identical to a clean run.
+func TestPublicSweepJob(t *testing.T) {
+	spec := func() *faultexp.SweepSpec {
+		return &faultexp.SweepSpec{
+			Families: []faultexp.SweepFamily{
+				{Family: "torus", Size: "8x8"},
+				{Family: "hypercube", Size: "5"},
+			},
+			Measures: []string{"gamma"},
+			Models:   []string{"iid-node"},
+			Rates:    []float64{0, 0.1, 0.2, 0.3},
+			Trials:   5,
+			Seed:     17,
+		}
+	}
+
+	// Clean run through the Job API.
+	var want bytes.Buffer
+	job, err := faultexp.NewSweepJob(spec(), faultexp.SweepJobWriter(faultexp.NewSweepJSONL(&want)))
+	if err != nil {
+		t.Fatalf("NewSweepJob: %v", err)
+	}
+	if s := job.Snapshot(); s.State != faultexp.SweepJobPending || s.CellsTotal != 8 {
+		t.Fatalf("pending snapshot = %+v", s)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := job.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if s := job.Snapshot(); s.State != faultexp.SweepJobDone || s.CellsDone != 8 || s.TrialsDone != 40 {
+		t.Fatalf("done snapshot = %+v", s)
+	}
+
+	// Cancel mid-run, then resume to byte identity.
+	var buf bytes.Buffer
+	var cj *faultexp.SweepJob
+	var once sync.Once
+	cj, err = faultexp.NewSweepJob(spec(),
+		faultexp.SweepJobWriter(faultexp.NewSweepJSONL(&buf)),
+		faultexp.SweepJobWorkers(1),
+		faultexp.SweepJobProgress(func(done, total int) {
+			if done >= 2 {
+				once.Do(cj.Cancel)
+			}
+		}))
+	if err != nil {
+		t.Fatalf("NewSweepJob(cancel): %v", err)
+	}
+	if err := cj.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sum, werr := cj.Wait()
+	if werr == nil || !errors.Is(werr, context.Canceled) {
+		t.Fatalf("cancelled Wait = %v, want context.Canceled", werr)
+	}
+	if s := cj.Snapshot(); s.State != faultexp.SweepJobCancelled {
+		t.Fatalf("cancelled snapshot = %+v", s)
+	}
+	st, err := faultexp.ScanSweepResume(bytes.NewReader(buf.Bytes()), spec(), faultexp.SweepShard{})
+	if err != nil || st.Done != sum.Cells {
+		t.Fatalf("ScanSweepResume = %+v, %v (want %d clean cells)", st, err, sum.Cells)
+	}
+	rj, err := faultexp.NewSweepJob(spec(),
+		faultexp.SweepJobWriter(faultexp.NewSweepJSONL(&buf)),
+		faultexp.SweepJobSkipCells(st.Done))
+	if err != nil {
+		t.Fatalf("NewSweepJob(resume): %v", err)
+	}
+	if err := rj.Start(context.Background()); err != nil {
+		t.Fatalf("Start(resume): %v", err)
+	}
+	if _, err := rj.Wait(); err != nil {
+		t.Fatalf("Wait(resume): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Errorf("cancelled+resumed differs from clean run:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want.Bytes())
 	}
 }

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -176,11 +177,25 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // scheduling-dependent; only per-worker memory reuse may depend on it,
 // never results.
 func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
+	ParallelForWorkersCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelForWorkersCtx is ParallelForWorkers with cooperative
+// cancellation: once ctx is cancelled no further indices are dispatched,
+// but every index a worker already received runs to completion before
+// the pool drains (a job boundary, never a mid-job tear). Dispatch is
+// strictly sequential, so the executed set is always the contiguous
+// prefix [0, d) for some d ≤ n. Returns ctx.Err() if cancellation
+// prevented any index from being dispatched, nil otherwise.
+func ParallelForWorkersCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -196,9 +211,27 @@ func ParallelForWorkers(n, workers int, fn func(worker, i int)) {
 			}
 		}(w)
 	}
+	var err error
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		// The double select biases toward cancellation: when both the
+		// worker pool and ctx are ready, plain select would pick at
+		// random and could keep dispatching long after cancellation.
+		select {
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		default:
+		}
+		select {
+		case next <- i:
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }

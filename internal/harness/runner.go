@@ -6,8 +6,18 @@ package harness
 // property the streaming sweep writers need — results are emitted in
 // job-index order, incrementally, no matter how the scheduler interleaves
 // the workers — so output files are byte-identical across worker counts.
+//
+// The Ctx variants add cooperative cancellation with a hard invariant:
+// cancellation stops the *dispatch* of new jobs, never the emission of
+// dispatched ones. Every index handed to a worker runs to completion and
+// is emitted, so the emitted set is always the exact contiguous prefix
+// [0, d) of the job sequence — which is what lets a cancelled sweep's
+// output file serve as a valid -resume prefix.
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // RunOrdered executes run(i) for i in [0, n) on up to workers goroutines
 // and calls emit(i, v) for every job in strictly increasing index order,
@@ -27,14 +37,36 @@ func RunOrdered[T any](n, workers int, run func(i int) T, emit func(i int, v T))
 // which scratch memory computes them; the ordered emit path makes any
 // violation visible as a byte diff across -workers values.
 func RunOrderedWorkers[T any](n, workers int, run func(worker, i int) T, emit func(i int, v T)) {
+	RunOrderedWorkersCtx(context.Background(), n, workers, run, emit)
+}
+
+// RunOrderedCtx is RunOrdered with cooperative cancellation (see
+// RunOrderedWorkersCtx for the exact drain semantics).
+func RunOrderedCtx[T any](ctx context.Context, n, workers int, run func(i int) T, emit func(i int, v T)) error {
+	return RunOrderedWorkersCtx(ctx, n, workers, func(_, i int) T { return run(i) }, emit)
+}
+
+// RunOrderedWorkersCtx is RunOrderedWorkers with cooperative
+// cancellation. When ctx is cancelled, no further jobs are dispatched,
+// but every job already handed to a worker runs to completion and is
+// emitted — the pool drains at a job boundary rather than tearing mid-
+// job. Because dispatch is strictly sequential, the emitted set after
+// cancellation is always the exact contiguous prefix [0, d) of the job
+// sequence for some d ≤ n, never a prefix with holes. Returns ctx.Err()
+// if cancellation prevented any job from being dispatched, nil if all n
+// jobs ran (even if ctx was cancelled after the last dispatch).
+func RunOrderedWorkersCtx[T any](ctx context.Context, n, workers int, run func(worker, i int) T, emit func(i int, v T)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			emit(i, run(0, i))
 		}
-		return
+		return nil
 	}
 	var (
 		mu   sync.Mutex
@@ -42,7 +74,7 @@ func RunOrderedWorkers[T any](n, workers int, run func(worker, i int) T, emit fu
 		vals = make([]T, n)
 		next int
 	)
-	ParallelForWorkers(n, workers, func(worker, i int) {
+	return ParallelForWorkersCtx(ctx, n, workers, func(worker, i int) {
 		v := run(worker, i)
 		mu.Lock()
 		defer mu.Unlock()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -78,5 +79,104 @@ func TestRunOrderedZeroAndOne(t *testing.T) {
 	})
 	if calls != 1 {
 		t.Fatalf("n=1 emitted %d times", calls)
+	}
+}
+
+func TestRunOrderedCtxCancelEmitsContiguousPrefix(t *testing.T) {
+	// Cancel mid-run and check the two drain invariants: emission stops
+	// at a job boundary, and the emitted set is an exact contiguous
+	// prefix [0, d) — dispatched jobs all finish and emit, undispatched
+	// jobs never run.
+	for _, workers := range []int{1, 3, 8} {
+		const n = 200
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []int
+		var ran atomic.Int32
+		err := RunOrderedCtx(ctx, n, workers,
+			func(i int) int {
+				ran.Add(1)
+				if i == 20 {
+					cancel()
+				}
+				time.Sleep(50 * time.Microsecond)
+				return i
+			},
+			func(i, v int) {
+				if v != i {
+					t.Errorf("workers=%d: emit(%d) carried %d", workers, i, v)
+				}
+				got = append(got, i)
+			})
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled run returned nil error", workers)
+		}
+		if len(got) >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the run (%d jobs emitted)", workers, len(got))
+		}
+		if len(got) < 21 {
+			t.Fatalf("workers=%d: job 20 was dispatched but only %d jobs emitted", workers, len(got))
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: emitted set has a hole: position %d holds job %d", workers, i, idx)
+			}
+		}
+		if int(ran.Load()) != len(got) {
+			t.Errorf("workers=%d: %d jobs ran but %d were emitted — a dispatched job was dropped", workers, ran.Load(), len(got))
+		}
+	}
+}
+
+func TestRunOrderedCtxUncancelledMatchesRunOrdered(t *testing.T) {
+	const n = 40
+	var got []int
+	if err := RunOrderedCtx(context.Background(), n, 4,
+		func(i int) int { return i * 2 },
+		func(i, v int) { got = append(got, v) }); err != nil {
+		t.Fatalf("RunOrderedCtx: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("emit %d carried %d", i, v)
+		}
+	}
+}
+
+func TestRunOrderedCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		err := RunOrderedCtx(ctx, 10, workers,
+			func(i int) int { return i },
+			func(i, v int) { calls++ })
+		if err == nil {
+			t.Fatalf("workers=%d: pre-cancelled run returned nil", workers)
+		}
+		if calls != 0 {
+			t.Fatalf("workers=%d: pre-cancelled run emitted %d jobs", workers, calls)
+		}
+	}
+}
+
+func TestParallelForWorkersCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ParallelForWorkersCtx(ctx, 500, 4, func(worker, i int) {
+		if i == 10 {
+			cancel()
+		}
+		ran.Add(1)
+		time.Sleep(20 * time.Microsecond)
+	})
+	if err == nil {
+		t.Fatal("cancelled ParallelForWorkersCtx returned nil")
+	}
+	if g := ran.Load(); g == 0 || g >= 500 {
+		t.Fatalf("ran %d of 500 jobs, want a proper nonempty prefix", g)
 	}
 }

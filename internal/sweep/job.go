@@ -1,0 +1,445 @@
+package sweep
+
+// The context-aware Job API — the execution surface the CLI, the HTTP
+// daemon (`faultexp serve`), and library callers all drive. A Job wraps
+// one grid run as a first-class object: construct it with NewJob
+// (functional options replace the old positional Options bag), launch it
+// with Start(ctx), observe it mid-flight with the lock-free Snapshot,
+// stop it with Cancel (or by cancelling ctx), and collect the outcome
+// with Wait.
+//
+// Cancellation drains, never tears: the pool stops dispatching new cells
+// but every cell already handed to a worker completes and is emitted
+// (harness.RunOrderedWorkersCtx), so the JSONL output after a cancel is
+// always the exact contiguous prefix of the run's cell sequence — a
+// valid `-resume` input that completes to bytes identical to an
+// uninterrupted run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultexp/internal/gen"
+	"faultexp/internal/graph"
+	"faultexp/internal/harness"
+	"faultexp/internal/xrand"
+)
+
+// JobState is a Job's lifecycle phase, in Snapshot and HTTP form.
+type JobState string
+
+const (
+	// JobPending: constructed, Start not yet called (or queued by a
+	// manager).
+	JobPending JobState = "pending"
+	// JobRunning: Start has been called and the run has not finished.
+	JobRunning JobState = "running"
+	// JobDone: every cell ran and the output flushed cleanly.
+	JobDone JobState = "done"
+	// JobCancelled: the context was cancelled (Cancel or ctx); the
+	// output holds a clean resumable prefix of the cell sequence.
+	JobCancelled JobState = "cancelled"
+	// JobFailed: a non-cancellation error (bad graph build, writer
+	// failure) aborted the run.
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is one a job can never leave.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCancelled || s == JobFailed
+}
+
+// Snapshot is a point-in-time, lock-free view of a running (or finished)
+// job: how far along it is, how it is doing, and what slice of the grid
+// it owns. Reading one never blocks the workers.
+type Snapshot struct {
+	State JobState `json:"state"`
+	// CellsDone / CellsTotal count this run's (sharded, skip-adjusted)
+	// cell sequence; CellsDone includes resumed cells only through
+	// CellsSkipped, which records the verified prefix a resume skipped.
+	CellsDone    int `json:"cells_done"`
+	CellsTotal   int `json:"cells_total"`
+	CellsSkipped int `json:"cells_skipped,omitempty"`
+	// TrialsDone is cell-granular: it advances by a cell's trial budget
+	// when the cell completes.
+	TrialsDone int64 `json:"trials_done"`
+	// Errors counts cells whose Result carries an Err.
+	Errors int `json:"errors"`
+	// Elapsed is wall-clock time since Start (frozen at completion);
+	// zero before Start.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Shard is the round-robin slice of the grid this job executes.
+	Shard Shard `json:"shard"`
+	// Err is the terminal error message for failed/cancelled jobs.
+	Err string `json:"err,omitempty"`
+}
+
+// jobConfig collects the functional options.
+type jobConfig struct {
+	w        Writer
+	workers  int
+	shard    Shard
+	skip     int
+	progress func(done, total int)
+}
+
+// JobOption configures a Job at construction.
+type JobOption func(*jobConfig)
+
+// WithWriter sets the streamed result sink (JSONL, CSV, MultiWriter, or
+// any custom Writer). Without it results are computed and discarded —
+// useful only when Snapshot-level observation is the point.
+func WithWriter(w Writer) JobOption { return func(c *jobConfig) { c.w = w } }
+
+// WithWorkers overrides the worker-pool size (0 = Spec.Workers, then
+// GOMAXPROCS). Worker count never affects output bytes.
+func WithWorkers(n int) JobOption { return func(c *jobConfig) { c.workers = n } }
+
+// WithShard restricts the job to one round-robin slice of the grid (the
+// zero Shard runs everything).
+func WithShard(sh Shard) JobOption { return func(c *jobConfig) { c.shard = sh } }
+
+// WithSkipCells skips the first n cells of the (sharded) cell sequence —
+// the resume path: those records already sit in the output (verified by
+// ScanResume), so the job appends only the remainder.
+func WithSkipCells(n int) JobOption { return func(c *jobConfig) { c.skip = n } }
+
+// WithProgress installs a callback invoked after each cell is emitted
+// (on the emit goroutine — keep it fast).
+func WithProgress(fn func(done, total int)) JobOption {
+	return func(c *jobConfig) { c.progress = fn }
+}
+
+// discardWriter is the default sink when no WithWriter option is given.
+type discardWriter struct{}
+
+func (discardWriter) Write(*Result) error { return nil }
+func (discardWriter) Flush() error        { return nil }
+
+// Job is one grid run as a first-class, observable, cancellable object.
+// Construct with NewJob, launch with Start, observe with Snapshot, stop
+// with Cancel, collect with Wait. A Job runs at most once; it is not
+// reusable.
+type Job struct {
+	spec  *Spec
+	cfg   jobConfig
+	cells []Cell
+
+	// Lifecycle. state holds a JobState as an int32 index into
+	// jobStates; done closes when the run goroutine finishes, which
+	// also publishes sum/err to Wait. ctlMu serializes only the
+	// Start/Cancel control handoff — never the hot path, never
+	// Snapshot.
+	state     atomic.Int32
+	cancelled atomic.Bool
+	ctlMu     sync.Mutex
+	cancel    context.CancelFunc
+	done      chan struct{}
+	sum       Summary
+	err       error
+
+	// Lock-free observability, written by the emit path and read by
+	// Snapshot from any goroutine.
+	cellsDone  atomic.Int64
+	trialsDone atomic.Int64
+	errCells   atomic.Int64
+	startNano  atomic.Int64
+	endNano    atomic.Int64
+	failMsg    atomic.Value // string
+}
+
+// jobStates maps the atomic state index to its JobState; order matters.
+var jobStates = [...]JobState{JobPending, JobRunning, JobDone, JobCancelled, JobFailed}
+
+const (
+	stPending int32 = iota
+	stRunning
+	stDone
+	stCancelled
+	stFailed
+)
+
+// NewJob validates the spec and options and returns a ready-to-Start
+// job. The expensive work (graph construction, cell execution) happens
+// after Start, on the job's own goroutine.
+func NewJob(spec *Spec, opts ...JobOption) (*Job, error) {
+	var cfg jobConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.w == nil {
+		cfg.w = discardWriter{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("sweep: workers must be ≥ 0 (0 = spec, then GOMAXPROCS), got %d", cfg.workers)
+	}
+	if err := cfg.shard.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.ShardCells(cfg.shard)
+	if cfg.skip < 0 || cfg.skip > len(cells) {
+		return nil, fmt.Errorf("sweep: skip of %d cells out of range (run has %d)", cfg.skip, len(cells))
+	}
+	return &Job{
+		spec:  spec,
+		cfg:   cfg,
+		cells: cells[cfg.skip:],
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Start launches the run on its own goroutine and returns immediately.
+// Cancelling ctx (or calling Cancel) stops the run at a cell boundary:
+// in-flight cells drain and are emitted, so the output stays a valid
+// resume prefix. Start errors only on misuse (a second Start); run-time
+// failures surface through Wait.
+func (j *Job) Start(ctx context.Context) error {
+	if !j.state.CompareAndSwap(stPending, stRunning) {
+		return errors.New("sweep: job already started")
+	}
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithCancel(ctx)
+	j.ctlMu.Lock()
+	j.cancel = cancel
+	j.ctlMu.Unlock()
+	if j.cancelled.Load() {
+		// Cancel arrived before Start (e.g. a queued job cancelled while
+		// waiting for a pool slot): run the machinery anyway so Wait and
+		// Snapshot see the ordinary cancelled terminal state.
+		cancel()
+	}
+	j.startNano.Store(time.Now().UnixNano())
+	go func() {
+		// Release the derived context once the run is over, whatever
+		// path ended it (WithCancel otherwise pins the parent's timer
+		// and callback list until the parent itself is cancelled).
+		defer cancel()
+		j.run(ctx)
+	}()
+	return nil
+}
+
+// Cancel requests a graceful stop: no new cells are dispatched,
+// in-flight cells drain and emit, the writer is flushed. Safe to call
+// at any time, from any goroutine, any number of times — including
+// before Start, which makes the eventual Start cancel immediately.
+func (j *Job) Cancel() {
+	j.cancelled.Store(true)
+	j.ctlMu.Lock()
+	cancel := j.cancel
+	j.ctlMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Wait blocks until the run finishes (normally, by cancellation, or by
+// failure) and returns the summary of the cells that were emitted plus
+// the terminal error: nil for a clean run, a context.Canceled-wrapping
+// error for a cancelled one, the underlying failure otherwise. Wait may
+// be called from several goroutines; it returns the same outcome to all.
+// Calling Wait before Start returns an error instead of blocking on a
+// run that will never begin.
+func (j *Job) Wait() (Summary, error) {
+	if j.state.Load() == stPending {
+		return Summary{}, errors.New("sweep: Wait called before Start")
+	}
+	<-j.done
+	return j.sum, j.err
+}
+
+// Done returns a channel closed when the run reaches a terminal state —
+// the select-friendly form of Wait.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cells returns this job's (sharded, skip-adjusted) cell count.
+func (j *Job) Cells() int { return len(j.cells) }
+
+// Snapshot returns a point-in-time view of the job without taking any
+// lock: every field is read from atomics, so workers are never stalled
+// by an observer, however hot the poll rate.
+func (j *Job) Snapshot() Snapshot {
+	s := Snapshot{
+		State:        jobStates[j.state.Load()],
+		CellsDone:    int(j.cellsDone.Load()),
+		CellsTotal:   len(j.cells),
+		CellsSkipped: j.cfg.skip,
+		TrialsDone:   j.trialsDone.Load(),
+		Errors:       int(j.errCells.Load()),
+		Shard:        j.cfg.shard,
+	}
+	if start := j.startNano.Load(); start != 0 {
+		end := j.endNano.Load()
+		if end == 0 {
+			end = time.Now().UnixNano()
+		}
+		s.Elapsed = time.Duration(end - start)
+	}
+	if msg, ok := j.failMsg.Load().(string); ok {
+		s.Err = msg
+	}
+	return s
+}
+
+// finish records the terminal state, publishes the outcome, and wakes
+// every Wait.
+func (j *Job) finish(state int32, err error) {
+	j.err = err
+	if err != nil {
+		j.failMsg.Store(err.Error())
+	}
+	j.endNano.Store(time.Now().UnixNano())
+	j.state.Store(state)
+	close(j.done)
+}
+
+// run executes the job: build each family graph once, execute the cells
+// on a bounded pool with ordered emission, stream to the writer, flush.
+// This is the body Run used to own, plus cancellation and observability.
+func (j *Job) run(ctx context.Context) {
+	// Build each distinct family graph once, serially, up front: graphs
+	// are immutable so cells can share them, and a bad family spec fails
+	// before any output is written. Only families that actually appear
+	// in this run's (possibly sharded) cell set are built; the graph
+	// seed is semantic (GraphSeed), so every shard that does build a
+	// family builds the identical instance.
+	graphs := map[string]*graph.Graph{}
+	for _, c := range j.cells {
+		f := c.Family
+		key := f.String()
+		if _, ok := graphs[key]; ok {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			j.finish(stCancelled, fmt.Errorf("sweep: cancelled before execution: %w", err))
+			return
+		}
+		g, _, err := gen.FromFamily(f.Family, f.Size, f.K, xrand.New(GraphSeed(j.spec.Seed, f)))
+		if err != nil {
+			j.finish(stFailed, fmt.Errorf("sweep: building %s: %w", key, err))
+			return
+		}
+		graphs[key] = g
+	}
+
+	workers := j.cfg.workers
+	if workers == 0 {
+		workers = j.spec.Workers
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// More workers than cells is pure waste — and without the clamp a
+	// hostile "workers": 1e9 spec would allocate a workspace per
+	// phantom worker before the pool ever clamps its goroutines.
+	if workers > len(j.cells) {
+		workers = len(j.cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// One private Workspace per worker goroutine (never shared, never
+	// locked): the trial loops inside cell functions reuse its buffers,
+	// which is what makes the steady-state sweep path allocation-free.
+	workspaces := make([]*graph.Workspace, workers)
+	for i := range workspaces {
+		workspaces[i] = graph.NewWorkspace()
+	}
+
+	var (
+		writeErr error
+		aborted  atomic.Bool
+	)
+	ctxErr := harness.RunOrderedWorkersCtx(ctx, len(j.cells), workers,
+		func(worker, i int) *Result {
+			if aborted.Load() {
+				// The sink already failed; don't burn hours computing
+				// cells whose results can never be written.
+				return &Result{Err: "aborted: writer failed"}
+			}
+			return runCell(graphs[j.cells[i].Family.String()], j.cells[i], workspaces[worker])
+		},
+		func(i int, r *Result) {
+			if writeErr != nil {
+				// The sink already failed: the remaining results — the
+				// synthetic aborted placeholders and any real cells that
+				// were in flight — can never be written, so they are not
+				// part of the run's outcome. Counting them would inflate
+				// the summary, and reporting progress for them would show
+				// a run marching on after its output died.
+				return
+			}
+			// The Summary counts every cell that reached the sink — the
+			// one whose write fails included (it died *at* the sink, not
+			// before it). The lock-free Snapshot counters below advance
+			// only after a successful write, so Snapshot.CellsDone always
+			// matches what -resume will find durably in the output.
+			j.sum.Cells++
+			if r.Err != "" {
+				j.sum.Errors++
+			}
+			if writeErr = j.cfg.w.Write(r); writeErr != nil {
+				aborted.Store(true)
+				return
+			}
+			j.cellsDone.Store(int64(j.sum.Cells))
+			j.trialsDone.Add(int64(r.Trials))
+			j.errCells.Store(int64(j.sum.Errors))
+			if j.cfg.progress != nil {
+				j.cfg.progress(j.sum.Cells, len(j.cells))
+			}
+		})
+	// Flush regardless of how the run ended: a cancelled job's prefix
+	// must be durable for -resume to pick up.
+	flushErr := j.cfg.w.Flush()
+	switch {
+	case writeErr != nil:
+		j.finish(stFailed, fmt.Errorf("sweep: writing results: %w", writeErr))
+	case ctxErr != nil:
+		j.finish(stCancelled, fmt.Errorf("sweep: cancelled after %d of %d cells: %w", j.sum.Cells, len(j.cells), ctxErr))
+	case flushErr != nil:
+		j.finish(stFailed, fmt.Errorf("sweep: flushing results: %w", flushErr))
+	default:
+		j.finish(stDone, nil)
+	}
+}
+
+// Run expands the spec, builds each family graph once, executes every
+// cell on a bounded worker pool, and streams results to w in cell order.
+// Per-cell measurement failures are recorded in the cell's Result (and
+// counted in the summary), not fatal; spec, graph-construction, and
+// writer errors abort the run. Run is the synchronous wrapper over the
+// Job API: use NewJob directly for cancellation, mid-flight snapshots,
+// or resumable interruption.
+func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
+	return RunCtx(context.Background(), spec, w, opt)
+}
+
+// RunCtx is Run bound to a context: cancelling ctx stops the run at a
+// cell boundary and leaves the output a valid resume prefix, returning
+// the cells emitted so far plus a context.Canceled-wrapping error.
+func RunCtx(ctx context.Context, spec *Spec, w Writer, opt Options) (Summary, error) {
+	j, err := NewJob(spec,
+		WithWriter(w),
+		WithWorkers(opt.Workers),
+		WithShard(opt.Shard),
+		WithSkipCells(opt.SkipCells),
+		WithProgress(opt.Progress),
+	)
+	if err != nil {
+		return Summary{}, err
+	}
+	if err := j.Start(ctx); err != nil {
+		return Summary{}, err
+	}
+	return j.Wait()
+}

@@ -1,0 +1,119 @@
+package sweep
+
+// Error-path coverage for MergeShards beyond the ordering/profile cases
+// in shard_test.go: a missing shard file, a duplicated record inside a
+// shard, and a shard truncated mid-record (a torn write) — each must be
+// refused with a diagnostic, not merged into silently-wrong output.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// mergeFixture runs the multi-model grid as m shards and returns the
+// per-shard JSONL strings.
+func mergeFixture(t *testing.T, m int) []string {
+	t.Helper()
+	spec := multiModelSpec()
+	outs := make([]string, m)
+	for i := 0; i < m; i++ {
+		var buf bytes.Buffer
+		if _, err := Run(spec, NewJSONL(&buf), Options{Shard: Shard{Index: i, Count: m}}); err != nil {
+			t.Fatalf("Run(shard %d/%d): %v", i, m, err)
+		}
+		outs[i] = buf.String()
+	}
+	return outs
+}
+
+func mergeStrings(shards []string, spec *Spec) (int, error) {
+	readers := make([]io.Reader, len(shards))
+	for i, s := range shards {
+		readers[i] = strings.NewReader(s)
+	}
+	return MergeShards(readers, &bytes.Buffer{}, nil, spec)
+}
+
+// TestMergeShardsMissingShard: the user forgot a shard file. With the
+// spec every surviving arrangement is caught — by the seed check when
+// the gap shifts cell positions, by the cell-count check when it does
+// not.
+func TestMergeShardsMissingShard(t *testing.T) {
+	outs := mergeFixture(t, 3) // 18 cells → 6/6/6
+	spec := multiModelSpec()
+	// Middle shard missing: records 1, 4, 7, … are absent, so the very
+	// second merged record sits at the wrong cell — seed check fires.
+	if _, err := mergeStrings([]string{outs[0], outs[2]}, spec); err == nil {
+		t.Error("merge accepted shards 0 and 2 of 3 (middle shard missing)")
+	} else if !strings.Contains(err.Error(), "seed") {
+		t.Errorf("missing-middle error %q does not mention the seed mismatch", err)
+	}
+	// Trailing shard missing: the interleave of 0 and 1 happens to visit
+	// cells in an order whose prefix may pass the seed check only until
+	// the first absent cell; whatever the cut, the merge must not
+	// succeed.
+	if _, err := mergeStrings([]string{outs[0], outs[1]}, spec); err == nil {
+		t.Error("merge accepted shards 0 and 1 of 3 (last shard missing)")
+	}
+	// Without a spec an equal-length subset is undetectable by design —
+	// the README documents the gap and cmdMerge hints at -spec. Pin the
+	// gap so a future profile change that closes it updates the docs.
+	if _, err := mergeStrings([]string{outs[0], outs[1]}, nil); err != nil {
+		t.Errorf("spec-less merge of an equal-length subset unexpectedly failed (%v) — update the -spec guidance if the profile now catches this", err)
+	}
+}
+
+// TestMergeShardsDuplicateRecord: a record pasted twice into a shard
+// file (a botched manual repair) shifts every later record off its cell.
+func TestMergeShardsDuplicateRecord(t *testing.T) {
+	outs := mergeFixture(t, 3)
+	spec := multiModelSpec()
+	lines := strings.SplitAfter(outs[1], "\n")
+	dup := lines[0] + outs[1] // first record duplicated in place
+	if _, err := mergeStrings([]string{outs[0], dup, outs[2]}, spec); err == nil {
+		t.Error("merge accepted a shard with a duplicated record")
+	} else if !strings.Contains(err.Error(), "seed") && !strings.Contains(err.Error(), "more records") {
+		t.Errorf("duplicate-record error %q mentions neither seed nor count", err)
+	}
+	// The duplicate also breaks the 6/6/6 length profile (7/6/6 is
+	// non-increasing, but the total exceeds the spec's cell count), so
+	// even a duplicate of the *last* record — which keeps every earlier
+	// seed aligned — is refused.
+	dupLast := outs[1] + lines[len(lines)-2]
+	if _, err := mergeStrings([]string{outs[0], dupLast, outs[2]}, spec); err == nil {
+		t.Error("merge accepted a shard with its final record duplicated")
+	}
+}
+
+// TestMergeShardsTruncatedMidRecord: a shard whose final line was torn
+// mid-write (no trailing newline, half a JSON object). The spec-backed
+// merge refuses it at the decode; the torn line must never reach the
+// merged output as if it were a record.
+func TestMergeShardsTruncatedMidRecord(t *testing.T) {
+	outs := mergeFixture(t, 3)
+	spec := multiModelSpec()
+	cut := strings.TrimSuffix(outs[1], "\n")
+	cut = cut[:len(cut)-25] // tear the last record's tail off
+	if _, err := mergeStrings([]string{outs[0], cut, outs[2]}, spec); err == nil {
+		t.Error("merge accepted a shard torn mid-record")
+	}
+	// Same tear, structured writer but no spec: the decode still fails.
+	readers := []io.Reader{
+		strings.NewReader(outs[0]),
+		strings.NewReader(cut),
+		strings.NewReader(outs[2]),
+	}
+	if _, err := MergeShards(readers, nil, NewCSV(&bytes.Buffer{}), nil); err == nil {
+		t.Error("merge decoded a torn record for the CSV writer")
+	}
+	// Tearing a whole final line off (newline and all) reduces the
+	// shard's count — the round-robin profile refuses even without a
+	// spec (covered more broadly in TestMergeShardsRejectsBadInput).
+	whole := strings.TrimSpace(outs[1])
+	whole = whole[:strings.LastIndex(whole, "\n")+1]
+	if _, err := mergeStrings([]string{outs[0], whole, outs[2]}, nil); err == nil {
+		t.Error("merge accepted a shard missing its final record")
+	}
+}

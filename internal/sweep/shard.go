@@ -24,8 +24,8 @@ import (
 // sharding (the whole grid runs). Shards are independent — no shared
 // state, no ordering constraints between their runs.
 type Shard struct {
-	Index int
-	Count int
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // Enabled reports whether the shard actually restricts the cell set.

@@ -177,6 +177,10 @@ type Spec struct {
 	Models []string `json:"models,omitempty"`
 	// Model is the legacy scalar form of Models, still accepted in spec
 	// JSON; Validate folds it into Models. Setting both is an error.
+	//
+	// Deprecated: set Models. The field remains for spec-file
+	// compatibility (output bytes are identical either way) and may
+	// only ever hold one model.
 	Model  string    `json:"model,omitempty"`
 	Rates  []float64 `json:"rates"`
 	Trials int       `json:"trials"`
@@ -252,6 +256,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Trials < 1 {
 		return fmt.Errorf("sweep: trials must be ≥ 1")
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("sweep: workers must be ≥ 0 (0 = GOMAXPROCS), got %d", s.Workers)
 	}
 	return nil
 }

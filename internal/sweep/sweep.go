@@ -1,23 +1,21 @@
 package sweep
 
-// This file is the execution engine: the measure registry (cell
+// This file is the execution substrate: the measure registry (cell
 // functions are registered by internal/experiments, or by tests), the
-// shared fault-injection helper, and Run — expand, execute on a bounded
-// pool, stream in cell order.
+// shared fault-injection helper, and the per-cell execution kernel
+// (runCell). The run loop itself — expand, execute on a bounded pool,
+// stream in cell order — lives on the Job type (job.go); Run is its
+// synchronous wrapper.
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"faultexp/internal/faults"
-	"faultexp/internal/gen"
 	"faultexp/internal/graph"
-	"faultexp/internal/harness"
 	"faultexp/internal/xrand"
 )
 
@@ -140,106 +138,6 @@ type Options struct {
 	// output (verified by ScanResume), so the run appends only the
 	// remainder. Skipped cells do not appear in the Summary or Progress.
 	SkipCells int
-}
-
-// Run expands the spec, builds each family graph once, executes every
-// cell on a bounded worker pool, and streams results to w in cell order.
-// Per-cell measurement failures are recorded in the cell's Result (and
-// counted in the summary), not fatal; spec, graph-construction, and
-// writer errors abort the run.
-func Run(spec *Spec, w Writer, opt Options) (Summary, error) {
-	if err := spec.Validate(); err != nil {
-		return Summary{}, err
-	}
-	if err := opt.Shard.Validate(); err != nil {
-		return Summary{}, err
-	}
-	cells := spec.ShardCells(opt.Shard)
-	if opt.SkipCells < 0 || opt.SkipCells > len(cells) {
-		return Summary{}, fmt.Errorf("sweep: skip of %d cells out of range (run has %d)", opt.SkipCells, len(cells))
-	}
-	cells = cells[opt.SkipCells:]
-
-	// Build each distinct family graph once, serially, up front: graphs
-	// are immutable so cells can share them, and a bad family spec fails
-	// before any output is written. Only families that actually appear
-	// in this run's (possibly sharded) cell set are built; the graph
-	// seed is semantic (GraphSeed), so every shard that does build a
-	// family builds the identical instance.
-	graphs := map[string]*graph.Graph{}
-	for _, c := range cells {
-		f := c.Family
-		key := f.String()
-		if _, ok := graphs[key]; ok {
-			continue
-		}
-		g, _, err := gen.FromFamily(f.Family, f.Size, f.K, xrand.New(GraphSeed(spec.Seed, f)))
-		if err != nil {
-			return Summary{}, fmt.Errorf("sweep: building %s: %w", key, err)
-		}
-		graphs[key] = g
-	}
-
-	workers := opt.Workers
-	if workers == 0 {
-		workers = spec.Workers
-	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// One private Workspace per worker goroutine (never shared, never
-	// locked): the trial loops inside cell functions reuse its buffers,
-	// which is what makes the steady-state sweep path allocation-free.
-	workspaces := make([]*graph.Workspace, workers)
-	for i := range workspaces {
-		workspaces[i] = graph.NewWorkspace()
-	}
-
-	var (
-		sum      Summary
-		writeErr error
-		aborted  atomic.Bool
-	)
-	harness.RunOrderedWorkers(len(cells), workers,
-		func(worker, i int) *Result {
-			if aborted.Load() {
-				// The sink already failed; don't burn hours computing
-				// cells whose results can never be written.
-				return &Result{Err: "aborted: writer failed"}
-			}
-			return runCell(graphs[cells[i].Family.String()], cells[i], workspaces[worker])
-		},
-		func(i int, r *Result) {
-			if writeErr != nil {
-				// The sink already failed: the remaining results — the
-				// synthetic aborted placeholders and any real cells that
-				// were in flight — can never be written, so they are not
-				// part of the run's outcome. Counting them would inflate
-				// the summary, and reporting progress for them would show
-				// a run marching on after its output died.
-				return
-			}
-			sum.Cells++
-			if r.Err != "" {
-				sum.Errors++
-			}
-			if writeErr = w.Write(r); writeErr != nil {
-				aborted.Store(true)
-				return
-			}
-			if opt.Progress != nil {
-				opt.Progress(sum.Cells, len(cells))
-			}
-		})
-	flushErr := w.Flush()
-	if writeErr != nil {
-		return sum, fmt.Errorf("sweep: writing results: %w", writeErr)
-	}
-	if flushErr != nil {
-		return sum, fmt.Errorf("sweep: flushing results: %w", flushErr)
-	}
-	return sum, nil
 }
 
 // runCell executes one cell on the worker's workspace, converting panics

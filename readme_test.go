@@ -175,3 +175,72 @@ func TestREADMEModelsListed(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMEDocumentsJobAPI pins the Job API section: the exported
+// surface it demonstrates must exist by name, and the contract language
+// (lock-free snapshots, cell-boundary drain, resumable prefix) must be
+// present.
+func TestREADMEDocumentsJobAPI(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### The Job API",
+		"NewSweepJob", "SweepJobWriter", "SweepJobWorkers",
+		"job.Start(ctx)", "job.Snapshot()", "job.Cancel()", "job.Wait()",
+		"cell boundary", "lock-free",
+		"resumable at cell", "SIGINT",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README's Job API docs do not mention %q", want)
+		}
+	}
+	// The deprecations the Job API supersedes are called out.
+	for _, want := range []string{"RunSweep", "deprecated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README does not document the %s deprecation", want)
+		}
+	}
+}
+
+// serveEndpoints is the canonical HTTP surface of `faultexp serve`
+// (mirrored by cmd/faultexp/serve.go's mux registrations and its
+// tests); README's table must list exactly these.
+var serveEndpoints = []string{
+	"POST /v1/jobs",
+	"GET /v1/jobs",
+	"GET /v1/jobs/{id}",
+	"GET /v1/jobs/{id}/results",
+	"DELETE /v1/jobs/{id}",
+}
+
+// TestREADMEDocumentsServeHTTPAPI keeps README's HTTP API table in
+// lockstep with the daemon's route list (the same marker mechanism as
+// the measures/families tables).
+func TestREADMEDocumentsServeHTTPAPI(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- httpapi:begin")
+	end := strings.Index(s, "<!-- httpapi:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the httpapi:begin/httpapi:end markers")
+	}
+	section := s[begin:end]
+	var got []string
+	for _, m := range regexp.MustCompile("`((?:POST|GET|DELETE) [^`]+)`").FindAllStringSubmatch(section, -1) {
+		got = append(got, m[1])
+	}
+	if strings.Join(got, "\n") != strings.Join(serveEndpoints, "\n") {
+		t.Errorf("README HTTP API table lists:\n%v\nwant exactly:\n%v", got, serveEndpoints)
+	}
+	for _, want := range []string{"?from=", "faultexp serve", "-max-active", "-max-jobs", "byte-identical"} {
+		if !strings.Contains(section, want) && !strings.Contains(s, want) {
+			t.Errorf("README serve docs do not mention %q", want)
+		}
+	}
+}
