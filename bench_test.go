@@ -168,6 +168,7 @@ func BenchmarkTrialPathPrune2(b *testing.B) { benchTrialPath(b, "prune2", sweep.
 func BenchmarkTrialPathPercolation(b *testing.B) {
 	benchTrialPath(b, "percolation", sweep.ModelIIDNode, 0.05)
 }
+func BenchmarkTrialPathSpan(b *testing.B) { benchTrialPath(b, "span", sweep.ModelIIDNode, 0.05) }
 
 // Micro-benchmarks for the primitives.
 

@@ -4,7 +4,8 @@ package main
 // and emit n/mean/std/min/max/median summary tables (CSV or JSONL) for
 // plotting. Streaming — O(groups × metrics) memory, so it summarizes
 // outputs far larger than RAM; input files are consumed in argument
-// order (stdin when none given).
+// order (stdin when none given). The median is exact for groups of up
+// to 64 values and a P² streaming estimate for larger ones.
 
 import (
 	"context"

@@ -39,16 +39,20 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port)")
 	maxActive := fs.Int("max-active", 2, "jobs executing concurrently; submissions beyond it queue as pending")
 	maxJobs := fs.Int("max-jobs", 64, "jobs held in memory; when full, finished jobs are evicted oldest-first and POST returns 503 only if every held job is still active")
+	maxResultBytes := fs.Int64("max-result-bytes", 64<<20, "per-job cap on retained result bytes; a job whose output would exceed it fails with a clear error (0 = unlimited)")
 	quiet := fs.Bool("quiet", false, "suppress the startup line on stderr")
 	fs.Parse(args)
 	if *maxActive < 1 || *maxJobs < 1 {
 		return fmt.Errorf("serve: -max-active and -max-jobs must be ≥ 1")
 	}
+	if *maxResultBytes < 0 {
+		return fmt.Errorf("serve: -max-result-bytes must be ≥ 0 (0 = unlimited)")
+	}
 
 	ctx, stop := signalContext(ctx)
 	defer stop()
 
-	mgr := newJobManager(ctx, *maxActive, *maxJobs)
+	mgr := newJobManager(ctx, *maxActive, *maxJobs, *maxResultBytes)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -82,18 +86,29 @@ type resultLog struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	lines [][]byte
-	done  bool
+	bytes int64
+	// maxBytes caps the retained result bytes (0 = unlimited): a served
+	// job is an in-memory sink, so without a cap one huge grid could
+	// hold the daemon's heap hostage for as long as the job stays in
+	// the store.
+	maxBytes  int64
+	truncated bool
+	done      bool
 }
 
-func newResultLog() *resultLog {
-	l := &resultLog{}
+func newResultLog(maxBytes int64) *resultLog {
+	l := &resultLog{maxBytes: maxBytes}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
 
 // Write implements sweep.Writer. The stored line is exactly what
 // NewJSONL would have written — json.Marshal plus a newline — which is
-// what makes the HTTP stream byte-identical to the CLI output.
+// what makes the HTTP stream byte-identical to the CLI output. A write
+// that would push the log past maxBytes fails the job instead: the
+// returned error aborts the run (surfacing in the job snapshot), and a
+// final parseable record with an Err field closes the stream so a
+// follower sees why it stopped short rather than a silent truncation.
 func (l *resultLog) Write(r *sweep.Result) error {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -101,9 +116,20 @@ func (l *resultLog) Write(r *sweep.Result) error {
 	}
 	b = append(b, '\n')
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.truncated {
+		return fmt.Errorf("serve: result log over -max-result-bytes=%d", l.maxBytes)
+	}
+	if l.maxBytes > 0 && l.bytes+int64(len(b)) > l.maxBytes {
+		l.truncated = true
+		tail, _ := json.Marshal(&sweep.Result{Err: fmt.Sprintf("result stream truncated: output exceeds -max-result-bytes=%d", l.maxBytes)})
+		l.lines = append(l.lines, append(tail, '\n'))
+		l.cond.Broadcast()
+		return fmt.Errorf("serve: result log over -max-result-bytes=%d", l.maxBytes)
+	}
+	l.bytes += int64(len(b))
 	l.lines = append(l.lines, b)
 	l.cond.Broadcast()
-	l.mu.Unlock()
 	return nil
 }
 
@@ -169,26 +195,28 @@ type jobManager struct {
 	ctx context.Context
 	sem chan struct{}
 
-	maxJobs int
-	mu      sync.Mutex
-	jobs    map[string]*servedJob
-	order   []string
-	seq     int
+	maxJobs        int
+	maxResultBytes int64
+	mu             sync.Mutex
+	jobs           map[string]*servedJob
+	order          []string
+	seq            int
 }
 
-func newJobManager(ctx context.Context, maxActive, maxJobs int) *jobManager {
+func newJobManager(ctx context.Context, maxActive, maxJobs int, maxResultBytes int64) *jobManager {
 	return &jobManager{
-		ctx:     ctx,
-		sem:     make(chan struct{}, maxActive),
-		maxJobs: maxJobs,
-		jobs:    map[string]*servedJob{},
+		ctx:            ctx,
+		sem:            make(chan struct{}, maxActive),
+		maxJobs:        maxJobs,
+		maxResultBytes: maxResultBytes,
+		jobs:           map[string]*servedJob{},
 	}
 }
 
 // submit validates nothing itself — the spec arrives pre-validated by
 // sweep.Load — it registers the job and hands it to the pool runner.
 func (m *jobManager) submit(spec *sweep.Spec) (*servedJob, error) {
-	log := newResultLog()
+	log := newResultLog(m.maxResultBytes)
 	job, err := sweep.NewJob(spec, sweep.WithWriter(log))
 	if err != nil {
 		return nil, err

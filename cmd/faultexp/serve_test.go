@@ -6,6 +6,7 @@ package main
 // CLI sweep path for the same spec.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -54,7 +56,7 @@ const slowSpecJSON = `{
 
 func newTestServer(t *testing.T, maxActive, maxJobs int) (*httptest.Server, *jobManager) {
 	t.Helper()
-	mgr := newJobManager(context.Background(), maxActive, maxJobs)
+	mgr := newJobManager(context.Background(), maxActive, maxJobs, 0)
 	srv := httptest.NewServer(mgr.handler())
 	t.Cleanup(func() {
 		mgr.cancelAll()
@@ -435,4 +437,140 @@ func mustReq(t *testing.T, method, url string) *http.Request {
 		t.Fatal(err)
 	}
 	return req
+}
+
+// TestServeMaxResultBytes: a job whose output would exceed the per-job
+// retention cap fails with a clear error instead of holding the
+// daemon's heap hostage, and the results stream closes with a final
+// parseable record naming the truncation.
+func TestServeMaxResultBytes(t *testing.T) {
+	mgr := newJobManager(context.Background(), 1, 4, 512)
+	srv := httptest.NewServer(mgr.handler())
+	t.Cleanup(func() {
+		mgr.cancelAll()
+		srv.Close()
+	})
+	v := postJob(t, srv, serveSpecJSON)
+	fin := waitTerminal(t, srv, v.ID)
+	if fin.Snapshot.State != sweep.JobFailed {
+		t.Fatalf("capped job finished %q, want failed", fin.Snapshot.State)
+	}
+	if !strings.Contains(fin.Snapshot.Err, "max-result-bytes") {
+		t.Errorf("snapshot err = %q, want it to name -max-result-bytes", fin.Snapshot.Err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(body)) > 512+1024 {
+		t.Errorf("stream retained %d bytes, cap was 512 (+ one trailer record)", len(body))
+	}
+	lines := bytes.Split(bytes.TrimSuffix(body, []byte("\n")), []byte("\n"))
+	var last sweep.Result
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatalf("trailer record is not valid JSON: %v", err)
+	}
+	if !strings.Contains(last.Err, "truncated") {
+		t.Errorf("trailer err = %q, want a truncation notice", last.Err)
+	}
+	// Records before the trailer are ordinary results.
+	var first sweep.Result
+	if err := json.Unmarshal(lines[0], &first); err != nil || first.Err != "" {
+		t.Errorf("first record should be a clean result, got err=%v rec=%+v", err, first)
+	}
+}
+
+// streamLines attaches to a job's results stream at offset `from`, reads
+// up to n lines, and drops the connection — the flaky-client shape.
+func streamLines(t *testing.T, srv *httptest.Server, id string, from, n int) [][]byte {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/jobs/%s/results?from=%d", srv.URL, id, from), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET results = %d", resp.StatusCode)
+	}
+	var out [][]byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for len(out) < n && sc.Scan() {
+		out = append(out, append([]byte(nil), sc.Bytes()...))
+	}
+	return out
+}
+
+// TestServeStreamChurn pins the reader-lifecycle machinery in
+// resultLog.next — the context.AfterFunc wakeup that unparks a follower
+// whose connection died — by hammering a slow job with readers that
+// attach mid-run, drop, and re-attach with ?from=. Run under -race this
+// also checks the broadcast paths (writer, finish, reader-drop) are
+// data-race-free. The spliced re-attached reads must be byte-identical
+// to a continuous read, which is the service's resume contract.
+func TestServeStreamChurn(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 4)
+	v := postJob(t, srv, slowSpecJSON)
+	defer func() {
+		req := mustReq(t, "DELETE", srv.URL+"/v1/jobs/"+v.ID)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+		waitTerminal(t, srv, v.ID)
+	}()
+
+	// A churny client: read two records, drop, splice back with ?from=.
+	first := streamLines(t, srv, v.ID, 0, 2)
+	if len(first) != 2 {
+		t.Fatalf("first attach read %d records, want 2", len(first))
+	}
+	respliced := streamLines(t, srv, v.ID, 1, 2)
+	if len(respliced) < 1 {
+		t.Fatal("re-attach with ?from=1 read nothing")
+	}
+	if !bytes.Equal(respliced[0], first[1]) {
+		t.Errorf("spliced stream differs at record 1:\n re-attach: %s\n original:  %s", respliced[0], first[1])
+	}
+
+	// Concurrent churn: many readers attaching at random offsets and
+	// dropping early while the writer is live, plus one that parks on a
+	// not-yet-written index before dropping (the AfterFunc wakeup path).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			streamLines(t, srv, v.ID, from, 2)
+		}(i % 3)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// from=9999 waits for a record the cancelled job will never
+		// produce; the reader must unpark when its context dies.
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+v.ID+"/results?from=9999", nil)
+		if err != nil {
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	wg.Wait()
 }

@@ -38,6 +38,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	models := fs.String("models", "", "comma list of fault models: "+strings.Join(sweep.Models(), "|")+" (default "+sweep.ModelIIDNode+")")
 	rates := fs.String("rates", "", "comma list of fault rates in [0,1], e.g. 0,0.02,0.05,0.1")
 	trials := fs.Int("trials", 3, "Monte-Carlo trials per cell")
+	rateMode := fs.String("rate-mode", "", "rate-axis sampling: "+sweep.RateModeIndependent+" (default) or "+sweep.RateModeCoupled+" (one draw per element serves every rate; iid models and coupled-capable measures only)")
 	seed := fs.Uint64("seed", 1, "grid seed (per-cell seeds are hash-split from it)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect output bytes")
 	shard := fs.String("shard", "", `run only shard i of m ("i/m", 0-based); reassemble with 'faultexp merge'`)
@@ -48,7 +49,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
 
-	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *trials, *seed)
+	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *rateMode, *trials, *seed)
 	if err != nil {
 		return err
 	}
@@ -234,15 +235,26 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 }
 
 // sweepSpecFromFlags assembles and validates the grid spec from either a
-// JSON file or the individual grid flags.
-func sweepSpecFromFlags(specFile, families, measures, model, models, rates string, trials int, seed uint64) (*sweep.Spec, error) {
+// JSON file or the individual grid flags. -rate-mode composes with
+// -spec: a non-empty flag overrides the file's rate_mode field.
+func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rateMode string, trials int, seed uint64) (*sweep.Spec, error) {
 	if specFile != "" {
 		f, err := os.Open(specFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return sweep.Load(f)
+		spec, err := sweep.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		if rateMode != "" {
+			spec.RateMode = rateMode
+			if err := spec.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		return spec, nil
 	}
 	if families == "" {
 		return nil, fmt.Errorf("need -families (or -spec); e.g. -families torus:8x8,hypercube:6")
@@ -284,6 +296,7 @@ func sweepSpecFromFlags(specFile, families, measures, model, models, rates strin
 		Rates:    rs,
 		Trials:   trials,
 		Seed:     seed,
+		RateMode: rateMode,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err

@@ -468,6 +468,20 @@ func SweepMeasures() []string { return sweep.Measures() }
 // SweepFaultModels lists the fault-model names a sweep grid accepts.
 func SweepFaultModels() []string { return sweep.Models() }
 
+// Rate-mode tokens for SweepSpec.RateMode: independent (the default —
+// every cell draws its own fault sets) or coupled (one uniform draw per
+// element serves the whole rate axis, making fault sets monotone in the
+// rate and letting union-find measures sweep the axis in one
+// incremental pass per trial).
+const (
+	SweepRateModeIndependent = sweep.RateModeIndependent
+	SweepRateModeCoupled     = sweep.RateModeCoupled
+)
+
+// SweepCoupledMeasures lists the measures that implement coupled rate
+// mode (a subset of SweepMeasures; coupled grids accept only these).
+func SweepCoupledMeasures() []string { return sweep.CoupledMeasures() }
+
 // SweepPlan describes what a run would execute — cells before and after
 // shard selection, trial volume, and the family graphs to build —
 // without executing anything (the `faultexp sweep -dry-run` surface).

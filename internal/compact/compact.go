@@ -125,31 +125,64 @@ func maskConnected(mask uint32, nbrMasks []uint32) bool {
 	return reached == mask
 }
 
+// Scratch is reusable per-worker scratch for CompactifyScratch and
+// RandomScratch. The zero value is ready to use; buffers grow on demand
+// and are retained across calls. Sets returned by the scratch entry
+// points alias scr.out and are valid only until the next call on the
+// same scratch. Not safe for concurrent use.
+type Scratch struct {
+	inU      []bool
+	labels   []int32
+	sizes    []int
+	stack    []int
+	frontier []int
+	comp     []int
+	out      []int
+	eval     expansion.EvalScratch
+}
+
+// growMask returns scr.inU resized to n, all false.
+func (scr *Scratch) growMask(n int) []bool {
+	if cap(scr.inU) < n {
+		scr.inU = make([]bool, n)
+	}
+	inU := scr.inU[:n]
+	for i := range inU {
+		inU[i] = false
+	}
+	scr.inU = inU
+	return inU
+}
+
 // Random grows a random connected set of roughly targetSize vertices and
 // compactifies it by absorbing all complement components except the
 // largest (both sides stay connected, so the result is compact). Returns
 // nil if g is disconnected or too small. The result size may exceed
 // targetSize because of absorption.
 func Random(g *graph.Graph, targetSize int, rng *xrand.RNG) []int {
+	var scr Scratch
+	return RandomScratch(g, targetSize, rng, &scr)
+}
+
+// RandomScratch is Random on caller-owned scratch: the same draw
+// sequence and result, with the returned set aliasing scr.out.
+func RandomScratch(g *graph.Graph, targetSize int, rng *xrand.RNG, scr *Scratch) []int {
 	n := g.N()
 	if n < 2 || targetSize < 1 || targetSize >= n {
 		return nil
 	}
-	if !g.IsConnected() {
+	if !connectedScratch(g, scr) {
 		return nil
 	}
-	inU := make([]bool, n)
+	inU := scr.growMask(n) // also resets the connectivity marks
 	start := rng.Intn(n)
 	inU[start] = true
-	frontier := []int{}
-	push := func(v int) {
-		for _, w := range g.Neighbors(v) {
-			if !inU[w] {
-				frontier = append(frontier, int(w))
-			}
+	frontier := scr.frontier[:0]
+	for _, w := range g.Neighbors(start) {
+		if !inU[w] {
+			frontier = append(frontier, int(w))
 		}
 	}
-	push(start)
 	size := 1
 	for size < targetSize && len(frontier) > 0 {
 		i := rng.Intn(len(frontier))
@@ -161,13 +194,18 @@ func Random(g *graph.Graph, targetSize int, rng *xrand.RNG) []int {
 		}
 		inU[v] = true
 		size++
-		push(v)
+		for _, w := range g.Neighbors(v) {
+			if !inU[w] {
+				frontier = append(frontier, int(w))
+			}
+		}
 	}
+	scr.frontier = frontier[:0]
 	if size >= n {
 		return nil
 	}
 	// Absorb all complement components except the largest.
-	comp, sizes := complementComponents(g, inU)
+	comp, sizes := complementComponentsScratch(g, inU, scr)
 	if len(sizes) > 1 {
 		largest := 0
 		for i, s := range sizes {
@@ -185,24 +223,57 @@ func Random(g *graph.Graph, targetSize int, rng *xrand.RNG) []int {
 	if size >= n {
 		return nil
 	}
-	out := make([]int, 0, size)
+	out := scr.out[:0]
 	for v := 0; v < n; v++ {
 		if inU[v] {
 			out = append(out, v)
 		}
 	}
+	scr.out = out
 	return out
 }
 
-// complementComponents labels the components of the subgraph induced by
-// the complement of inU. Vertices in U get label -1.
-func complementComponents(g *graph.Graph, inU []bool) (labels []int32, sizes []int) {
+// connectedScratch is g.IsConnected() on scratch buffers (no draws, so
+// RandomScratch's rng sequence matches Random's).
+func connectedScratch(g *graph.Graph, scr *Scratch) bool {
 	n := g.N()
-	labels = make([]int32, n)
+	if n == 0 {
+		return false
+	}
+	seen := scr.growMask(n)
+	stack := append(scr.stack[:0], 0)
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(u) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	scr.stack = stack[:0]
+	return count == n
+}
+
+// complementComponentsScratch labels the components of the subgraph
+// induced by the complement of inU, on scratch buffers. Vertices in U
+// get label -1.
+func complementComponentsScratch(g *graph.Graph, inU []bool, scr *Scratch) (labels []int32, sizes []int) {
+	n := g.N()
+	if cap(scr.labels) < n {
+		scr.labels = make([]int32, n)
+	}
+	labels = scr.labels[:n]
+	scr.labels = labels
 	for i := range labels {
 		labels[i] = -1
 	}
-	var stack []int
+	sizes = scr.sizes[:0]
+	stack := scr.stack[:0]
 	for s := 0; s < n; s++ {
 		if inU[s] || labels[s] >= 0 {
 			continue
@@ -224,32 +295,45 @@ func complementComponents(g *graph.Graph, inU []bool) (labels []int32, sizes []i
 		}
 		sizes = append(sizes, count)
 	}
+	scr.sizes = sizes
+	scr.stack = stack[:0]
 	return labels, sizes
 }
 
 // Compactify implements Lemma 3.3: given a connected S ⊂ V with
 // |S| < n/2, it returns a compact set K_G(S) whose edge-expansion
 // quotient is at most S's. The returned set is S itself when S is
-// already compact.
+// already compact. It is a thin wrapper over CompactifyScratch on a
+// throwaway scratch, so the result is uniquely owned.
 func Compactify(g *graph.Graph, set []int) []int {
+	var scr Scratch
+	return CompactifyScratch(g, set, &scr)
+}
+
+// CompactifyScratch is Compactify on caller-owned scratch; the returned
+// set aliases scr.out and is invalidated by the next call on the same
+// scratch.
+func CompactifyScratch(g *graph.Graph, set []int, scr *Scratch) []int {
 	n := g.N()
-	inU := make([]bool, n)
+	inU := scr.growMask(n)
 	for _, v := range set {
 		inU[v] = true
 	}
-	labels, sizes := complementComponents(g, inU)
+	labels, sizes := complementComponentsScratch(g, inU, scr)
 	if len(sizes) <= 1 {
-		return append([]int(nil), set...) // already compact
+		scr.out = append(scr.out[:0], set...) // already compact
+		return scr.out
 	}
 	// Case 1: some complement component C has |C| ≥ n/2 → K = G ∖ C.
 	for id, sz := range sizes {
 		if 2*sz >= n {
-			out := make([]int, 0, n-sz)
+			out := scr.out[:0]
 			for v := 0; v < n; v++ {
 				if inU[v] || labels[v] != int32(id) {
 					out = append(out, v)
 				}
 			}
+			scr.out = out
 			return out
 		}
 	}
@@ -259,23 +343,27 @@ func Compactify(g *graph.Graph, set []int) []int {
 	best := -1
 	bestQ := 0.0
 	for id := range sizes {
-		comp := make([]int, 0, sizes[id])
+		comp := scr.comp[:0]
 		for v := 0; v < n; v++ {
 			if labels[v] == int32(id) {
 				comp = append(comp, v)
 			}
 		}
-		q := expansion.Evaluate(g, comp).EdgeAlpha
+		scr.comp = comp
+		// cut(C)/|C| — the same value Evaluate's EdgeAlpha reports.
+		_, cut := expansion.CountsScratch(g, comp, &scr.eval)
+		q := float64(cut) / float64(len(comp))
 		if best < 0 || q < bestQ {
 			best = id
 			bestQ = q
 		}
 	}
-	out := make([]int, 0, sizes[best])
+	out := scr.out[:0]
 	for v := 0; v < n; v++ {
 		if labels[v] == int32(best) {
 			out = append(out, v)
 		}
 	}
+	scr.out = out
 	return out
 }

@@ -32,6 +32,7 @@ import (
 
 	"faultexp/internal/compact"
 	"faultexp/internal/cuts"
+	"faultexp/internal/expansion"
 	"faultexp/internal/graph"
 	"faultexp/internal/xrand"
 )
@@ -53,6 +54,29 @@ type Options struct {
 	// except the input gf itself) — trial loops must extract their
 	// scalars before the next injection.
 	Ws *graph.Workspace
+	// Scratch, when non-nil, supplies reusable pruning-loop scratch: the
+	// Result itself, the provenance array, and the cut-finder and
+	// compactification workspaces all live in it, so a warm trial loop
+	// (combined with Ws and DiscardCulled) allocates nothing. The
+	// returned Result is then scratch memory, invalidated by the next
+	// pruning call on the same scratch.
+	Scratch *Scratch
+	// DiscardCulled skips materializing Result.Culled (CulledTotal and
+	// Iterations still count every cull) — the per-cull coordinate
+	// copies are the one remaining allocation in scratch mode, and
+	// measure loops only consume the aggregate.
+	DiscardCulled bool
+}
+
+// Scratch holds the reusable state of a pruning run (see
+// Options.Scratch). The zero value is ready to use; not safe for
+// concurrent use.
+type Scratch struct {
+	res    Result
+	orig   []int32
+	sub    graph.Sub
+	finder cuts.Workspace
+	comp   compact.Scratch
 }
 
 // Result describes the outcome of a pruning run.
@@ -97,8 +121,28 @@ func Prune2(gf *graph.Graph, alphaE, eps float64, opt Options) *Result {
 }
 
 func pruneLoop(gf *graph.Graph, threshold float64, opt Options, edgeMode bool) *Result {
-	res := &Result{Threshold: threshold, CertifiedQuotient: math.Inf(1)}
-	cur := graph.Identity(gf)
+	scr := opt.Scratch
+	var res *Result
+	var cur *graph.Sub
+	if scr != nil {
+		res = &scr.res
+		*res = Result{Threshold: threshold, CertifiedQuotient: math.Inf(1), Culled: res.Culled[:0]}
+		// Identity provenance on the retained array.
+		n := gf.N()
+		if cap(scr.orig) < n {
+			scr.orig = make([]int32, n)
+		}
+		orig := scr.orig[:n]
+		for i := range orig {
+			orig[i] = int32(i)
+		}
+		scr.orig = orig
+		scr.sub = graph.Sub{G: gf, Orig: orig}
+		cur = &scr.sub
+	} else {
+		res = &Result{Threshold: threshold, CertifiedQuotient: math.Inf(1)}
+		cur = graph.Identity(gf)
+	}
 	mode := cuts.NodeMode
 	connected := false
 	if edgeMode {
@@ -113,7 +157,13 @@ func pruneLoop(gf *graph.Graph, threshold float64, opt Options, edgeMode bool) *
 		if n < 2 {
 			break
 		}
-		best, ok := cuts.FindBest(cur.G, mode, n/2, connected, opt.Finder)
+		var best expansion.Result
+		var ok bool
+		if scr != nil {
+			best, ok = cuts.FindBestWs(cur.G, mode, n/2, connected, opt.Finder, &scr.finder)
+		} else {
+			best, ok = cuts.FindBest(cur.G, mode, n/2, connected, opt.Finder)
+		}
 		if !ok {
 			break
 		}
@@ -131,14 +181,20 @@ func pruneLoop(gf *graph.Graph, threshold float64, opt Options, edgeMode bool) *
 			// Figure 2 line 3: K_i ← K_{G_i}(S_i). Compactification
 			// never increases the edge quotient (Lemma 3.3), so the
 			// predicate still holds for the culled set.
-			cullSet = compact.Compactify(cur.G, cullSet)
+			if scr != nil {
+				cullSet = compact.CompactifyScratch(cur.G, cullSet, &scr.comp)
+			} else {
+				cullSet = compact.Compactify(cur.G, cullSet)
+			}
 		}
 		// Record the cull in input coordinates.
-		orig := make([]int, len(cullSet))
-		for i, v := range cullSet {
-			orig[i] = int(cur.Orig[v])
+		if !opt.DiscardCulled {
+			orig := make([]int, len(cullSet))
+			for i, v := range cullSet {
+				orig[i] = int(cur.Orig[v])
+			}
+			res.Culled = append(res.Culled, orig)
 		}
-		res.Culled = append(res.Culled, orig)
 		res.CulledTotal += len(cullSet)
 		res.Iterations++
 		// G_{i+1} ← G_i ∖ K_i, composed with provenance.
@@ -217,13 +273,21 @@ func UpfalPrune(gf *graph.Sub, origDegree func(orig int32) int, theta float64) *
 // estimators — the quantity the theorems guarantee. Returns node and
 // edge expansion estimates (exact on small survivors).
 func MeasureResidual(h *graph.Graph, rng *xrand.RNG) (nodeAlpha, edgeAlpha float64) {
+	var ws cuts.Workspace
+	return MeasureResidualWs(h, rng, &ws)
+}
+
+// MeasureResidualWs is MeasureResidual on caller-owned finder scratch
+// (only scalars are returned, so nothing aliases ws after the call).
+func MeasureResidualWs(h *graph.Graph, rng *xrand.RNG, ws *cuts.Workspace) (nodeAlpha, edgeAlpha float64) {
 	if h.N() < 2 {
 		return 0, 0
 	}
 	opt := cuts.Options{RNG: rng}
-	rn, _ := cuts.EstimateNodeExpansion(h, opt)
-	re, _ := cuts.EstimateEdgeExpansion(h, opt)
-	return rn.NodeAlpha, re.EdgeAlpha
+	rn, _ := cuts.EstimateNodeExpansionWs(h, opt, ws)
+	nodeAlpha = rn.NodeAlpha
+	re, _ := cuts.EstimateEdgeExpansionWs(h, opt, ws)
+	return nodeAlpha, re.EdgeAlpha
 }
 
 // --- Theory calculators used by experiments to mark paper-predicted

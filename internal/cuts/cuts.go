@@ -17,7 +17,7 @@
 package cuts
 
 import (
-	"sort"
+	"slices"
 
 	"faultexp/internal/expansion"
 	"faultexp/internal/graph"
@@ -79,86 +79,11 @@ func (o Options) withDefaults(n int) Options {
 // FindBest searches for the minimum-quotient set with 1 ≤ |S| ≤ maxSize.
 // If connected is true, only connected candidate sets are returned (the
 // requirement of Prune2). Returns ok=false only when no candidate exists
-// (n < 2 or maxSize < 1).
+// (n < 2 or maxSize < 1). It is a thin wrapper over FindBestWs on a
+// throwaway workspace, so the returned Set is uniquely owned.
 func FindBest(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options) (expansion.Result, bool) {
-	n := g.N()
-	if n < 2 || maxSize < 1 {
-		return expansion.Result{}, false
-	}
-	if maxSize > n-1 {
-		maxSize = n - 1
-	}
-	opt = opt.withDefaults(n)
-
-	var best expansion.Result
-	have := false
-	consider := func(set []int) {
-		if len(set) == 0 || len(set) > maxSize {
-			return
-		}
-		if connected && !isConnectedSet(g, set) {
-			return
-		}
-		r := expansion.Evaluate(g, set)
-		if !have || quotient(r, mode) < quotient(best, mode) {
-			best = r
-			have = true
-		}
-	}
-
-	// Disconnected inputs first: every connected component that fits the
-	// size budget is a zero-quotient set (empty boundary), and the
-	// pruning loops rely on such sets never being missed — an adversary
-	// that disconnects a shard must see it culled deterministically.
-	if labels, sizes := g.Components(); len(sizes) > 1 {
-		comps := make([][]int, len(sizes))
-		for v, l := range labels {
-			comps[l] = append(comps[l], v)
-		}
-		for _, comp := range comps {
-			consider(comp)
-		}
-		if have && quotient(best, mode) == 0 {
-			return best, true
-		}
-	}
-
-	if n <= opt.ExactMaxN {
-		if r, ok := exactSearch(g, mode, maxSize, connected); ok {
-			consider(r.Set)
-		}
-	} else {
-		// Each layer draws from its own generator derived from a single
-		// base value, so the layers are randomness-isolated: disabling
-		// one layer (the E15 ablations) leaves the others' candidate
-		// pools bit-identical, and the full suite's pool is exactly the
-		// union of the ablations' pools.
-		base := opt.RNG.Uint64()
-		var scr finderScratch
-		// Spectral sweep.
-		if !opt.DisableSweep {
-			sweepRNG := xrand.New(base ^ 0xA5A5A5A5A5A5A5A5)
-			for _, set := range sweepCandidates(g, mode, maxSize, connected, opt, sweepRNG, &scr) {
-				consider(set)
-			}
-		}
-		// BFS balls.
-		if !opt.DisableBalls {
-			ballRNG := xrand.New(base ^ 0x5A5A5A5A5A5A5A5A)
-			for _, set := range ballCandidates(g, maxSize, opt, ballRNG, &scr) {
-				consider(set)
-			}
-		}
-		// Local search refinement of the incumbent (unconstrained mode
-		// only; connectivity-preserving moves are handled by the ball
-		// sweep supplying connected candidates).
-		if have && !connected && !opt.DisableLocalSearch {
-			localRNG := xrand.New(base ^ 0x3C3C3C3C3C3C3C3C)
-			improved := localImprove(g, best.Set, mode, maxSize, opt.LocalSearch, localRNG)
-			consider(improved)
-		}
-	}
-	return best, have
+	var ws Workspace
+	return FindBestWs(g, mode, maxSize, connected, opt, &ws)
 }
 
 func quotient(r expansion.Result, mode Mode) float64 {
@@ -230,40 +155,59 @@ func exactSearch(g *graph.Graph, mode Mode, maxSize int, connected bool) (expans
 	return re, len(re.Set) > 0
 }
 
-// sweepCandidates orders vertices by the Fiedler vector and evaluates
-// every prefix up to maxSize, returning the best prefix and (for the
-// connected variant) the best component of the best prefix.
-func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, opt Options, rng *xrand.RNG, scr *finderScratch) [][]int {
+// sweepCandidates orders vertices by the Fiedler vector, evaluates every
+// prefix up to maxSize, and feeds the finder the best prefix and (for
+// the connected variant) each component of that prefix.
+func sweepCandidates(g *graph.Graph, mode Mode, maxSize int, connected bool, rng *xrand.RNG, ws *Workspace, f *finder) {
 	n := g.N()
-	fied := spectral.Fiedler(g, 0, rng)
-	order := make([]int, n)
+	fied := spectral.FiedlerScratch(g, 0, rng, &ws.spec)
+	if cap(ws.order) < n {
+		ws.order = make([]int, n)
+		ws.rev = make([]int, n)
+	}
+	order := ws.order[:n]
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return fied.Vector[order[a]] < fied.Vector[order[b]] })
+	// The comparator closure is built once per workspace and reads the
+	// current sort key through ws, so the sort itself never allocates.
+	ws.sortKey = fied.Vector
+	if ws.sortCmp == nil {
+		ws.sortCmp = func(a, b int) int {
+			ka, kb := ws.sortKey[a], ws.sortKey[b]
+			if ka < kb {
+				return -1
+			}
+			if kb < ka {
+				return 1
+			}
+			return 0
+		}
+	}
+	slices.SortFunc(order, ws.sortCmp)
 
-	var cands [][]int
-	for _, dir := range []bool{false, true} {
+	for _, dir := range [2]bool{false, true} {
 		ord := order
 		if dir {
-			ord = make([]int, n)
+			ord = ws.rev[:n]
 			for i := range ord {
 				ord[i] = order[n-1-i]
 			}
 		}
-		if set := bestPrefix(g, ord, mode, maxSize, scr); set != nil {
-			cands = append(cands, set)
+		if bestK := bestPrefix(g, ord, mode, maxSize, &ws.scr); bestK >= 0 {
+			set := ord[:bestK+1]
+			f.consider(set)
 			if connected {
-				cands = append(cands, bestComponentOf(g, set, mode)...)
+				bestComponentOfWs(g, set, ws, f)
 			}
 		}
 	}
-	return cands
 }
 
 // bestPrefix scans prefixes of ord up to maxSize, maintaining boundary
-// and cut sizes incrementally, and returns the minimum-quotient prefix.
-func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int, scr *finderScratch) []int {
+// and cut sizes incrementally, and returns the length-1 index of the
+// minimum-quotient prefix (-1 if none).
+func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int, scr *finderScratch) int {
 	n := g.N()
 	scr.grow(n)
 	inU, cnt := scr.inU, scr.cnt // #neighbors inside U, for every vertex
@@ -300,44 +244,23 @@ func bestPrefix(g *graph.Graph, ord []int, mode Mode, maxSize int, scr *finderSc
 			bestK, bestQ = k, q
 		}
 	}
-	if bestK < 0 {
-		return nil
-	}
-	return append([]int(nil), ord[:bestK+1]...)
-}
-
-// bestComponentOf splits set into connected components and returns each
-// as a candidate (for EdgeMode at least one component has quotient no
-// worse than the whole set).
-func bestComponentOf(g *graph.Graph, set []int, mode Mode) [][]int {
-	sub := g.InduceVertices(set)
-	labels, sizes := sub.G.Components()
-	if len(sizes) <= 1 {
-		return nil
-	}
-	comps := make([][]int, len(sizes))
-	for v, l := range labels {
-		comps[l] = append(comps[l], int(sub.Orig[v]))
-	}
-	return comps
+	return bestK
 }
 
 // ballCandidates grows BFS balls from sampled seeds and evaluates each
 // prefix of the BFS order (always a connected set).
-func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG, scr *finderScratch) [][]int {
+func ballCandidates(g *graph.Graph, maxSize int, opt Options, rng *xrand.RNG, ws *Workspace, f *finder) {
 	n := g.N()
 	seeds := opt.Seeds
 	if seeds > n {
 		seeds = n
 	}
-	var cands [][]int
-	for _, s := range rng.SampleK(n, seeds) {
-		ord := bfsOrder(g, s, maxSize, scr)
-		if set := bestPrefixBoth(g, ord, maxSize, scr); set != nil {
-			cands = append(cands, set...)
-		}
+	sample, m := rng.SampleKInto(n, seeds, ws.seedBuf, ws.seedMap)
+	ws.seedBuf, ws.seedMap = sample, m
+	for _, s := range sample {
+		ord := bfsOrder(g, s, maxSize, &ws.scr)
+		bestPrefixBoth(g, ord, maxSize, &ws.scr, f)
 	}
-	return cands
 }
 
 func bfsOrder(g *graph.Graph, src, limit int, scr *finderScratch) []int {
@@ -360,9 +283,9 @@ func bfsOrder(g *graph.Graph, src, limit int, scr *finderScratch) []int {
 	return order
 }
 
-// bestPrefixBoth returns the best node-quotient and best edge-quotient
-// prefixes of ord in one pass.
-func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int, scr *finderScratch) [][]int {
+// bestPrefixBoth finds the best node-quotient and best edge-quotient
+// prefixes of ord in one pass and feeds both to the finder.
+func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int, scr *finderScratch, f *finder) {
 	n := g.N()
 	scr.grow(n) // clears inU/cnt left by the previous candidate order
 	inU, cnt := scr.inU, scr.cnt
@@ -399,106 +322,119 @@ func bestPrefixBoth(g *graph.Graph, ord []int, maxSize int, scr *finderScratch) 
 			bestEdgeK, bestEdgeQ = k, qe
 		}
 	}
-	var out [][]int
 	if bestNodeK >= 0 {
-		out = append(out, append([]int(nil), ord[:bestNodeK+1]...))
+		f.consider(ord[:bestNodeK+1])
 	}
 	if bestEdgeK >= 0 && bestEdgeK != bestNodeK {
-		out = append(out, append([]int(nil), ord[:bestEdgeK+1]...))
+		f.consider(ord[:bestEdgeK+1])
 	}
-	return out
+}
+
+// liState carries the incremental cut/boundary bookkeeping of the local
+// search. Methods on a stack value replace the old per-call closures so
+// the refinement pass stays allocation-free.
+type liState struct {
+	g        *graph.Graph
+	mode     Mode
+	inU      []bool
+	cnt      []int // #neighbors inside U, for every vertex
+	size     int
+	cut      int
+	boundary int
+}
+
+func (s *liState) quot() float64 {
+	if s.size == 0 {
+		return 1e18
+	}
+	if s.mode == NodeMode {
+		return float64(s.boundary) / float64(s.size)
+	}
+	return float64(s.cut) / float64(s.size)
+}
+
+func (s *liState) add(v int) {
+	if s.cnt[v] > 0 {
+		s.boundary--
+	}
+	s.cut += s.g.Degree(v) - 2*s.cnt[v]
+	for _, w := range s.g.Neighbors(v) {
+		if !s.inU[w] && s.cnt[w] == 0 {
+			s.boundary++
+		}
+		s.cnt[w]++
+	}
+	s.inU[v] = true
+	s.size++
+}
+
+func (s *liState) remove(v int) {
+	s.inU[v] = false
+	s.size--
+	s.cut -= s.g.Degree(v) - 2*s.cnt[v]
+	for _, w := range s.g.Neighbors(v) {
+		s.cnt[w]--
+		if !s.inU[w] && s.cnt[w] == 0 {
+			s.boundary--
+		}
+	}
+	if s.cnt[v] > 0 {
+		s.boundary++
+	}
 }
 
 // localImprove greedily moves single vertices in/out of the set while the
-// quotient improves, up to the given number of passes.
-func localImprove(g *graph.Graph, set []int, mode Mode, maxSize int, passes int, rng *xrand.RNG) []int {
+// quotient improves, up to the given number of passes. The returned set
+// aliases ws.localOut.
+func localImprove(g *graph.Graph, set []int, mode Mode, maxSize int, passes int, rng *xrand.RNG, ws *Workspace) []int {
 	n := g.N()
-	inU := make([]bool, n)
-	cnt := make([]int, n)
-	size := len(set)
+	ws.scr.grow(n) // clears inU/cnt left by the candidate layers
+	st := liState{g: g, mode: mode, inU: ws.scr.inU, cnt: ws.scr.cnt, size: len(set)}
 	for _, v := range set {
-		inU[v] = true
-	}
-	cut, boundary := 0, 0
-	for v := 0; v < n; v++ {
-		for _, w := range g.Neighbors(v) {
-			if inU[w] {
-				cnt[v]++
-			}
-		}
+		st.inU[v] = true
 	}
 	for v := 0; v < n; v++ {
-		if inU[v] {
-			cut += g.Degree(v) - cnt[v]
-		} else if cnt[v] > 0 {
-			boundary++
-		}
-	}
-	quot := func(b, c, s int) float64 {
-		if s == 0 {
-			return 1e18
-		}
-		if mode == NodeMode {
-			return float64(b) / float64(s)
-		}
-		return float64(c) / float64(s)
-	}
-
-	add := func(v int) {
-		if cnt[v] > 0 {
-			boundary--
-		}
-		cut += g.Degree(v) - 2*cnt[v]
 		for _, w := range g.Neighbors(v) {
-			if !inU[w] && cnt[w] == 0 {
-				boundary++
-			}
-			cnt[w]++
-		}
-		inU[v] = true
-		size++
-	}
-	remove := func(v int) {
-		inU[v] = false
-		size--
-		cut -= g.Degree(v) - 2*cnt[v]
-		for _, w := range g.Neighbors(v) {
-			cnt[w]--
-			if !inU[w] && cnt[w] == 0 {
-				boundary--
+			if st.inU[w] {
+				st.cnt[v]++
 			}
 		}
-		if cnt[v] > 0 {
-			boundary++
+	}
+	for v := 0; v < n; v++ {
+		if st.inU[v] {
+			st.cut += g.Degree(v) - st.cnt[v]
+		} else if st.cnt[v] > 0 {
+			st.boundary++
 		}
 	}
 
-	order := rng.Perm(n)
+	order := rng.PermInto(n, ws.perm)
+	ws.perm = order
 	for pass := 0; pass < passes; pass++ {
 		improved := false
-		cur := quot(boundary, cut, size)
+		cur := st.quot()
 		for _, v := range order {
-			if inU[v] {
-				if size <= 1 {
+			if st.inU[v] {
+				if st.size <= 1 {
 					continue
 				}
-				remove(v)
-				if q := quot(boundary, cut, size); q < cur {
+				st.remove(v)
+				if q := st.quot(); q < cur {
 					cur = q
 					improved = true
 				} else {
-					add(v)
+					st.add(v)
 				}
 			} else {
-				if size >= maxSize || cnt[v] == 0 {
+				if st.size >= maxSize || st.cnt[v] == 0 {
 					continue // only grow along the boundary
 				}
-				add(v)
-				if q := quot(boundary, cut, size); q < cur {
+				st.add(v)
+				if q := st.quot(); q < cur {
 					cur = q
 					improved = true
 				} else {
-					remove(v)
+					st.remove(v)
 				}
 			}
 		}
@@ -506,12 +442,13 @@ func localImprove(g *graph.Graph, set []int, mode Mode, maxSize int, passes int,
 			break
 		}
 	}
-	out := make([]int, 0, size)
+	out := ws.localOut[:0]
 	for v := 0; v < n; v++ {
-		if inU[v] {
+		if st.inU[v] {
 			out = append(out, v)
 		}
 	}
+	ws.localOut = out
 	return out
 }
 

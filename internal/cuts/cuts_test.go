@@ -94,7 +94,11 @@ func TestHeuristicMatchesExactOnMediumMesh(t *testing.T) {
 func TestBallCandidatesConnected(t *testing.T) {
 	g := gen.Torus(8, 8)
 	o := opts(6).withDefaults(g.N())
-	for _, set := range ballCandidates(g, 20, o, xrand.New(6), new(finderScratch)) {
+	ws := NewWorkspace()
+	f := finder{g: g, mode: NodeMode, maxSize: 20, ws: ws}
+	seen := 0
+	f.observe = func(set []int) {
+		seen++
 		if len(set) == 0 || len(set) > 20 {
 			t.Fatalf("ball candidate size %d out of range", len(set))
 		}
@@ -102,15 +106,26 @@ func TestBallCandidatesConnected(t *testing.T) {
 			t.Fatalf("ball candidate %v not connected", set)
 		}
 	}
+	ballCandidates(g, 20, o, xrand.New(6), ws, &f)
+	if seen == 0 {
+		t.Fatal("ball sweep produced no candidates")
+	}
 }
 
 func TestSweepCandidatesRespectMaxSize(t *testing.T) {
 	g := gen.Torus(6, 6)
-	o := opts(7).withDefaults(g.N())
-	for _, set := range sweepCandidates(g, EdgeMode, 10, false, o, xrand.New(7), new(finderScratch)) {
+	ws := NewWorkspace()
+	f := finder{g: g, mode: EdgeMode, maxSize: 10, ws: ws}
+	seen := 0
+	f.observe = func(set []int) {
+		seen++
 		if len(set) > 10 {
 			t.Fatalf("sweep candidate size %d exceeds bound", len(set))
 		}
+	}
+	sweepCandidates(g, EdgeMode, 10, false, xrand.New(7), ws, &f)
+	if seen == 0 {
+		t.Fatal("spectral sweep produced no candidates")
 	}
 }
 
@@ -119,7 +134,7 @@ func TestLocalImproveNeverWorsens(t *testing.T) {
 	rng := xrand.New(8)
 	start := []int{0, 1, 2, 8, 9}
 	before := expansion.Evaluate(g, start)
-	improved := localImprove(g, start, EdgeMode, 32, 4, rng)
+	improved := localImprove(g, start, EdgeMode, 32, 4, rng, NewWorkspace())
 	after := expansion.Evaluate(g, improved)
 	if after.EdgeAlpha > before.EdgeAlpha+1e-12 {
 		t.Fatalf("local search worsened quotient: %v -> %v", before.EdgeAlpha, after.EdgeAlpha)

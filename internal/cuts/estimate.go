@@ -10,9 +10,17 @@ import (
 // heuristic (upper bound on the true α) for larger ones. The second
 // return value reports whether the value is exact.
 func EstimateNodeExpansion(g *graph.Graph, opt Options) (expansion.Result, bool) {
+	var ws Workspace
+	return EstimateNodeExpansionWs(g, opt, &ws)
+}
+
+// EstimateNodeExpansionWs is EstimateNodeExpansion on caller-owned
+// scratch; the returned Set aliases ws and is invalidated by the next
+// call on the same workspace.
+func EstimateNodeExpansionWs(g *graph.Graph, opt Options, ws *Workspace) (expansion.Result, bool) {
 	n := g.N()
 	opt = opt.withDefaults(n)
-	r, ok := FindBest(g, NodeMode, n/2, false, opt)
+	r, ok := FindBestWs(g, NodeMode, n/2, false, opt, ws)
 	if !ok {
 		return expansion.Result{}, false
 	}
@@ -24,9 +32,17 @@ func EstimateNodeExpansion(g *graph.Graph, opt Options) (expansion.Result, bool)
 // the quotient equals the symmetric definition). Exact for small graphs,
 // heuristic upper bound otherwise; the second return reports exactness.
 func EstimateEdgeExpansion(g *graph.Graph, opt Options) (expansion.Result, bool) {
+	var ws Workspace
+	return EstimateEdgeExpansionWs(g, opt, &ws)
+}
+
+// EstimateEdgeExpansionWs is EstimateEdgeExpansion on caller-owned
+// scratch; the returned Set aliases ws and is invalidated by the next
+// call on the same workspace.
+func EstimateEdgeExpansionWs(g *graph.Graph, opt Options, ws *Workspace) (expansion.Result, bool) {
 	n := g.N()
 	opt = opt.withDefaults(n)
-	r, ok := FindBest(g, EdgeMode, n/2, false, opt)
+	r, ok := FindBestWs(g, EdgeMode, n/2, false, opt, ws)
 	if !ok {
 		return expansion.Result{}, false
 	}

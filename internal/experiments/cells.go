@@ -86,6 +86,10 @@ func setupPruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, rec *sweep.Rec
 	rec.Const("eps", eps)
 	rec.Const("threshold", alpha*eps)
 	n := float64(g.N())
+	// The pruning scratch lives for the whole cell: after the first trial
+	// warms it, the prune/prune2 trial path allocates nothing. Only the
+	// aggregate cull counters are consumed, so Culled is discarded.
+	scratch := &core.Scratch{}
 	trial := func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
 		sub, nf, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
@@ -94,7 +98,7 @@ func setupPruneCell(g *graph.Graph, c sweep.Cell, rng *xrand.RNG, rec *sweep.Rec
 		rec.Observe("faults", float64(nf))
 		frac := 0.0
 		if sub.G.N() > 0 {
-			opt := core.Options{Finder: cuts.Options{RNG: rng}, Ws: ws}
+			opt := core.Options{Finder: cuts.Options{RNG: rng}, Ws: ws, Scratch: scratch, DiscardCulled: true}
 			var res *core.Result
 			if edgeMode {
 				res = core.Prune2(sub.G, alpha, eps, opt)
@@ -125,6 +129,9 @@ func setupSpan(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG
 		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
 	n := float64(g.N())
+	// Per-cell span workspace: after the first trial warms it, the
+	// sampler's Steiner tables, boundary masks and BFS queues are reused.
+	sws := span.NewWorkspace()
 	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
 		sub, _, err := sweep.ApplyFaultsWs(g, c.Model, c.Rate, ws, rng)
 		if err != nil {
@@ -132,7 +139,7 @@ func setupSpan(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG
 		}
 		comp := sub.LargestComponentSubInto(ws)
 		rec.Observe("gamma", float64(comp.G.N())/n)
-		rec.Observe("sigma", span.Sampled(comp.G, spanSamples, rng).Sigma)
+		rec.Observe("sigma", span.SampledWs(comp.G, spanSamples, rng, sws).Sigma)
 		return nil
 	}}, nil
 }
@@ -156,8 +163,11 @@ func setupPercolation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xr
 	}
 	p := 1 - c.Rate
 	rec.Const("p_survive", p)
+	// The union–find scratch lives for the whole cell: after the first
+	// trial warms it, the trial path allocates nothing.
+	var scr perc.Scratch
 	return sweep.TrialRun{Trial: func(t int, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) error {
-		rec.Observe("gamma", perc.GammaAtP(g, mode, p, 1, rng))
+		rec.Observe("gamma", perc.GammaAtPScratch(g, mode, p, 1, rng, &scr))
 		return nil
 	}}, nil
 }

@@ -1,0 +1,304 @@
+package experiments
+
+// Coupled-sampling implementations for the union-find-friendly measures
+// (sweep.RegisterCoupled). Each trial draws ONE uniform per element from
+// the group's coupling stream; an element survives at rate r iff its
+// draw ≥ r — marginally the iid fault law with failure probability r,
+// but monotone across the rate axis. Elements are sorted by draw
+// (largest first) and the rates walked from highest to lowest, so a
+// union–find structure activates each element exactly once for the
+// whole axis: percolation and shatter harvest every rate in one
+// O((n+m)·α(n)) incremental pass per trial, and residual shares one
+// fault realization (and one set of fault-free baselines) across the
+// axis instead of recomputing both per rate cell.
+
+import (
+	"fmt"
+	"slices"
+
+	"faultexp/internal/core"
+	"faultexp/internal/cuts"
+	"faultexp/internal/graph"
+	"faultexp/internal/sweep"
+	"faultexp/internal/ufind"
+	"faultexp/internal/xrand"
+)
+
+func init() {
+	sweep.RegisterCoupled("percolation", setupPercolationCoupled)
+	sweep.RegisterCoupled("shatter", setupShatterCoupled)
+	sweep.RegisterCoupled("residual", setupResidualCoupled)
+}
+
+// coupledSweep is the shared skeleton of one coupled trial: the rate
+// walk order (fixed per group) and the per-trial element draws.
+type coupledSweep struct {
+	rateIdx []int     // rate positions, highest rate first (ties: grid order)
+	u       []float64 // one uniform per element, drawn in element order
+	order   []int     // element indices, largest draw first
+}
+
+func newCoupledSweep(cells []sweep.Cell) *coupledSweep {
+	cs := &coupledSweep{rateIdx: make([]int, len(cells))}
+	for i := range cs.rateIdx {
+		cs.rateIdx[i] = i
+	}
+	slices.SortStableFunc(cs.rateIdx, func(a, b int) int {
+		switch {
+		case cells[a].Rate > cells[b].Rate:
+			return -1
+		case cells[a].Rate < cells[b].Rate:
+			return 1
+		}
+		return 0
+	})
+	return cs
+}
+
+// run executes one coupled trial: draw a uniform per element from crng
+// (element order — the contract that makes the draws shareable), sort
+// elements by draw descending, then walk the rates from highest to
+// lowest, activating every element whose draw clears the rate before
+// measuring. add(e) activates element e exactly once per trial;
+// measure(ri, alive) records at rate position ri with the first `alive`
+// sorted elements active.
+func (cs *coupledSweep) run(elements int, cells []sweep.Cell, crng *xrand.RNG, add func(e int), measure func(ri, alive int) error) error {
+	if cap(cs.u) < elements {
+		cs.u = make([]float64, elements)
+		cs.order = make([]int, elements)
+	}
+	u, order := cs.u[:elements], cs.order[:elements]
+	for i := range u {
+		u[i] = crng.Float64()
+	}
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case u[a] > u[b]:
+			return -1
+		case u[a] < u[b]:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+	k := 0
+	for _, ri := range cs.rateIdx {
+		r := cells[ri].Rate
+		for k < elements && u[order[k]] >= r {
+			add(order[k])
+			k++
+		}
+		if err := measure(ri, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setupPercolationCoupled sweeps γ over the whole rate axis with one
+// incremental union–find pass per trial — the Newman–Ziff idea applied
+// to the grid's own rate points.
+func setupPercolationCoupled(g *graph.Graph, cells []sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, recs []*sweep.Recorder) (sweep.CoupledRun, error) {
+	if g.N() == 0 {
+		return sweep.CoupledRun{}, fmt.Errorf("empty graph")
+	}
+	site := cells[0].Model == sweep.ModelIIDNode
+	for ri, c := range cells {
+		recs[ri].Const("p_survive", 1-c.Rate)
+	}
+	n := g.N()
+	cs := newCoupledSweep(cells)
+	var d ufind.DSU
+	var edges [][2]int32
+	if !site {
+		edges = g.Edges()
+	}
+	trial := func(t int, ws *graph.Workspace, crng *xrand.RNG, mrngs []*xrand.RNG, recs []*sweep.Recorder) error {
+		gamma := func(ri, _ int) error {
+			recs[ri].Observe("gamma", d.Gamma())
+			return nil
+		}
+		if site {
+			d.ResetInactive(n)
+			return cs.run(n, cells, crng, func(v int) {
+				d.Activate(v)
+				for _, w := range g.Neighbors(v) {
+					if d.Active(int(w)) {
+						d.Union(v, int(w))
+					}
+				}
+			}, gamma)
+		}
+		d.Reset(n)
+		return cs.run(len(edges), cells, crng, func(e int) {
+			d.Union(int(edges[e][0]), int(edges[e][1]))
+		}, gamma)
+	}
+	return sweep.CoupledRun{Trial: trial}, nil
+}
+
+// setupShatterCoupled tracks component count, largest-component
+// fraction and the Herfindahl fragmentation index Σ(s_i/n)² across the
+// rate axis in the same incremental pass (the union–find maintains the
+// component count and Σ s_i² under activation and union).
+func setupShatterCoupled(g *graph.Graph, cells []sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, recs []*sweep.Recorder) (sweep.CoupledRun, error) {
+	if g.N() == 0 {
+		return sweep.CoupledRun{}, fmt.Errorf("empty graph")
+	}
+	site := cells[0].Model == sweep.ModelIIDNode
+	n := g.N()
+	nn := float64(n)
+	cs := newCoupledSweep(cells)
+	var d ufind.DSU
+	var edges [][2]int32
+	if !site {
+		edges = g.Edges()
+	}
+	trial := func(t int, ws *graph.Workspace, crng *xrand.RNG, mrngs []*xrand.RNG, recs []*sweep.Recorder) error {
+		elements := n
+		if !site {
+			elements = len(edges)
+		}
+		observe := func(ri, alive int) error {
+			rec := recs[ri]
+			rec.Observe("faults", float64(elements-alive))
+			rec.Observe("gamma", float64(d.Largest())/nn)
+			rec.Observe("comps", float64(d.Components()))
+			rec.Observe("frag", float64(d.SumSquares())/(nn*nn))
+			return nil
+		}
+		if site {
+			d.ResetInactive(n)
+			return cs.run(n, cells, crng, func(v int) {
+				d.Activate(v)
+				for _, w := range g.Neighbors(v) {
+					if d.Active(int(w)) {
+						d.Union(v, int(w))
+					}
+				}
+			}, observe)
+		}
+		d.Reset(n)
+		return cs.run(len(edges), cells, crng, func(e int) {
+			d.Union(int(edges[e][0]), int(edges[e][1]))
+		}, observe)
+	}
+	return sweep.CoupledRun{Trial: trial}, nil
+}
+
+// setupResidualCoupled measures the surviving component's node and edge
+// expansion at every rate of one coupled realization. The union–find
+// tracks the largest component incrementally under node faults; the cut
+// finder itself (the dominant cost) necessarily runs per rate, drawing
+// from that rate's own measurement stream. Fault-free baselines are
+// measured once per group instead of once per rate cell.
+func setupResidualCoupled(g *graph.Graph, cells []sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, recs []*sweep.Recorder) (sweep.CoupledRun, error) {
+	if g.N() < 2 {
+		return sweep.CoupledRun{}, fmt.Errorf("graph too small")
+	}
+	alpha0 := measuredNodeAlpha(g, rng.Split())
+	alphaE0 := measuredEdgeAlpha(g, rng.Split())
+	for _, rec := range recs {
+		rec.Const("alpha_node_0", alpha0)
+		rec.Const("alpha_edge_0", alphaE0)
+	}
+	site := cells[0].Model == sweep.ModelIIDNode
+	n := g.N()
+	nn := float64(n)
+	cs := newCoupledSweep(cells)
+	var d ufind.DSU
+	var finder cuts.Workspace
+	var members []int
+	observeComp := func(ri int, comp *graph.Graph, mrng *xrand.RNG) {
+		na, ea := core.MeasureResidualWs(comp, mrng, &finder)
+		rec := recs[ri]
+		rec.Observe("alpha_node", na)
+		rec.Observe("alpha_edge", ea)
+		rec.Observe("gamma", float64(comp.N())/nn)
+	}
+	trial := func(t int, ws *graph.Workspace, crng *xrand.RNG, mrngs []*xrand.RNG, recs []*sweep.Recorder) error {
+		if site {
+			d.ResetInactive(n)
+			return cs.run(n, cells, crng, func(v int) {
+				d.Activate(v)
+				for _, w := range g.Neighbors(v) {
+					if d.Active(int(w)) {
+						d.Union(v, int(w))
+					}
+				}
+			}, func(ri, _ int) error {
+				if d.Largest() < 2 {
+					return nil
+				}
+				// The largest component's members induce the survivor
+				// subgraph directly: node faults delete nodes, so every
+				// g-edge between two members survived.
+				root := -1
+				for v := 0; v < n; v++ {
+					if d.Active(v) && d.ComponentSize(v) == d.Largest() {
+						root = d.Find(v)
+						break
+					}
+				}
+				members = members[:0]
+				for v := 0; v < n; v++ {
+					if d.Active(v) && d.Find(v) == root {
+						members = append(members, v)
+					}
+				}
+				// Mask returns dirty memory — clear it, or leftover bits
+				// from whatever workspace history this worker carries
+				// leak into the survivor (visible as a byte diff across
+				// -workers values).
+				keep := ws.Mask(n)
+				for i := range keep {
+					keep[i] = false
+				}
+				for _, v := range members {
+					keep[v] = true
+				}
+				observeComp(ri, g.InduceInto(ws, keep).G, mrngs[ri])
+				return nil
+			})
+		}
+		// Edge faults: the survivor graph at each rate is g minus the
+		// failed edges, rebuilt from the shared draws (the cut finder
+		// needs the graph itself, so connectivity alone cannot carry the
+		// measurement). FilterEdgesInto visits edges in ForEachEdge
+		// order — the order the coupling draws were made in — so a
+		// running index aligns draw and edge.
+		return cs.run(g.M(), cells, crng, func(int) {}, func(ri, _ int) error {
+			r := cells[ri].Rate
+			ei := 0
+			sub, _ := g.FilterEdgesInto(ws, func(_, _ int) bool {
+				ei++
+				return cs.u[ei-1] < r
+			})
+			comp := sub.LargestComponentSubInto(ws)
+			if comp.G.N() < 2 {
+				return nil
+			}
+			observeComp(ri, comp.G, mrngs[ri])
+			return nil
+		})
+	}
+	finish := func(ri int, rec *sweep.Recorder) error {
+		if rec.Count("gamma") == 0 {
+			return fmt.Errorf("no survivor was measurable")
+		}
+		if alpha0 > 0 {
+			rec.Const("retention_node", rec.Stream("alpha_node").Mean()/alpha0)
+		}
+		if alphaE0 > 0 {
+			rec.Const("retention_edge", rec.Stream("alpha_edge").Mean()/alphaE0)
+		}
+		return nil
+	}
+	return sweep.CoupledRun{Trial: trial, Finish: finish}, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"faultexp/internal/sweep"
+)
+
+// coupledSpec is a small real grid in coupled rate mode: both iid models
+// across the three coupled-capable measures, with an unsorted rate axis
+// so the highest-rate-first walk is exercised.
+func coupledSpec(measures ...string) *sweep.Spec {
+	return &sweep.Spec{
+		Families: []sweep.FamilySpec{
+			{Family: "torus", Size: "5x5"},
+			{Family: "hypercube", Size: "4"},
+		},
+		Measures: measures,
+		Models:   []string{sweep.ModelIIDNode, sweep.ModelIIDEdge},
+		Rates:    []float64{0.1, 0.3, 0.05, 0.2},
+		Trials:   3,
+		Seed:     20040627,
+		RateMode: sweep.RateModeCoupled,
+	}
+}
+
+// TestCoupledDeterministicAcrossWorkers pins the coupled mode's core
+// guarantee: group dispatch and ordered emission make the output
+// byte-identical for any worker count.
+func TestCoupledDeterministicAcrossWorkers(t *testing.T) {
+	spec := coupledSpec("percolation", "shatter", "residual")
+	ref := runJSONL(t, spec, 1)
+	for _, workers := range []int{3, runtime.GOMAXPROCS(0)} {
+		if got := runJSONL(t, spec, workers); !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d coupled output differs from workers=1", workers)
+		}
+	}
+}
+
+// TestCoupledRecordOrderMatchesCells verifies the coupled path emits one
+// record per grid cell, in exactly the independent cell order, with the
+// cell's own seed — so downstream tooling cannot tell the modes apart
+// structurally.
+func TestCoupledRecordOrderMatchesCells(t *testing.T) {
+	spec := coupledSpec("percolation", "shatter")
+	out := runJSONL(t, spec, 2)
+	cells := spec.Cells()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	i := 0
+	for dec.More() {
+		var r sweep.Result
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("decode record %d: %v", i, err)
+		}
+		if i >= len(cells) {
+			t.Fatalf("more records than cells (%d)", len(cells))
+		}
+		c := cells[i]
+		if r.Family != c.Family.Family || r.Measure != c.Measure || r.Model != c.Model || r.Rate != c.Rate || r.Seed != c.Seed {
+			t.Fatalf("record %d = %s/%s/%s rate %v seed %d, want cell %s/%s/%s rate %v seed %d",
+				i, r.Family, r.Measure, r.Model, r.Rate, r.Seed,
+				c.Family.Family, c.Measure, c.Model, c.Rate, c.Seed)
+		}
+		if len(r.Metrics) == 0 {
+			t.Fatalf("record %d has no metrics: %+v", i, r)
+		}
+		i++
+	}
+	if i != len(cells) {
+		t.Fatalf("got %d records, want %d", i, len(cells))
+	}
+}
+
+// TestCoupledGammaMonotone pins the coupling property itself: within
+// one trial the fault set only grows with the rate, so γ (and here its
+// mean over identical trial sets) is nonincreasing along the rate axis.
+// Independent mode guarantees this only statistically; coupled mode
+// guarantees it per realization.
+func TestCoupledGammaMonotone(t *testing.T) {
+	spec := coupledSpec("percolation", "shatter")
+	out := runJSONL(t, spec, 1)
+	// Collect gamma_mean by (measure, model) in ascending-rate order.
+	type key struct{ measure, model string }
+	byRate := map[key]map[float64]float64{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var r sweep.Result
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Family != "torus" {
+			continue
+		}
+		k := key{r.Measure, r.Model}
+		if byRate[k] == nil {
+			byRate[k] = map[float64]float64{}
+		}
+		byRate[k][r.Rate] = r.Metrics["gamma_mean"]
+	}
+	rates := []float64{0.05, 0.1, 0.2, 0.3}
+	for k, m := range byRate {
+		for i := 1; i < len(rates); i++ {
+			lo, hi := m[rates[i-1]], m[rates[i]]
+			if hi > lo {
+				t.Errorf("%s/%s: gamma_mean rose from %v at rate %v to %v at rate %v", k.measure, k.model, lo, rates[i-1], hi, rates[i])
+			}
+		}
+	}
+}
+
+// TestCoupledSpecValidation covers the opt-in gate: unknown mode tokens,
+// non-iid models, and measures without a coupled implementation are all
+// rejected at validation time, and the coupled unit of work refuses to
+// shard or resume mid-group.
+func TestCoupledSpecValidation(t *testing.T) {
+	base := func() *sweep.Spec { return coupledSpec("percolation") }
+
+	s := base()
+	s.RateMode = "entangled"
+	if err := s.Validate(); err == nil {
+		t.Error("unknown rate_mode accepted")
+	}
+
+	s = base()
+	s.Models = []string{sweep.ModelAdversarial}
+	if err := s.Validate(); err == nil {
+		t.Error("coupled mode accepted a non-iid model")
+	}
+
+	s = base()
+	s.Measures = []string{"gamma"}
+	if err := s.Validate(); err == nil {
+		t.Error("coupled mode accepted a measure without a coupled implementation")
+	}
+
+	s = base()
+	if _, err := sweep.NewJob(s, sweep.WithShard(sweep.Shard{Index: 0, Count: 2})); err == nil {
+		t.Error("coupled mode accepted a shard")
+	}
+	if _, err := sweep.NewJob(s, sweep.WithSkipCells(1)); err == nil {
+		t.Error("coupled mode accepted a cell-granular skip")
+	}
+}
+
+// TestIndependentRateModeAliasesDefault pins the tentpole's
+// compatibility half: "rate_mode": "independent" is byte-identical to
+// leaving the field unset.
+func TestIndependentRateModeAliasesDefault(t *testing.T) {
+	def := gridSpec("gamma", "percolation")
+	ref := runJSONL(t, def, 2)
+	ind := gridSpec("gamma", "percolation")
+	ind.RateMode = sweep.RateModeIndependent
+	if got := runJSONL(t, ind, 2); !bytes.Equal(got, ref) {
+		t.Error(`"rate_mode": "independent" output differs from the default`)
+	}
+}

@@ -84,12 +84,17 @@ func lattice(dims []int, wrap bool) *graph.Graph {
 // MeshCoords converts a vertex index to lattice coordinates for the given
 // dims (dims[0] is the fastest-varying coordinate).
 func MeshCoords(v int, dims []int) []int {
-	c := make([]int, len(dims))
+	return MeshCoordsInto(v, dims, make([]int, len(dims)))
+}
+
+// MeshCoordsInto is MeshCoords writing into buf, which must have length
+// len(dims).
+func MeshCoordsInto(v int, dims []int, buf []int) []int {
 	for i, d := range dims {
-		c[i] = v % d
+		buf[i] = v % d
 		v /= d
 	}
-	return c
+	return buf
 }
 
 // MeshIndex converts lattice coordinates back to a vertex index.

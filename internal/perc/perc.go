@@ -128,26 +128,50 @@ func sweepBond(g *graph.Graph, acc []float64, rng *xrand.RNG) {
 
 // GammaAtP estimates E[γ(G^(p))] by trials independent realizations.
 func GammaAtP(g *graph.Graph, mode Mode, p float64, trials int, rng *xrand.RNG) float64 {
+	var scr Scratch
+	return GammaAtPScratch(g, mode, p, trials, rng, &scr)
+}
+
+// Scratch holds the reusable state of a Monte-Carlo γ estimate: the
+// union–find structure and the occupation mask. A zero Scratch is ready
+// to use; after the first realization at a given size, further
+// realizations allocate nothing. Not safe for concurrent use.
+type Scratch struct {
+	dsu   ufind.DSU
+	alive []bool
+}
+
+// GammaAtPScratch is GammaAtP writing all intermediates into scr —
+// the percolation measure's steady-state trial path. The draw sequence
+// is identical to GammaAtP's, so estimates are bit-equal for the same
+// rng state.
+func GammaAtPScratch(g *graph.Graph, mode Mode, p float64, trials int, rng *xrand.RNG, scr *Scratch) float64 {
 	sum := 0.0
 	for t := 0; t < trials; t++ {
-		sum += gammaOnce(g, mode, p, rng)
+		sum += gammaOnce(g, mode, p, rng, scr)
 	}
 	return sum / float64(trials)
 }
 
-func gammaOnce(g *graph.Graph, mode Mode, p float64, rng *xrand.RNG) float64 {
+func gammaOnce(g *graph.Graph, mode Mode, p float64, rng *xrand.RNG, scr *Scratch) float64 {
 	n := g.N()
 	if n == 0 {
 		return 0
 	}
+	d := &scr.dsu
 	switch mode {
 	case Site:
-		d := ufind.NewInactive(n)
-		alive := make([]bool, n)
+		d.ResetInactive(n)
+		if cap(scr.alive) < n {
+			scr.alive = make([]bool, n)
+		}
+		alive := scr.alive[:n]
 		for v := 0; v < n; v++ {
 			if rng.Bool(p) {
 				alive[v] = true
 				d.Activate(v)
+			} else {
+				alive[v] = false
 			}
 		}
 		for v := 0; v < n; v++ {
@@ -162,7 +186,7 @@ func gammaOnce(g *graph.Graph, mode Mode, p float64, rng *xrand.RNG) float64 {
 		}
 		return d.Gamma()
 	default:
-		d := ufind.New(n)
+		d.Reset(n)
 		g.ForEachEdge(func(u, v int) {
 			if rng.Bool(p) {
 				d.Union(u, v)
@@ -196,8 +220,9 @@ func CriticalPFromCurve(c *Curve, target float64) float64 {
 // SurvivalStats summarizes γ over independent realizations at one p.
 func SurvivalStats(g *graph.Graph, mode Mode, p float64, trials int, rng *xrand.RNG) stats.Summary {
 	xs := make([]float64, trials)
+	var scr Scratch
 	for t := range xs {
-		xs[t] = gammaOnce(g, mode, p, rng)
+		xs[t] = gammaOnce(g, mode, p, rng, &scr)
 	}
 	return stats.Summarize(xs)
 }

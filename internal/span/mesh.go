@@ -9,10 +9,6 @@ package span
 // real mesh edges through a shared mesh neighbour.
 
 import (
-	"fmt"
-
-	"faultexp/internal/expansion"
-	"faultexp/internal/gen"
 	"faultexp/internal/graph"
 )
 
@@ -30,76 +26,10 @@ type MeshCert struct {
 // MeshBoundaryTree runs the Theorem 3.6 construction for a compact set U
 // of the mesh with the given dims. g must be gen.Mesh(dims...). The
 // returned certificate reports whether the virtual-edge graph was
-// connected and whether the simulated tree met the 2(|B|−1) bound.
+// connected and whether the simulated tree met the 2(|B|−1) bound. It is
+// a thin wrapper over MeshBoundaryTreeWs on a throwaway workspace.
 func MeshBoundaryTree(g *graph.Graph, dims []int, set []int) (MeshCert, error) {
-	n := g.N()
-	inU := expansion.Mask(n, set)
-	b := expansion.Boundary(g, inU)
-	cert := MeshCert{BoundarySize: len(b)}
-	if len(b) == 0 {
-		return cert, fmt.Errorf("span: empty boundary")
-	}
-	if len(b) == 1 {
-		cert.TreeNodes = 1
-		cert.Ratio = 1
-		cert.EvConnected = true
-		cert.WithinTwoCert = true
-		return cert, nil
-	}
-	// Index boundary nodes and their coordinates.
-	idx := make(map[int]int, len(b))
-	coords := make([][]int, len(b))
-	for i, v := range b {
-		idx[v] = i
-		coords[i] = gen.MeshCoords(v, dims)
-	}
-	// Virtual edges: |vi − ui| = 0 in ≥ d−2 coordinates and ≤ 1
-	// elsewhere, i.e. Chebyshev distance ≤ 1 with at most 2 coordinates
-	// differing.
-	vb := graph.NewBuilder(len(b))
-	for i := 0; i < len(b); i++ {
-		for j := i + 1; j < len(b); j++ {
-			if virtualAdjacent(coords[i], coords[j]) {
-				vb.AddEdge(i, j)
-			}
-		}
-	}
-	vg := vb.Build()
-	cert.EvConnected = vg.IsConnected()
-	if !cert.EvConnected {
-		return cert, fmt.Errorf("span: virtual boundary graph disconnected (|B|=%d)", len(b))
-	}
-	// BFS spanning tree of (B, Ev): |B|−1 virtual edges.
-	parent := bfsTreeParents(vg)
-	cert.VirtualEdges = len(b) - 1
-	// Simulate each tree edge with ≤ 2 mesh edges: identical nodes share
-	// a mesh edge when L1 distance is 1; diagonal pairs route through a
-	// shared mesh neighbour.
-	nodes := map[int]bool{}
-	for _, v := range b {
-		nodes[v] = true
-	}
-	for child, par := range parent {
-		if par < 0 {
-			continue
-		}
-		u, v := b[child], b[par]
-		cu, cv := coords[child], coords[par]
-		if l1(cu, cv) == 1 {
-			continue // direct mesh edge, no extra node
-		}
-		// Diagonal: differ by 1 in exactly two coordinates. The midpoint
-		// taking u's value in the first differing coordinate and v's in
-		// the second is a valid mesh vertex adjacent to both.
-		mid := midpoint(cu, cv)
-		nodes[gen.MeshIndex(mid, dims)] = true
-		_ = u
-		_ = v
-	}
-	cert.TreeNodes = len(nodes)
-	cert.Ratio = float64(cert.TreeNodes) / float64(cert.BoundarySize)
-	cert.WithinTwoCert = cert.TreeNodes <= 2*cert.BoundarySize-1
-	return cert, nil
+	return MeshBoundaryTreeWs(g, dims, set, NewWorkspace())
 }
 
 func virtualAdjacent(a, b []int) bool {
@@ -134,37 +64,3 @@ func l1(a, b []int) int {
 	return s
 }
 
-// midpoint returns a coordinate vector adjacent (in the mesh) to both a
-// and b, which differ by exactly 1 in exactly two coordinates: keep a's
-// value in the first differing coordinate and take b's in the rest.
-func midpoint(a, b []int) []int {
-	mid := append([]int(nil), b...)
-	for i := range a {
-		if a[i] != b[i] {
-			mid[i] = a[i]
-			break
-		}
-	}
-	return mid
-}
-
-func bfsTreeParents(g *graph.Graph) []int {
-	n := g.N()
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = -2
-	}
-	parent[0] = -1
-	queue := []int{0}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, w := range g.Neighbors(u) {
-			if parent[w] == -2 {
-				parent[w] = u
-				queue = append(queue, int(w))
-			}
-		}
-	}
-	return parent
-}

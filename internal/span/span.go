@@ -90,30 +90,11 @@ func Exact(g *graph.Graph) Estimate {
 // sets across a spread of sizes. The result is a *lower* estimate of σ
 // when trees are exact (a max over a subset of compact sets); approximate
 // trees can push individual ratios above their true value, so the result
-// is reported with Exact=false.
+// is reported with Exact=false. It is a thin wrapper over SampledWs on a
+// throwaway workspace, so the returned ArgSet is uniquely owned.
 func Sampled(g *graph.Graph, samples int, rng *xrand.RNG) Estimate {
-	est := Estimate{}
-	n := g.N()
-	if n < 3 {
-		return est
-	}
-	for i := 0; i < samples; i++ {
-		// Spread target sizes geometrically between 1 and n/2.
-		target := 1 + rng.Intn(1+n/2)
-		set := compact.Random(g, target, rng)
-		if set == nil || len(set) == 0 || len(set) >= n {
-			continue
-		}
-		r, tree, b, _ := ratioFor(g, set)
-		est.Sets++
-		if r > est.Sigma {
-			est.Sigma = r
-			est.ArgSet = append([]int(nil), set...)
-			est.TreeNodes = tree
-			est.BoundaryNodes = b
-		}
-	}
-	return est
+	var ws Workspace
+	return SampledWs(g, samples, rng, &ws)
 }
 
 // FaultToleranceFromSpan returns the Theorem 3.4 fault-probability

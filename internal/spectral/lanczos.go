@@ -9,83 +9,13 @@ package spectral
 
 import (
 	"math"
-
-	"faultexp/internal/xrand"
 )
 
-// lanczosLargest runs at most maxIter Lanczos steps on the operator
-// apply (dst = A·src, dimension n), deflating against the unit vectors in
-// deflate, and returns the largest Ritz value, its Ritz vector, and the
-// number of iterations executed.
-func lanczosLargest(apply func(dst, src []float64), n, maxIter int, deflate [][]float64, rng *xrand.RNG) (float64, []float64, int) {
-	if maxIter > n {
-		maxIter = n
-	}
-	if maxIter < 1 {
-		maxIter = 1
-	}
-	// Start vector: random, orthogonal to the deflation space.
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = rng.NormFloat64()
-	}
-	orthogonalize(v, deflate)
-	normalize(v)
+// The Lanczos iteration itself lives in scratch.go
+// (lanczosLargestScratch): the hot path threads caller-owned buffers
+// through every step, and the allocating entry point (Fiedler) runs the
+// same code on a throwaway Scratch.
 
-	basis := make([][]float64, 0, maxIter)
-	var alphas, betas []float64 // T diagonal and off-diagonal
-	var dScr, eScr []float64    // scratch for eigenvalue-only checks
-	w := make([]float64, n)
-
-	prevRitz := math.Inf(-1)
-	iters := 0
-	for k := 0; k < maxIter; k++ {
-		iters = k + 1
-		basis = append(basis, append([]float64(nil), v...))
-		apply(w, v)
-		alpha := dot(w, v)
-		alphas = append(alphas, alpha)
-		// w ← w − α·v − β·v_{k−1}, then fully reorthogonalize against
-		// the Krylov basis and the deflation space.
-		axpy(-alpha, v, w)
-		if k > 0 {
-			axpy(-betas[k-1], basis[k-1], w)
-		}
-		orthogonalize(w, basis)
-		orthogonalize(w, deflate)
-		beta := norm(w)
-		// Convergence check every few steps once the tridiagonal is
-		// non-trivial: compare successive extremal Ritz values.
-		if k >= 4 && k%4 == 0 {
-			ritz := tridiagLargestValue(alphas, betas, &dScr, &eScr)
-			if math.Abs(ritz-prevRitz) < 1e-12*(1+math.Abs(ritz)) {
-				break
-			}
-			prevRitz = ritz
-		}
-		if beta < 1e-13 {
-			break // invariant subspace found
-		}
-		betas = append(betas, beta)
-		for i := range v {
-			v[i] = w[i] / beta
-		}
-	}
-	theta, s := tridiagLargest(alphas, betas[:len(alphas)-1])
-	// Assemble the Ritz vector x = Σ s_i · basis_i.
-	x := make([]float64, n)
-	for i, b := range basis {
-		if i < len(s) {
-			axpy(s[i], b, x)
-		}
-	}
-	normalize(x)
-	return theta, x, iters
-}
-
-// tridiagLargest returns the largest eigenvalue of the symmetric
-// tridiagonal matrix with the given diagonal and off-diagonal, plus its
-// eigenvector, via the implicit QL algorithm (tql2).
 // tridiagLargestValue returns only the largest eigenvalue of the
 // symmetric tridiagonal matrix, skipping eigenvector accumulation — the
 // m×m rotation matrix tridiagLargest builds dominates the allocation
@@ -114,34 +44,6 @@ func tridiagLargestValue(diag, off []float64, dScr, eScr *[]float64) float64 {
 		}
 	}
 	return best
-}
-
-func tridiagLargest(diag, off []float64) (float64, []float64) {
-	m := len(diag)
-	if m == 0 {
-		return 0, nil
-	}
-	d := append([]float64(nil), diag...)
-	e := make([]float64, m)
-	copy(e, off)
-	// z accumulates the eigenvector rotations (starts as identity).
-	z := make([][]float64, m)
-	for i := range z {
-		z[i] = make([]float64, m)
-		z[i][i] = 1
-	}
-	tql2(d, e, z)
-	best := 0
-	for i := 1; i < m; i++ {
-		if d[i] > d[best] {
-			best = i
-		}
-	}
-	vec := make([]float64, m)
-	for i := 0; i < m; i++ {
-		vec[i] = z[i][best]
-	}
-	return d[best], vec
 }
 
 // tql2 diagonalizes a symmetric tridiagonal matrix in place using the QL

@@ -88,38 +88,11 @@ type FiedlerResult struct {
 // Fiedler computes λ₂ of the normalized Laplacian and its eigenvector
 // using Lanczos on 2I−L with deflation against the known kernel vector.
 // For a disconnected graph λ₂ = 0 (and the vector separates components).
-// maxIter ≤ 0 selects an automatic budget.
+// maxIter ≤ 0 selects an automatic budget. It is a thin wrapper over
+// FiedlerScratch on a throwaway scratch, so the returned Vector is
+// uniquely owned.
 func Fiedler(g *graph.Graph, maxIter int, rng *xrand.RNG) FiedlerResult {
-	n := g.N()
-	if n == 0 {
-		return FiedlerResult{}
-	}
-	if n == 1 {
-		return FiedlerResult{Lambda2: 0, Vector: []float64{0}}
-	}
-	l := NewLaplacian(g)
-	kernel := l.KernelVector()
-	if maxIter <= 0 {
-		maxIter = 4 * intSqrt(n)
-		if maxIter < 50 {
-			maxIter = 50
-		}
-		if maxIter > n {
-			maxIter = n
-		}
-	}
-	ev, vec, iters := lanczosLargest(l.ApplyShifted, n, maxIter, [][]float64{kernel}, rng)
-	lambda2 := 2 - ev
-	if lambda2 < 0 {
-		lambda2 = 0
-	}
-	// Convert from the symmetric-normalized coordinates back to vertex
-	// coordinates: x = D^{-1/2} y, which is the ordering the sweep-cut
-	// heuristics want.
-	for i := range vec {
-		vec[i] *= l.invSqrt[i]
-	}
-	return FiedlerResult{Lambda2: lambda2, Vector: vec, Iters: iters}
+	return FiedlerScratch(g, maxIter, rng, &Scratch{})
 }
 
 // Lambda2 is a convenience wrapper returning only the algebraic

@@ -11,39 +11,57 @@ import (
 	"sort"
 )
 
-// Summary holds the moments of a sample.
+// Summary holds the moments of a sample. N counts the finite
+// observations the moments were computed over; Nonfinite counts the
+// NaN/±Inf inputs that were skipped.
 type Summary struct {
-	N      int
-	Mean   float64
-	Var    float64 // unbiased sample variance
-	Std    float64
-	Min    float64
-	Max    float64
-	StdErr float64 // standard error of the mean
+	N         int
+	Mean      float64
+	Var       float64 // unbiased sample variance
+	Std       float64
+	Min       float64
+	Max       float64
+	StdErr    float64 // standard error of the mean
+	Nonfinite int     // NaN/±Inf observations skipped
 }
 
 // Summarize computes summary statistics of xs. An empty sample yields a
-// zero Summary.
+// zero Summary. Non-finite values are skipped and counted in Nonfinite
+// — the same accounting the sweep engine applies to metric values — so
+// the result does not depend on where in the slice a NaN sits. (The old
+// behavior seeded Min/Max from xs[0]: a leading NaN poisoned every
+// field while a mid-slice NaN silently vanished from Min/Max only.)
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if s.N == 0 {
-		return s
-	}
-	s.Min, s.Max = xs[0], xs[0]
+	var s Summary
 	sum := 0.0
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			s.Nonfinite++
+			continue
+		}
+		if s.N == 0 {
+			s.Min, s.Max = x, x
+		} else {
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
+		}
+		s.N++
 		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
+	}
+	if s.N == 0 {
+		return s
 	}
 	s.Mean = sum / float64(s.N)
 	if s.N > 1 {
 		ss := 0.0
 		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
 			d := x - s.Mean
 			ss += d * d
 		}

@@ -159,3 +159,36 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+// TestSummarizeNonfinite pins the skip-and-count contract: a NaN (or
+// ±Inf) observation is counted in Nonfinite and otherwise excluded, no
+// matter where in the slice it sits. The old code seeded Min/Max from
+// xs[0], so a leading NaN poisoned every field while a mid-slice NaN
+// silently vanished from Min/Max only.
+func TestSummarizeNonfinite(t *testing.T) {
+	nan := math.NaN()
+	clean := Summarize([]float64{2, 4, 9})
+	for name, xs := range map[string][]float64{
+		"leading": {nan, 2, 4, 9},
+		"middle":  {2, nan, 4, 9},
+		"tail":    {2, 4, 9, nan},
+	} {
+		s := Summarize(xs)
+		if s.Nonfinite != 1 || s.N != 3 {
+			t.Fatalf("%s NaN: N=%d Nonfinite=%d, want 3/1", name, s.N, s.Nonfinite)
+		}
+		s.Nonfinite = clean.Nonfinite
+		if s != clean {
+			t.Errorf("%s NaN changed the finite moments: %+v vs %+v", name, s, clean)
+		}
+	}
+
+	s := Summarize([]float64{1, math.Inf(1), 3, math.Inf(-1)})
+	if s.N != 2 || s.Nonfinite != 2 || s.Min != 1 || s.Max != 3 || !almost(s.Mean, 2, 1e-12) {
+		t.Errorf("±Inf handling: %+v", s)
+	}
+
+	if s := Summarize([]float64{nan, math.Inf(1)}); s.N != 0 || s.Nonfinite != 2 || s.Mean != 0 || s.Min != 0 {
+		t.Errorf("all-nonfinite sample should have zero moments: %+v", s)
+	}
+}

@@ -15,14 +15,25 @@ import "math"
 // a warm trial loop folding observations into pre-owned Streams stays
 // allocation-free. Stream is a value type — copy it, embed it in arrays,
 // Merge partial results from parallel workers.
+//
+// Non-finite observations are skipped and counted (see Nonfinite),
+// matching Summarize and the sweep engine's metric accounting: one NaN
+// trial marks the stream instead of silently poisoning the moments of
+// every trial after it.
 type Stream struct {
 	n          int64
 	mean, m2   float64
 	minV, maxV float64
+	nonfinite  int64
 }
 
-// Add folds one observation into the stream.
+// Add folds one observation into the stream. NaN and ±Inf are not
+// folded; they increment the Nonfinite count instead.
 func (s *Stream) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.nonfinite++
+		return
+	}
 	s.n++
 	if s.n == 1 {
 		s.mean, s.minV, s.maxV = x, x, x
@@ -41,8 +52,11 @@ func (s *Stream) Add(x float64) {
 	}
 }
 
-// N returns the number of observations.
+// N returns the number of finite observations folded in.
 func (s Stream) N() int64 { return s.n }
+
+// Nonfinite returns how many NaN/±Inf observations were skipped.
+func (s Stream) Nonfinite() int64 { return s.nonfinite }
 
 // Mean returns the running mean (0 for an empty stream).
 func (s Stream) Mean() float64 { return s.mean }
@@ -80,11 +94,14 @@ func (s *Stream) Reset() { *s = Stream{} }
 // Added to s. Order of observations does not affect the result beyond
 // floating-point rounding.
 func (s *Stream) Merge(o Stream) {
+	s.nonfinite += o.nonfinite
 	if o.n == 0 {
 		return
 	}
 	if s.n == 0 {
+		nf := s.nonfinite
 		*s = o
+		s.nonfinite = nf
 		return
 	}
 	n := s.n + o.n
@@ -103,13 +120,14 @@ func (s *Stream) Merge(o Stream) {
 // Summary converts the stream to the batch Summary form.
 func (s Stream) Summary() Summary {
 	return Summary{
-		N:      int(s.n),
-		Mean:   s.Mean(),
-		Var:    s.Var(),
-		Std:    s.Std(),
-		Min:    s.Min(),
-		Max:    s.Max(),
-		StdErr: s.StdErr(),
+		N:         int(s.n),
+		Mean:      s.Mean(),
+		Var:       s.Var(),
+		Std:       s.Std(),
+		Min:       s.Min(),
+		Max:       s.Max(),
+		StdErr:    s.StdErr(),
+		Nonfinite: int(s.nonfinite),
 	}
 }
 

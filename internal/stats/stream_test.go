@@ -161,3 +161,50 @@ func TestP2PanicsOnBadQuantile(t *testing.T) {
 		}()
 	}
 }
+
+// TestStreamNonfinite: Stream applies the exact accounting Summarize
+// does — NaN/±Inf increment Nonfinite and leave the moments untouched —
+// and Merge conserves the count, including through its empty-stream
+// fast paths.
+func TestStreamNonfinite(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, math.NaN(), 4, math.Inf(1), 9} {
+		s.Add(x)
+	}
+	want := Summarize([]float64{2, math.NaN(), 4, math.Inf(1), 9})
+	got := s.Summary()
+	if got.N != 3 || got.Nonfinite != 2 {
+		t.Fatalf("stream N/Nonfinite = %d/%d, want 3/2", got.N, got.Nonfinite)
+	}
+	if !almost(got.Mean, want.Mean, 1e-12) || got.Min != want.Min || got.Max != want.Max || !almost(got.Var, want.Var, 1e-12) {
+		t.Errorf("stream summary %+v differs from Summarize %+v", got, want)
+	}
+
+	// Merge conserves Nonfinite across every branch: into an empty
+	// stream, from an empty stream, and between two populated ones.
+	var empty, onlyBad, populated Stream
+	onlyBad.Add(math.NaN())
+	populated.Add(1)
+	populated.Add(math.Inf(-1))
+
+	m := empty
+	m.Merge(populated) // s.n == 0 path
+	if m.N() != 1 || m.Nonfinite() != 1 {
+		t.Errorf("merge into empty: n=%d nonfinite=%d", m.N(), m.Nonfinite())
+	}
+	m = populated
+	m.Merge(onlyBad) // o.n == 0 path
+	if m.N() != 1 || m.Nonfinite() != 2 {
+		t.Errorf("merge of all-nonfinite: n=%d nonfinite=%d", m.N(), m.Nonfinite())
+	}
+	m = onlyBad
+	m.Merge(populated) // s.n == 0 but s.nonfinite > 0
+	if m.N() != 1 || m.Nonfinite() != 2 || m.Mean() != 1 {
+		t.Errorf("merge populated into all-nonfinite: %+v", m.Summary())
+	}
+	a, b := populated, populated
+	a.Merge(b)
+	if a.N() != 2 || a.Nonfinite() != 2 || a.Mean() != 1 {
+		t.Errorf("populated merge: %+v", a.Summary())
+	}
+}

@@ -10,12 +10,13 @@
 // 2-approximation (used for sampling estimates on large instances, where
 // it *overestimates* tree sizes and therefore overestimates per-set
 // ratios).
+//
+// Both solvers live in scratch.go as scratch-threaded kernels
+// (ExactTreeEdgesScratch, ApproxTreeScratch); the entry points here run
+// them on a throwaway Scratch.
 package steiner
 
 import (
-	"math"
-	"sort"
-
 	"faultexp/internal/graph"
 )
 
@@ -29,109 +30,8 @@ const MaxExactTerminals = 12
 // Panics if terminals are empty, duplicated, disconnected from each
 // other, or more numerous than MaxExactTerminals.
 func ExactTreeEdges(g *graph.Graph, terminals []int) int {
-	t := len(terminals)
-	if t == 0 {
-		panic("steiner: no terminals")
-	}
-	if t == 1 {
-		return 0
-	}
-	if t > MaxExactTerminals {
-		panic("steiner: too many terminals for exact DP")
-	}
-	n := g.N()
-	// dist[i][v]: BFS distance from terminal i to every vertex.
-	dist := make([][]int32, t)
-	for i, term := range terminals {
-		dist[i] = g.BFSDistances(term)
-	}
-	const inf = math.MaxInt32 / 4
-	full := 1 << uint(t)
-	// dp[S][v] = min edges of a tree spanning {terminals in S} ∪ {v}.
-	dp := make([][]int32, full)
-	dp[0] = nil
-	for s := 1; s < full; s++ {
-		dp[s] = make([]int32, n)
-		if s&(s-1) == 0 {
-			// singleton {i}: dp = dist(i, v)
-			i := trailingZeros(s)
-			for v := 0; v < n; v++ {
-				d := dist[i][v]
-				if d < 0 {
-					d = inf
-				}
-				dp[s][v] = d
-			}
-			continue
-		}
-		for v := 0; v < n; v++ {
-			dp[s][v] = inf
-		}
-		// Merge step: dp[S][v] = min over proper sub-splits at v.
-		for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
-			if sub < s-sub {
-				// Each unordered split is visited twice; keep one order
-				// (sub ≥ complement) to halve the work.
-				continue
-			}
-			rest := s ^ sub
-			for v := 0; v < n; v++ {
-				if c := dp[sub][v] + dp[rest][v]; c < dp[s][v] {
-					dp[s][v] = c
-				}
-			}
-		}
-		// Grow step: relax dp[S][·] over the graph metric with a BFS-like
-		// multi-source Dijkstra (unit weights → bucket/queue BFS).
-		relaxUnit(g, dp[s])
-	}
-	best := int32(inf)
-	last := full - 1
-	for _, term := range terminals {
-		if dp[last][term] < best {
-			best = dp[last][term]
-		}
-	}
-	if best >= inf {
-		panic("steiner: terminals not mutually connected")
-	}
-	return int(best)
-}
-
-// relaxUnit performs multi-source unit-weight relaxation: on entry d[v]
-// holds tentative costs; on exit d[v] = min_u d[u] + dist(u, v). With
-// unit weights this is a Dial/BFS bucket pass.
-func relaxUnit(g *graph.Graph, d []int32) {
-	n := g.N()
-	// Bucket queue keyed by tentative value.
-	maxd := int32(0)
-	for _, x := range d {
-		if x > maxd && x < math.MaxInt32/8 {
-			maxd = x
-		}
-	}
-	buckets := make([][]int32, maxd+int32(n)+2)
-	for v := 0; v < n; v++ {
-		if d[v] <= maxd {
-			buckets[d[v]] = append(buckets[d[v]], int32(v))
-		}
-	}
-	for cost := int32(0); int(cost) < len(buckets); cost++ {
-		for _, v := range buckets[cost] {
-			if d[v] != cost {
-				continue // stale entry
-			}
-			nc := cost + 1
-			for _, w := range g.Neighbors(int(v)) {
-				if d[w] > nc {
-					d[w] = nc
-					if int(nc) < len(buckets) {
-						buckets[nc] = append(buckets[nc], w)
-					}
-				}
-			}
-		}
-	}
+	var scr Scratch
+	return ExactTreeEdgesScratch(g, terminals, &scr)
 }
 
 func trailingZeros(x int) int {
@@ -147,185 +47,9 @@ func trailingZeros(x int) int {
 // 2-approximation and returns the set of vertices of the resulting tree
 // (a connected subgraph containing all terminals, pruned to a tree). The
 // edge count is len(nodes)-1; the tree size is within a factor 2(1−1/t)
-// of optimal.
+// of optimal. It is a thin wrapper over ApproxTreeScratch on a throwaway
+// scratch, so the returned set is uniquely owned.
 func ApproxTree(g *graph.Graph, terminals []int) []int {
-	t := len(terminals)
-	if t == 0 {
-		panic("steiner: no terminals")
-	}
-	if t == 1 {
-		return []int{terminals[0]}
-	}
-	// BFS from each terminal (distance + parent forest).
-	dist := make([][]int32, t)
-	parent := make([][]int32, t)
-	for i, term := range terminals {
-		dist[i], parent[i] = bfsWithParents(g, term)
-	}
-	// Prim's MST over the terminal metric closure.
-	inTree := make([]bool, t)
-	key := make([]int32, t)
-	from := make([]int, t)
-	for i := range key {
-		key[i] = math.MaxInt32
-	}
-	key[0] = 0
-	from[0] = -1
-	type medge struct{ a, b int }
-	var medges []medge
-	for iter := 0; iter < t; iter++ {
-		best := -1
-		for i := 0; i < t; i++ {
-			if !inTree[i] && (best < 0 || key[i] < key[best]) {
-				best = i
-			}
-		}
-		if key[best] >= math.MaxInt32/2 {
-			panic("steiner: terminals not mutually connected")
-		}
-		inTree[best] = true
-		if from[best] >= 0 {
-			medges = append(medges, medge{from[best], best})
-		}
-		for j := 0; j < t; j++ {
-			if !inTree[j] {
-				d := dist[best][terminals[j]]
-				if d >= 0 && d < key[j] {
-					key[j] = d
-					from[j] = best
-				}
-			}
-		}
-	}
-	// Expand each MST edge into an actual shortest path, union nodes.
-	nodeSet := map[int]bool{}
-	for _, term := range terminals {
-		nodeSet[term] = true
-	}
-	for _, e := range medges {
-		// Walk from terminal[e.b] back to terminal[e.a] via parents of
-		// the BFS rooted at terminal[e.a].
-		cur := int32(terminals[e.b])
-		for cur >= 0 && int(cur) != terminals[e.a] {
-			nodeSet[int(cur)] = true
-			cur = parent[e.a][cur]
-		}
-	}
-	nodes := make([]int, 0, len(nodeSet))
-	for v := range nodeSet {
-		nodes = append(nodes, v)
-	}
-	sort.Ints(nodes)
-	// The union of shortest paths is connected; prune it to a tree: a
-	// spanning tree of the induced subgraph has exactly len(nodes)-1
-	// edges, and dropping leaf non-terminals can only shrink it.
-	return pruneToSteiner(g, nodes, terminals)
-}
-
-// pruneToSteiner repeatedly removes non-terminal leaves of a spanning
-// tree of the induced subgraph on nodes, returning the remaining vertex
-// set (still a tree containing all terminals).
-func pruneToSteiner(g *graph.Graph, nodes, terminals []int) []int {
-	sub := g.InduceVertices(nodes)
-	isTerm := make([]bool, sub.G.N())
-	termOf := map[int]bool{}
-	for _, t := range terminals {
-		termOf[t] = true
-	}
-	for v := 0; v < sub.G.N(); v++ {
-		isTerm[v] = termOf[int(sub.Orig[v])]
-	}
-	// Build a BFS spanning tree of the (connected) induced subgraph.
-	n := sub.G.N()
-	par := make([]int32, n)
-	for i := range par {
-		par[i] = -2
-	}
-	order := make([]int32, 0, n)
-	par[0] = -1
-	order = append(order, 0)
-	for i := 0; i < len(order); i++ {
-		u := order[i]
-		for _, w := range sub.G.Neighbors(int(u)) {
-			if par[w] == -2 {
-				par[w] = u
-				order = append(order, w)
-			}
-		}
-	}
-	deg := make([]int, n)
-	for v := 0; v < n; v++ {
-		if par[v] >= 0 {
-			deg[v]++
-			deg[par[v]]++
-		}
-	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	// Peel non-terminal leaves.
-	queue := []int{}
-	for v := 0; v < n; v++ {
-		if deg[v] <= 1 && !isTerm[v] {
-			queue = append(queue, v)
-		}
-	}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if !alive[v] || isTerm[v] || deg[v] > 1 {
-			continue
-		}
-		alive[v] = false
-		// its unique tree neighbor loses a degree
-		nb := int32(-1)
-		if par[v] >= 0 && alive[par[v]] {
-			nb = par[v]
-		} else {
-			for w := 0; w < n; w++ {
-				if alive[w] && par[w] == int32(v) {
-					nb = int32(w)
-					break
-				}
-			}
-		}
-		if nb >= 0 {
-			deg[nb]--
-			if deg[nb] <= 1 && !isTerm[nb] {
-				queue = append(queue, int(nb))
-			}
-		}
-	}
-	var out []int
-	for v := 0; v < n; v++ {
-		if alive[v] {
-			out = append(out, int(sub.Orig[v]))
-		}
-	}
-	return out
-}
-
-func bfsWithParents(g *graph.Graph, src int) (dist, parent []int32) {
-	n := g.N()
-	dist = make([]int32, n)
-	parent = make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-		parent[i] = -1
-	}
-	dist[src] = 0
-	queue := []int32{int32(src)}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, w := range g.Neighbors(int(u)) {
-			if dist[w] < 0 {
-				dist[w] = dist[u] + 1
-				parent[w] = u
-				queue = append(queue, w)
-			}
-		}
-	}
-	return dist, parent
+	var scr Scratch
+	return ApproxTreeScratch(g, terminals, &scr)
 }

@@ -7,6 +7,14 @@ package sweep
 // single-pass and O(groups × metrics) in memory (stats.Stream +
 // P2Quantile per pair; no record buffering), so multi-gigabyte sweep
 // outputs summarize in a bounded footprint.
+//
+// The median column is exact for groups of up to aggExactMedianCap
+// values (each pair keeps that bounded window of raw values) and a P²
+// streaming estimate beyond — the honest trade for O(1) space. Small
+// groups are the common case (one value per family per rate point), and
+// the P² estimate is only exact for n ≤ 5, so without the window the
+// "median" column was usually an approximation of a handful of values
+// it could trivially have held.
 
 import (
 	"bufio"
@@ -77,10 +85,28 @@ func ParseAggDims(list string) ([]string, error) {
 	return out, nil
 }
 
+// aggExactMedianCap is the group size up to which the median is exact:
+// each (group, metric) pair buffers at most this many raw values. Past
+// the cap the buffer is released and the P² estimate takes over.
+const aggExactMedianCap = 64
+
 // aggMetric accumulates one (group, metric) pair.
 type aggMetric struct {
 	stream stats.Stream
 	median stats.P2Quantile
+	// small holds every value while the group fits the exact-median
+	// window; nil once the group outgrows it.
+	small []float64
+}
+
+// medianValue returns the pair's median: exact over the buffered values
+// while the group is small, the P² estimate once it has outgrown the
+// window.
+func (m *aggMetric) medianValue() float64 {
+	if len(m.small) > 0 {
+		return stats.Median(m.small)
+	}
+	return m.median.Value()
 }
 
 // aggGroup is one group's accumulators plus its dimension values.
@@ -155,14 +181,20 @@ func (a *Aggregator) Add(r *Result) error {
 		}
 		m.stream.Add(v)
 		m.median.Add(v)
+		if m.stream.N() <= aggExactMedianCap {
+			m.small = append(m.small, v)
+		} else {
+			m.small = nil
+		}
 	}
 	a.Records++
 	return nil
 }
 
 // AddJSONL streams a sweep JSONL output into the aggregation, skipping
-// blank lines. Record order only affects the (order-sensitive) median
-// estimate; a fixed input is therefore a fixed output.
+// blank lines. Record order only affects the (order-sensitive) P²
+// median estimate of groups larger than aggExactMedianCap; a fixed
+// input is therefore a fixed output.
 func (a *Aggregator) AddJSONL(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
@@ -193,7 +225,8 @@ func (a *Aggregator) NumRows() int {
 }
 
 // AggRow is one summary row: a group's dimension values (parallel to
-// By()) and one metric's reduction.
+// By()) and one metric's reduction. Median is exact for groups of up to
+// aggExactMedianCap values and a P² streaming estimate for larger ones.
 type AggRow struct {
 	Group  []string
 	Metric string
@@ -233,7 +266,7 @@ func (a *Aggregator) Rows() []AggRow {
 				Std:    m.stream.Std(),
 				Min:    m.stream.Min(),
 				Max:    m.stream.Max(),
-				Median: m.median.Value(),
+				Median: m.medianValue(),
 			})
 		}
 	}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"faultexp/internal/stats"
+
 	"bytes"
 	"encoding/csv"
 	"math"
@@ -161,5 +163,74 @@ func TestParseAggDims(t *testing.T) {
 	}
 	if _, err := NewAggregator([]string{"bogus"}, nil); err == nil {
 		t.Error("NewAggregator accepted a bogus dimension")
+	}
+}
+
+// TestAggMedianExactForSmallGroups pins the median contract: groups of
+// up to aggExactMedianCap values get the exact interpolated median
+// (stats.Median), and only larger groups fall back to the P² streaming
+// estimate. The input is adversarial for P²: a skewed sequence whose
+// running estimate never equals the true median after the exact-n≤5
+// regime.
+func TestAggMedianExactForSmallGroups(t *testing.T) {
+	rec := func(seed uint64, v float64) *Result {
+		return &Result{Family: "torus", Measure: "x", Model: "iid-node",
+			Trials: 1, Seed: seed, Metrics: map[string]float64{"v": v}}
+	}
+	feed := func(xs []float64) AggRow {
+		t.Helper()
+		a, err := NewAggregator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range xs {
+			if err := a.Add(rec(uint64(i), v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows := a.Rows()
+		if len(rows) != 1 {
+			t.Fatalf("%d rows, want 1", len(rows))
+		}
+		return rows[0]
+	}
+
+	// Small group: 8 skewed values whose exact median is 3.5. The P²
+	// estimate over this order is provably different — assert that, so
+	// the test keeps its bite if the estimator ever changes.
+	xs := []float64{1000, 1, 2, 3, 4, 500, 750, 900}
+	want := stats.Median(xs)
+	var p2 = stats.NewP2(0.5)
+	for _, v := range xs {
+		p2.Add(v)
+	}
+	if p2.Value() == want {
+		t.Fatalf("test input no longer distinguishes P² (%v) from the exact median", p2.Value())
+	}
+	if row := feed(xs); row.Median != want {
+		t.Errorf("small-group median = %v, want exact %v (P² would say %v)", row.Median, want, p2.Value())
+	}
+
+	// Exactly at the cap: still exact.
+	atCap := make([]float64, aggExactMedianCap)
+	for i := range atCap {
+		atCap[i] = float64((i * 37) % aggExactMedianCap)
+	}
+	if row := feed(atCap); row.Median != stats.Median(atCap) {
+		t.Errorf("at-cap median = %v, want exact %v", row.Median, stats.Median(atCap))
+	}
+
+	// Past the cap: the buffer is dropped and the P² estimate takes
+	// over (and stays within the sample range).
+	big := make([]float64, aggExactMedianCap+40)
+	for i := range big {
+		big[i] = float64((i * 97) % len(big))
+	}
+	p2 = stats.NewP2(0.5)
+	for _, v := range big {
+		p2.Add(v)
+	}
+	if row := feed(big); row.Median != p2.Value() {
+		t.Errorf("large-group median = %v, want the P² estimate %v", row.Median, p2.Value())
 	}
 }

@@ -184,6 +184,17 @@ func NewJob(spec *Spec, opts ...JobOption) (*Job, error) {
 	if err := cfg.shard.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Coupled() {
+		// A coupled group (one family × measure × model, every rate) is
+		// the unit of work: it cannot be split across shards, and the
+		// cell-granular resume skip cannot land mid-group.
+		if cfg.shard.Enabled() {
+			return nil, fmt.Errorf("sweep: coupled rate mode cannot shard (the whole rate axis is one unit of work)")
+		}
+		if cfg.skip != 0 {
+			return nil, fmt.Errorf("sweep: coupled rate mode cannot resume at cell granularity; rerun the grid")
+		}
+	}
 	cells := spec.ShardCells(cfg.shard)
 	if cfg.skip < 0 || cfg.skip > len(cells) {
 		return nil, fmt.Errorf("sweep: skip of %d cells out of range (run has %d)", cfg.skip, len(cells))
@@ -330,6 +341,16 @@ func (j *Job) run(ctx context.Context) {
 		graphs[key] = g
 	}
 
+	// In coupled mode the dispatch unit is the cell group (one family ×
+	// measure × model, every rate); Cells() expands rates innermost, so
+	// each group is a contiguous slice of length len(Rates) and emitting
+	// groups in order reproduces the independent cell order exactly.
+	unit := 1
+	if j.spec.Coupled() {
+		unit = len(j.spec.Rates)
+	}
+	units := len(j.cells) / unit
+
 	workers := j.cfg.workers
 	if workers == 0 {
 		workers = j.spec.Workers
@@ -337,11 +358,11 @@ func (j *Job) run(ctx context.Context) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// More workers than cells is pure waste — and without the clamp a
-	// hostile "workers": 1e9 spec would allocate a workspace per
+	// More workers than work units is pure waste — and without the clamp
+	// a hostile "workers": 1e9 spec would allocate a workspace per
 	// phantom worker before the pool ever clamps its goroutines.
-	if workers > len(j.cells) {
-		workers = len(j.cells)
+	if workers > units {
+		workers = units
 	}
 	if workers < 1 {
 		workers = 1
@@ -359,45 +380,70 @@ func (j *Job) run(ctx context.Context) {
 		writeErr error
 		aborted  atomic.Bool
 	)
-	ctxErr := harness.RunOrderedWorkersCtx(ctx, len(j.cells), workers,
-		func(worker, i int) *Result {
-			if aborted.Load() {
-				// The sink already failed; don't burn hours computing
-				// cells whose results can never be written.
-				return &Result{Err: "aborted: writer failed"}
-			}
-			return runCell(graphs[j.cells[i].Family.String()], j.cells[i], workspaces[worker])
-		},
-		func(i int, r *Result) {
-			if writeErr != nil {
-				// The sink already failed: the remaining results — the
-				// synthetic aborted placeholders and any real cells that
-				// were in flight — can never be written, so they are not
-				// part of the run's outcome. Counting them would inflate
-				// the summary, and reporting progress for them would show
-				// a run marching on after its output died.
-				return
-			}
-			// The Summary counts every cell that reached the sink — the
-			// one whose write fails included (it died *at* the sink, not
-			// before it). The lock-free Snapshot counters below advance
-			// only after a successful write, so Snapshot.CellsDone always
-			// matches what -resume will find durably in the output.
-			j.sum.Cells++
-			if r.Err != "" {
-				j.sum.Errors++
-			}
-			if writeErr = j.cfg.w.Write(r); writeErr != nil {
-				aborted.Store(true)
-				return
-			}
-			j.cellsDone.Store(int64(j.sum.Cells))
-			j.trialsDone.Add(int64(r.Trials))
-			j.errCells.Store(int64(j.sum.Errors))
-			if j.cfg.progress != nil {
-				j.cfg.progress(j.sum.Cells, len(j.cells))
-			}
-		})
+	// emitOne streams one cell result, shared by both dispatch shapes.
+	emitOne := func(r *Result) {
+		if writeErr != nil {
+			// The sink already failed: the remaining results — the
+			// synthetic aborted placeholders and any real cells that
+			// were in flight — can never be written, so they are not
+			// part of the run's outcome. Counting them would inflate
+			// the summary, and reporting progress for them would show
+			// a run marching on after its output died.
+			return
+		}
+		// The Summary counts every cell that reached the sink — the
+		// one whose write fails included (it died *at* the sink, not
+		// before it). The lock-free Snapshot counters below advance
+		// only after a successful write, so Snapshot.CellsDone always
+		// matches what -resume will find durably in the output.
+		j.sum.Cells++
+		if r.Err != "" {
+			j.sum.Errors++
+		}
+		if writeErr = j.cfg.w.Write(r); writeErr != nil {
+			aborted.Store(true)
+			return
+		}
+		j.cellsDone.Store(int64(j.sum.Cells))
+		j.trialsDone.Add(int64(r.Trials))
+		j.errCells.Store(int64(j.sum.Errors))
+		if j.cfg.progress != nil {
+			j.cfg.progress(j.sum.Cells, len(j.cells))
+		}
+	}
+	var ctxErr error
+	if j.spec.Coupled() {
+		ctxErr = harness.RunOrderedWorkersCtx(ctx, units, workers,
+			func(worker, i int) []*Result {
+				group := j.cells[i*unit : (i+1)*unit]
+				if aborted.Load() {
+					rs := make([]*Result, len(group))
+					for k := range rs {
+						rs[k] = &Result{Err: "aborted: writer failed"}
+					}
+					return rs
+				}
+				c0 := group[0]
+				seed := CoupledGroupSeed(j.spec.Seed, c0.Family, c0.Measure, c0.Model)
+				return runCoupledGroup(graphs[c0.Family.String()], group, workspaces[worker], seed)
+			},
+			func(i int, rs []*Result) {
+				for _, r := range rs {
+					emitOne(r)
+				}
+			})
+	} else {
+		ctxErr = harness.RunOrderedWorkersCtx(ctx, len(j.cells), workers,
+			func(worker, i int) *Result {
+				if aborted.Load() {
+					// The sink already failed; don't burn hours computing
+					// cells whose results can never be written.
+					return &Result{Err: "aborted: writer failed"}
+				}
+				return runCell(graphs[j.cells[i].Family.String()], j.cells[i], workspaces[worker])
+			},
+			func(i int, r *Result) { emitOne(r) })
+	}
 	// Flush regardless of how the run ended: a cancelled job's prefix
 	// must be durable for -resume to pick up.
 	flushErr := j.cfg.w.Flush()

@@ -188,7 +188,29 @@ type Spec struct {
 	// Workers is the default pool size (0 = GOMAXPROCS); it affects
 	// wall-clock only, never the output bytes.
 	Workers int `json:"workers,omitempty"`
+	// RateMode selects how the rate axis is sampled. The default
+	// ("" or "independent") runs every cell on its own fault
+	// realizations — the historical behavior, byte-for-byte. "coupled"
+	// draws ONE uniform per element (node or edge) per trial and reuses
+	// it at every rate, which makes the fault sets monotone in the rate
+	// and lets union-find-based measures sweep the whole rate axis in a
+	// single incremental pass per trial. Coupled mode requires iid fault
+	// models and measures with a registered coupled implementation, and
+	// is incompatible with sharding and cell-granular resume.
+	RateMode string `json:"rate_mode,omitempty"`
 }
+
+// Rate-axis sampling modes.
+const (
+	// RateModeIndependent: each (rate) cell draws its own faults —
+	// the default, equal to leaving RateMode empty.
+	RateModeIndependent = "independent"
+	// RateModeCoupled: one coupling draw per element serves every rate.
+	RateModeCoupled = "coupled"
+)
+
+// Coupled reports whether the spec asks for the coupled rate mode.
+func (s *Spec) Coupled() bool { return s.RateMode == RateModeCoupled }
 
 // modelList returns the effective fault-model axis, honoring the legacy
 // scalar field when the list is unset.
@@ -260,6 +282,23 @@ func (s *Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("sweep: workers must be ≥ 0 (0 = GOMAXPROCS), got %d", s.Workers)
 	}
+	switch s.RateMode {
+	case "", RateModeIndependent, RateModeCoupled:
+	default:
+		return fmt.Errorf("sweep: unknown rate_mode %q (want %q or %q)", s.RateMode, RateModeIndependent, RateModeCoupled)
+	}
+	if s.Coupled() {
+		for _, m := range s.Models {
+			if m != ModelIIDNode && m != ModelIIDEdge {
+				return fmt.Errorf("sweep: coupled rate mode needs iid fault models (one uniform per element), got %q", m)
+			}
+		}
+		for _, m := range s.Measures {
+			if _, ok := LookupCoupled(m); !ok {
+				return fmt.Errorf("sweep: measure %q has no coupled implementation (have %s)", m, strings.Join(CoupledMeasures(), ", "))
+			}
+		}
+	}
 	return nil
 }
 
@@ -285,6 +324,15 @@ func rateToken(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
 // without running the grid.
 func CellSeed(gridSeed uint64, f FamilySpec, measure, model string, rate float64) uint64 {
 	return xrand.SeedFor(gridSeed, "cell", f.String(), measure, model, rateToken(rate))
+}
+
+// CoupledGroupSeed derives the deterministic RNG root for one coupled
+// cell group — a (family, measure, model) triple covering every rate of
+// the grid. The coupling draws of trial t come from SeedAt(groupSeed, t),
+// so they are shared by all rates but independent across trials, and —
+// like cell seeds — depend only on semantic keys, never on grid shape.
+func CoupledGroupSeed(gridSeed uint64, f FamilySpec, measure, model string) uint64 {
+	return xrand.SeedFor(gridSeed, "cgroup", f.String(), measure, model)
 }
 
 // GraphSeed derives the RNG root used to *construct* a family's graph.

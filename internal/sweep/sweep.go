@@ -171,9 +171,19 @@ func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 		res.Err = err.Error()
 		return res
 	}
-	// Non-finite values cannot ride in JSON, so they are dropped from
-	// Metrics — but their *names* are recorded in Nonfinite, so a cell
-	// where one measure overflowed is distinguishable from a clean one.
+	finishResult(res, metrics)
+	return res
+}
+
+// finishResult installs a metric map on a result, shared by the
+// independent (runCell) and coupled (runCoupledGroup) paths. Non-finite
+// values cannot ride in JSON, so they are dropped from Metrics — but
+// their *names* are recorded in Nonfinite, so a cell where one measure
+// overflowed is distinguishable from a clean one. A result with no
+// finite metrics gets an Err instead, keeping the cell visible in every
+// output format (a long-format CSV row only exists per metric or per
+// error).
+func finishResult(res *Result, metrics map[string]float64) {
 	var dropped []string
 	for k, v := range metrics {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -186,11 +196,8 @@ func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 		res.Nonfinite = strings.Join(dropped, ",")
 	}
 	if len(metrics) == 0 {
-		// Keep the cell visible in every output format (a long-format
-		// CSV row only exists per metric or per error).
 		res.Err = "no finite metrics"
-		return res
+		return
 	}
 	res.Metrics = metrics
-	return res
 }

@@ -18,42 +18,72 @@ type DSU struct {
 	largest int32
 	count   int // number of active components
 	nActive int
+	sumSq   int64 // sum of squared component sizes over active components
 }
 
 // New returns a DSU over n elements, all initially active singletons.
 func New(n int) *DSU {
-	d := &DSU{
-		parent:  make([]int32, n),
-		size:    make([]int32, n),
-		active:  make([]bool, n),
-		largest: 0,
-		count:   n,
-		nActive: n,
-	}
-	for i := range d.parent {
+	d := &DSU{}
+	d.Reset(n)
+	return d
+}
+
+// Reset reinitializes the structure over n elements, all active
+// singletons, reusing the existing arrays when they are large enough —
+// the incremental-sweep loops call this once per realization so the
+// steady-state path allocates nothing.
+func (d *DSU) Reset(n int) {
+	d.grow(n)
+	for i := 0; i < n; i++ {
 		d.parent[i] = int32(i)
 		d.size[i] = 1
 		d.active[i] = true
 	}
+	d.count = n
+	d.nActive = n
+	d.largest = 0
 	if n > 0 {
 		d.largest = 1
 	}
-	return d
+	d.sumSq = int64(n)
 }
 
 // NewInactive returns a DSU over n elements where every element starts
 // deactivated — used by site-percolation sweeps that occupy one node at a
 // time.
 func NewInactive(n int) *DSU {
-	d := New(n)
-	for i := range d.active {
-		d.active[i] = false
+	d := &DSU{}
+	d.ResetInactive(n)
+	return d
+}
+
+// ResetInactive reinitializes the structure over n elements, all
+// deactivated, reusing the existing arrays when possible (see Reset).
+func (d *DSU) ResetInactive(n int) {
+	d.grow(n)
+	for i := 0; i < n; i++ {
+		d.parent[i] = int32(i)
 		d.size[i] = 0
+		d.active[i] = false
 	}
 	d.count = 0
 	d.nActive = 0
 	d.largest = 0
-	return d
+	d.sumSq = 0
+}
+
+// grow resizes the backing arrays to exactly n elements, reallocating
+// only when the current capacity is insufficient.
+func (d *DSU) grow(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.size = make([]int32, n)
+		d.active = make([]bool, n)
+		return
+	}
+	d.parent = d.parent[:n]
+	d.size = d.size[:n]
+	d.active = d.active[:n]
 }
 
 // Activate marks element i as occupied (a singleton component). It is a
@@ -67,6 +97,7 @@ func (d *DSU) Activate(i int) {
 	d.size[i] = 1
 	d.count++
 	d.nActive++
+	d.sumSq++
 	if d.largest < 1 {
 		d.largest = 1
 	}
@@ -95,6 +126,8 @@ func (d *DSU) Union(a, b int) bool {
 	if d.size[ra] < d.size[rb] {
 		ra, rb = rb, ra
 	}
+	// (a+b)² = a² + b² + 2ab, so merging adds 2ab to the sum of squares.
+	d.sumSq += 2 * int64(d.size[ra]) * int64(d.size[rb])
 	d.parent[rb] = ra
 	d.size[ra] += d.size[rb]
 	if d.size[ra] > d.largest {
@@ -128,6 +161,11 @@ func (d *DSU) Components() int { return d.count }
 
 // ActiveCount returns the number of occupied elements.
 func (d *DSU) ActiveCount() int { return d.nActive }
+
+// SumSquares returns the sum of squared component sizes over the active
+// components, maintained incrementally — Σ s_i². Dividing by n² gives
+// the fragmentation index Σ (s_i/n)² sampled by the shatter measure.
+func (d *DSU) SumSquares() int64 { return d.sumSq }
 
 // Gamma returns the fraction of the full universe [0,n) contained in the
 // largest component — the paper's γ(G) observable.

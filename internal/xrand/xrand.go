@@ -168,7 +168,17 @@ func (r *RNG) Bool(p float64) bool {
 
 // Perm returns a uniform random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(n, nil)
+}
+
+// PermInto is Perm writing into buf (grown only when its capacity is
+// insufficient), so permutation-hungry loops can reuse one buffer. The
+// draw sequence is identical to Perm's.
+func (r *RNG) PermInto(n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	p := buf[:n]
 	for i := range p {
 		j := r.Intn(i + 1)
 		p[i] = p[j]
@@ -188,6 +198,15 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // It panics if k > n. Uses a partial Fisher-Yates over an index map so the
 // cost is O(k) expected, independent of n.
 func (r *RNG) SampleK(n, k int) []int {
+	out, _ := r.SampleKInto(n, k, nil, nil)
+	return out
+}
+
+// SampleKInto is SampleK reusing a caller-owned output buffer and index
+// map (pass the returned values back in on the next call; nil starts
+// fresh). After warm-up at a given size, sampling allocates nothing. The
+// draw sequence is identical to SampleK's.
+func (r *RNG) SampleKInto(n, k int, buf []int, seen map[int]int) ([]int, map[int]int) {
 	if k > n {
 		panic("xrand: SampleK k > n")
 	}
@@ -196,11 +215,18 @@ func (r *RNG) SampleK(n, k int) []int {
 	}
 	// For dense samples a full shuffle is cheaper than map bookkeeping.
 	if k*4 >= n {
-		p := r.Perm(n)
-		return p[:k]
+		p := r.PermInto(n, buf)
+		return p[:k], seen
 	}
-	seen := make(map[int]int, k*2)
-	out := make([]int, k)
+	if seen == nil {
+		seen = make(map[int]int, k*2)
+	} else {
+		clear(seen)
+	}
+	if cap(buf) < k {
+		buf = make([]int, k)
+	}
+	out := buf[:k]
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
 		vj, ok := seen[j]
@@ -214,7 +240,7 @@ func (r *RNG) SampleK(n, k int) []int {
 		out[i] = vj
 		seen[j] = vi
 	}
-	return out
+	return out, seen
 }
 
 // Binomial returns a sample from Binomial(n, p).

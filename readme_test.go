@@ -244,3 +244,59 @@ func TestREADMEDocumentsServeHTTPAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMECoupledMeasuresInSync keeps README's coupled-capable
+// measure list in lockstep with the live coupled registry (the same
+// marker mechanism as the measures/families tables).
+func TestREADMECoupledMeasuresInSync(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- coupledmeasures:begin")
+	end := strings.Index(s, "<!-- coupledmeasures:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the coupledmeasures:begin/coupledmeasures:end markers")
+	}
+	section := s[begin:end]
+	var got []string
+	for _, m := range regexp.MustCompile("`([a-z0-9]+)`").FindAllStringSubmatch(section, -1) {
+		got = append(got, m[1])
+	}
+	sort.Strings(got)
+	want := faultexp.SweepCoupledMeasures() // sorted by contract
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("README coupled measures %v, registry says %v", got, want)
+	}
+	if len(want) < 3 {
+		t.Errorf("%d coupled measures registered, want ≥ 3", len(want))
+	}
+}
+
+// TestREADMEDocumentsRateModeAndKernelScratch pins the PR-6 surfaces
+// the README promises: the rate_mode spec field and flag with both
+// tokens, the kernel-scratch ownership story with its CI gate, the
+// serve retention cap, and the agg median exact/approximate split.
+func TestREADMEDocumentsRateModeAndKernelScratch(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### Coupled rate sweeps",
+		`"rate_mode": "` + faultexp.SweepRateModeCoupled + `"`,
+		`"rate_mode": "` + faultexp.SweepRateModeIndependent + `"`,
+		"-rate-mode",
+		"monotone in r",
+		"`cuts.Workspace`", "`span.Workspace`",
+		"alloc regression gate",
+		"-max-result-bytes",
+		"exact for groups of up to 64",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README does not document %q", want)
+		}
+	}
+}
