@@ -112,6 +112,32 @@ func BenchmarkSweepTrialShatter(b *testing.B) {
 	benchSweepCell(b, "shatter", sweep.ModelIIDNode, 0.05)
 }
 
+// Sampled-precision cell: the same engine path with the "sampled:k"
+// tier selected, so the k-sweep frontier-BFS diameter kernel (instead
+// of all-pairs BFS) is what the cell pays for.
+func BenchmarkSweepTrialDiameterSampled(b *testing.B) {
+	spec := &sweep.Spec{
+		Families:  []sweep.FamilySpec{{Family: "torus", Size: "64x64"}},
+		Measures:  []string{"diameter"},
+		Model:     sweep.ModelIIDNode,
+		Rates:     []float64{0.05},
+		Trials:    32,
+		Seed:      7,
+		Precision: "sampled:4",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := sweep.Run(spec, discardWriter{}, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Errors != 0 {
+			b.Fatalf("%d cells errored", sum.Errors)
+		}
+	}
+}
+
 // Bare trial path: one op = ONE trial through the trial-grained layer
 // (setup amortized away), with a warm workspace and recorder — the
 // number the "steady-state trial path ≈ 0 allocs/op" acceptance

@@ -39,6 +39,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	rates := fs.String("rates", "", "comma list of fault rates in [0,1], e.g. 0,0.02,0.05,0.1")
 	trials := fs.Int("trials", 3, "Monte-Carlo trials per cell")
 	rateMode := fs.String("rate-mode", "", "rate-axis sampling: "+sweep.RateModeIndependent+" (default) or "+sweep.RateModeCoupled+" (one draw per element serves every rate; iid models and coupled-capable measures only)")
+	precision := fs.String("precision", "", `measurement tier: "exact" (default) or "sampled:k" (k-sample kernels with error bars and raised size caps; sampled-capable measures: `+strings.Join(sweep.SampledMeasures(), ", ")+`)`)
 	seed := fs.Uint64("seed", 1, "grid seed (per-cell seeds are hash-split from it)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect output bytes")
 	shard := fs.String("shard", "", `run only shard i of m ("i/m", 0-based); reassemble with 'faultexp merge'`)
@@ -49,7 +50,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
 
-	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *rateMode, *trials, *seed)
+	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *rateMode, *precision, *trials, *seed)
 	if err != nil {
 		return err
 	}
@@ -226,7 +227,21 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 	for i, r := range p.Rates {
 		rateToks[i] = strconv.FormatFloat(r, 'g', -1, 64)
 	}
-	fmt.Printf("families to build (%d): %s\n", len(p.Families), strings.Join(p.Families, ", "))
+	if p.Precision.Sampled {
+		fmt.Printf("precision: %s (sampled kernels, raised size caps)\n", p.Precision)
+	}
+	fmt.Printf("families to build (%d):\n", len(p.Families))
+	for _, fp := range p.FamilyPlans {
+		if fp.Err != "" {
+			fmt.Printf("  %-24s estimate unavailable: %s\n", fp.Token, fp.Err)
+			continue
+		}
+		fits := "fits"
+		if !fp.Fits {
+			fits = "OVER BUDGET"
+		}
+		fmt.Printf("  %-24s n=%-12d m<=%-12d peak~%-8s %s\n", fp.Token, fp.N, fp.M, humanBytes(fp.PeakBytes), fits)
+	}
 	fmt.Printf("measures (%d): %s\n", len(p.Measures), strings.Join(p.Measures, ", "))
 	fmt.Printf("models (%d): %s\n", len(p.Models), strings.Join(p.Models, ", "))
 	fmt.Printf("rates (%d): %s\n", len(p.Rates), strings.Join(rateToks, ", "))
@@ -234,10 +249,24 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 	return nil
 }
 
+// humanBytes renders a byte count in the nearest binary unit.
+func humanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
 // sweepSpecFromFlags assembles and validates the grid spec from either a
-// JSON file or the individual grid flags. -rate-mode composes with
-// -spec: a non-empty flag overrides the file's rate_mode field.
-func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rateMode string, trials int, seed uint64) (*sweep.Spec, error) {
+// JSON file or the individual grid flags. -rate-mode and -precision
+// compose with -spec: a non-empty flag overrides the file's field.
+func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rateMode, precision string, trials int, seed uint64) (*sweep.Spec, error) {
 	if specFile != "" {
 		f, err := os.Open(specFile)
 		if err != nil {
@@ -248,8 +277,13 @@ func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rate
 		if err != nil {
 			return nil, err
 		}
-		if rateMode != "" {
-			spec.RateMode = rateMode
+		if rateMode != "" || precision != "" {
+			if rateMode != "" {
+				spec.RateMode = rateMode
+			}
+			if precision != "" {
+				spec.Precision = precision
+			}
 			if err := spec.Validate(); err != nil {
 				return nil, err
 			}
@@ -290,13 +324,14 @@ func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rate
 		}
 	}
 	spec := &sweep.Spec{
-		Families: fams,
-		Measures: ms,
-		Models:   modelAxis,
-		Rates:    rs,
-		Trials:   trials,
-		Seed:     seed,
-		RateMode: rateMode,
+		Families:  fams,
+		Measures:  ms,
+		Models:    modelAxis,
+		Rates:     rs,
+		Trials:    trials,
+		Seed:      seed,
+		RateMode:  rateMode,
+		Precision: precision,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err

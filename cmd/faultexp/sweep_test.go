@@ -381,7 +381,11 @@ func TestSweepDryRun(t *testing.T) {
 	for _, want := range []string{
 		"grid expands to 6 cells (12 trials total)",
 		"shard 0/2 runs 3 cells (6 trials)",
-		"families to build (2): torus:4x4, hypercube:4",
+		"families to build (2):",
+		"torus:4x4",
+		"hypercube:4",
+		"peak~",
+		"fits",
 		"measures (1): gamma",
 		"models (1): iid-node",
 		"rates (3): 0, 0.25, 0.5",

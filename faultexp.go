@@ -482,6 +482,18 @@ const (
 // mode (a subset of SweepMeasures; coupled grids accept only these).
 func SweepCoupledMeasures() []string { return sweep.CoupledMeasures() }
 
+// SweepPrecisionExact is the default precision token for
+// SweepSpec.Precision: exact kernels under the standard size caps.
+// "sampled:k" selects the k-sample estimator tier instead — error bars
+// through _std companions plus explicit bound metrics, raised size
+// caps, and deterministic output just like exact.
+const SweepPrecisionExact = "exact"
+
+// SweepSampledMeasures lists the measures with a sampled-precision
+// kernel (a subset of SweepMeasures; "sampled:k" grids accept only
+// these).
+func SweepSampledMeasures() []string { return sweep.SampledMeasures() }
+
 // SweepPlan describes what a run would execute — cells before and after
 // shard selection, trial volume, and the family graphs to build —
 // without executing anything (the `faultexp sweep -dry-run` surface).

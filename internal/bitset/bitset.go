@@ -95,11 +95,34 @@ func (s *Set) Empty() bool {
 	return true
 }
 
-// Clear removes all elements.
-func (s *Set) Clear() {
+// ClearAll removes every element in one word-level pass — the reset the
+// frontier-BFS hot path performs between levels.
+func (s *Set) ClearAll() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+}
+
+// Clear removes all elements. It is the historical name for ClearAll.
+func (s *Set) Clear() { s.ClearAll() }
+
+// Resize changes the universe size to n, reusing the word storage when
+// capacity allows. The set is empty after a Resize — it is the
+// "recycle this scratch bitset for a differently-sized graph" operation,
+// not a truncation.
+func (s *Set) Resize(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+		s.n = n
+		return
+	}
+	s.words = s.words[:words]
+	s.n = n
+	s.ClearAll()
 }
 
 // Fill adds every element of the universe.
@@ -255,8 +278,10 @@ func (s *Set) Slice() []int {
 	return out
 }
 
-// Next returns the smallest element ≥ i, or -1 if none exists.
-func (s *Set) Next(i int) int {
+// NextSet returns the smallest set element ≥ i, or -1 if none exists:
+// the word-skipping iterator the frontier BFS walks sparse frontiers
+// with (a per-bit scan would touch every position between hits).
+func (s *Set) NextSet(i int) int {
 	if i < 0 {
 		i = 0
 	}
@@ -276,8 +301,61 @@ func (s *Set) Next(i int) int {
 	return -1
 }
 
+// Next returns the smallest element ≥ i, or -1 if none exists. It is
+// the historical name for NextSet.
+func (s *Set) Next(i int) int { return s.NextSet(i) }
+
+// NextClear returns the smallest UNSET position ≥ i within the
+// universe, or -1 if every position from i on is set — the complement
+// iterator a bottom-up BFS step uses to walk the unvisited vertices
+// without materializing the complement set.
+func (s *Set) NextClear(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	// Invert and shift: a set bit of w now marks a clear position.
+	w := ^s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		if p := i + bits.TrailingZeros64(w); p < s.n {
+			return p
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := ^s.words[wi]; w != 0 {
+			if p := wi*wordBits + bits.TrailingZeros64(w); p < s.n {
+				return p
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// Range calls fn for every set element of [lo, hi) in increasing order,
+// skipping empty words; if fn returns false, iteration stops early.
+// It is ForEach restricted to a window, for callers that partition the
+// universe.
+func (s *Set) Range(lo, hi int, fn func(i int) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	for i := s.NextSet(lo); i >= 0 && i < hi; i = s.NextSet(i + 1) {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
 // Min returns the smallest element, or -1 if the set is empty.
-func (s *Set) Min() int { return s.Next(0) }
+func (s *Set) Min() int { return s.NextSet(0) }
 
 // String renders the set as {a, b, c} for debugging.
 func (s *Set) String() string {

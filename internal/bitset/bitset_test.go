@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -265,5 +266,134 @@ func BenchmarkCount(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = x.Count()
+	}
+}
+
+func TestClearAllAndResize(t *testing.T) {
+	s := New(130)
+	for i := 0; i < 130; i += 7 {
+		s.Add(i)
+	}
+	s.ClearAll()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("ClearAll left %d elements", s.Count())
+	}
+	if s.Len() != 130 {
+		t.Fatalf("ClearAll changed capacity to %d", s.Len())
+	}
+	// Shrinking reuses storage and empties the set.
+	s.Fill()
+	s.Resize(65)
+	if s.Len() != 65 {
+		t.Fatalf("Resize(65): Len = %d", s.Len())
+	}
+	if !s.Empty() {
+		t.Fatalf("Resize left elements: %v", s.Slice())
+	}
+	s.Add(64)
+	// Growing within word capacity keeps working; growing beyond
+	// reallocates. Either way the set comes back empty.
+	s.Resize(128)
+	if !s.Empty() {
+		t.Fatal("Resize(128) not empty")
+	}
+	s.Resize(1000)
+	if s.Len() != 1000 || !s.Empty() {
+		t.Fatalf("Resize(1000): Len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(999)
+	if !s.Contains(999) {
+		t.Fatal("Add after grow failed")
+	}
+}
+
+func TestNextSetNextClear(t *testing.T) {
+	s := New(200)
+	for _, e := range []int{0, 3, 64, 127, 128, 199} {
+		s.Add(e)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 0}, {0, 0}, {1, 3}, {4, 64}, {65, 127}, {128, 128}, {129, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	// NextClear walks the complement, bounded by the universe.
+	if got := s.NextClear(0); got != 1 {
+		t.Errorf("NextClear(0) = %d, want 1", got)
+	}
+	if got := s.NextClear(3); got != 4 {
+		t.Errorf("NextClear(3) = %d, want 4", got)
+	}
+	if got := s.NextClear(127); got != 129 {
+		t.Errorf("NextClear(127) = %d, want 129", got)
+	}
+	full := New(70)
+	full.Fill()
+	if got := full.NextClear(0); got != -1 {
+		t.Errorf("NextClear on full set = %d, want -1", got)
+	}
+	full.Remove(69)
+	if got := full.NextClear(0); got != 69 {
+		t.Errorf("NextClear after Remove(69) = %d, want 69", got)
+	}
+	if got := full.NextClear(70); got != -1 {
+		t.Errorf("NextClear past universe = %d, want -1", got)
+	}
+}
+
+func TestNextClearAgainstScan(t *testing.T) {
+	s := New(150)
+	for i := 0; i < 150; i++ {
+		if i%3 == 0 || i > 120 {
+			s.Add(i)
+		}
+	}
+	for from := -1; from <= 151; from++ {
+		want := -1
+		for i := from; i < 150; i++ {
+			if i >= 0 && !s.Contains(i) {
+				want = i
+				break
+			}
+		}
+		if got := s.NextClear(from); got != want {
+			t.Fatalf("NextClear(%d) = %d, want %d", from, got, want)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(300)
+	for i := 0; i < 300; i += 11 {
+		s.Add(i)
+	}
+	var got []int
+	s.Range(23, 200, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	var want []int
+	for i := 0; i < 300; i += 11 {
+		if i >= 23 && i < 200 {
+			want = append(want, i)
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Range(23,200) = %v, want %v", got, want)
+	}
+	// Early stop and out-of-bounds clamping.
+	calls := 0
+	s.Range(-10, 10000, func(i int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("Range early-stop made %d calls, want 3", calls)
 	}
 }

@@ -131,6 +131,9 @@ func setupSeparator(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xran
 // largest survivor → embed the ideal graph into it, tracking load,
 // congestion, dilation, and the Leighton–Maggs–Rao slowdown.
 func setupDilation(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
+	if c.Precision.Sampled {
+		return setupDilationSampled(g, c, ws, rng, rec)
+	}
 	if g.N() == 0 {
 		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
@@ -350,6 +353,9 @@ func wellConnectedInputFrac(sub *graph.Sub, newID []int32, rows, d int, ws *grap
 // expansion — the lemma that turns certified expansion into the §4
 // dilation claim.
 func setupDiameter(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
+	if c.Precision.Sampled {
+		return setupDiameterSampled(g, c, ws, rng, rec)
+	}
 	if g.N() == 0 {
 		return sweep.TrialRun{}, fmt.Errorf("empty graph")
 	}
@@ -541,6 +547,9 @@ func setupResidual(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand
 // setupLambda2 tracks the survivor's algebraic connectivity λ₂ (and its
 // Cheeger bounds) under faults — the spectral view of expansion decay.
 func setupLambda2(g *graph.Graph, c sweep.Cell, ws *graph.Workspace, rng *xrand.RNG, rec *sweep.Recorder) (sweep.TrialRun, error) {
+	if c.Precision.Sampled {
+		return setupLambda2Sampled(g, c, ws, rng, rec)
+	}
 	if g.N() < 3 {
 		return sweep.TrialRun{}, fmt.Errorf("graph too small")
 	}

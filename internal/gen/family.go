@@ -8,6 +8,14 @@ package gen
 // build identical graphs from the same spec, and mirrors the measure
 // (sweep.Register) and fault-model (faults.ModelByName) registries: a
 // new family is one RegisterFamily call away from every grid axis.
+//
+// Every registry entry is split into a plan (parse the size token and
+// estimate vertex/edge counts — no allocation proportional to the
+// graph) and a construct (actually build). The split is what makes
+// three things possible from one definition: budget-parametrized builds
+// (exact sweeps keep the OOM guard, sampled-precision sweeps get the
+// raised caps), dry-run memory estimates without building, and cap
+// errors that know which tier the caller is on.
 
 import (
 	"fmt"
@@ -21,14 +29,60 @@ import (
 // Budget caps for declaratively-built graphs. A typo'd size token
 // ("100000x100000") must fail with a clear error instead of OOM-ing the
 // process mid-grid; families estimate their vertex and edge counts
-// before building and reject anything over these.
+// before building and reject anything over the caller's budget.
 const (
 	// MaxVertices caps the vertex count of any family built through the
-	// registry (and the product of any ParseDims size token).
+	// registry (and the product of any ParseDims size token) at the
+	// default, exact-precision tier.
 	MaxVertices = 1 << 24
-	// MaxEdges caps the (estimated) undirected edge count.
+	// MaxEdges caps the (estimated) undirected edge count at the
+	// default tier.
 	MaxEdges = 1 << 27
+
+	// MaxVerticesSampled and MaxEdgesSampled are the raised caps of the
+	// sampled-precision tier ("precision": "sampled:k" in a sweep
+	// spec), whose kernels run in O(k·(n+m)) instead of O(n·m) and can
+	// afford million-vertex graphs. The edge cap keeps the CSR
+	// adjacency length 2m within int32.
+	MaxVerticesSampled = 1 << 27
+	MaxEdgesSampled    = 1 << 29
 )
+
+// Budget is a (vertex, edge) cap pair for family construction.
+// Comparable, so error messages can name the constant a caller's
+// budget corresponds to.
+type Budget struct {
+	MaxV int64
+	MaxE int64
+}
+
+var (
+	// DefaultBudget is the exact-precision tier's OOM guard.
+	DefaultBudget = Budget{MaxVertices, MaxEdges}
+	// SampledBudget is the sampled-precision tier's raised ceiling.
+	SampledBudget = Budget{MaxVerticesSampled, MaxEdgesSampled}
+	// estimateBudget is the permissive bound EstimateFamily plans
+	// under, so a dry run can REPORT the size of an over-cap spec
+	// instead of failing where the real build would.
+	estimateBudget = Budget{1 << 40, 1 << 40}
+)
+
+// capNote names the constants a budget's caps correspond to, plus a
+// hint toward the tier above (if any) — satellites of the cap errors
+// below.
+func (b Budget) capNote() (vName, eName, hint string) {
+	switch b {
+	case DefaultBudget:
+		return "gen.MaxVertices", "gen.MaxEdges",
+			`; sampled-precision sweeps ("precision": "sampled:k") raise the cap to ` +
+				strconv.FormatInt(MaxVerticesSampled, 10) + " vertices / " +
+				strconv.FormatInt(MaxEdgesSampled, 10) + " edges"
+	case SampledBudget:
+		return "gen.MaxVerticesSampled", "gen.MaxEdgesSampled", ""
+	default:
+		return "budget", "budget", ""
+	}
+}
 
 // Family is one entry of the graph-family registry: a named,
 // deterministic, seeded constructor plus enough metadata to document
@@ -48,18 +102,24 @@ type Family interface {
 	// Doc is a one-line description for CLI help and the README table.
 	Doc() string
 	// Build constructs the family's graph for the given size token and
-	// k parameter. Randomized families draw all randomness from rng
-	// (same rng state ⇒ byte-identical graph); deterministic families
-	// ignore it. The returned dims are the parsed lattice dimensions
-	// (nil for non-lattice families).
+	// k parameter under the default budget. Randomized families draw
+	// all randomness from rng (same rng state ⇒ byte-identical graph);
+	// deterministic families ignore it. The returned dims are the
+	// parsed lattice dimensions (nil for non-lattice families).
 	Build(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error)
 }
 
-// familyDef is the concrete registry entry.
+// familyDef is the concrete registry entry: a size/budget plan and a
+// construct, composed by Build.
 type familyDef struct {
 	name, sizeSyntax, kUse, doc string
 
-	build func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error)
+	// plan parses size/k and returns the estimated vertex and edge
+	// counts and lattice dims, rejecting anything over budget b. It
+	// must not allocate proportionally to the graph.
+	plan func(size string, k int, b Budget) (n, m int64, dims []int, err error)
+	// construct builds the graph; only called after plan accepted.
+	construct func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error)
 }
 
 func (f *familyDef) Name() string       { return f.name }
@@ -67,7 +127,16 @@ func (f *familyDef) SizeSyntax() string { return f.sizeSyntax }
 func (f *familyDef) KUse() string       { return f.kUse }
 func (f *familyDef) Doc() string        { return f.doc }
 func (f *familyDef) Build(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-	return f.build(size, k, rng)
+	return f.BuildBudget(size, k, DefaultBudget, rng)
+}
+
+// BuildBudget is Build under an explicit cap pair: the sweep engine
+// passes SampledBudget for sampled-precision cells.
+func (f *familyDef) BuildBudget(size string, k int, b Budget, rng *xrand.RNG) (*graph.Graph, []int, error) {
+	if _, _, _, err := f.plan(size, k, b); err != nil {
+		return nil, nil, err
+	}
+	return f.construct(size, k, rng)
 }
 
 var (
@@ -109,13 +178,21 @@ func FamilyNames() []string {
 }
 
 // ParseDims parses a size token such as "16x16" or "4x4x4" into its
-// dimension list. Components must be positive integers, and the product
-// of all components must not exceed MaxVertices — a typo'd
-// "100000x100000" fails here with a clear error instead of an OOM.
+// dimension list under the default budget. Components must be positive
+// integers, and the product of all components must not exceed
+// MaxVertices — a typo'd "100000x100000" fails here with a clear error
+// instead of an OOM.
 func ParseDims(s string) ([]int, error) {
+	return ParseDimsBudget(s, DefaultBudget)
+}
+
+// ParseDimsBudget is ParseDims with an explicit vertex cap, so
+// sampled-precision builds can parse sizes the exact tier refuses.
+func ParseDimsBudget(s string, b Budget) ([]int, error) {
 	if s == "" {
 		return nil, fmt.Errorf("need -size")
 	}
+	vName, _, hint := b.capNote()
 	parts := strings.Split(strings.ToLower(s), "x")
 	dims := make([]int, len(parts))
 	total := int64(1)
@@ -124,14 +201,14 @@ func ParseDims(s string) ([]int, error) {
 		if err != nil || v < 1 {
 			return nil, fmt.Errorf("bad size component %q", p)
 		}
-		if int64(v) > MaxVertices {
-			return nil, fmt.Errorf("size component %d exceeds the %d cap", v, MaxVertices)
+		if int64(v) > b.MaxV {
+			return nil, fmt.Errorf("size component %d exceeds the cap (%s = %d)%s", v, vName, b.MaxV, hint)
 		}
-		// total ≤ MaxVertices before the multiply and v ≤ MaxVertices,
+		// total ≤ b.MaxV before the multiply and v ≤ b.MaxV ≤ 2^40,
 		// so the int64 product cannot overflow.
 		total *= int64(v)
-		if total > MaxVertices {
-			return nil, fmt.Errorf("size %q asks for %d+ vertices (cap %d)", s, total, int64(MaxVertices))
+		if total > b.MaxV {
+			return nil, fmt.Errorf("size %q asks for %d+ vertices (cap %s = %d)%s", s, total, vName, b.MaxV, hint)
 		}
 		dims[i] = v
 	}
@@ -139,13 +216,15 @@ func ParseDims(s string) ([]int, error) {
 }
 
 // checkBudget rejects a family instance whose estimated vertex or edge
-// count exceeds the build caps.
-func checkBudget(family, size string, n, m int64) error {
-	if n > MaxVertices {
-		return fmt.Errorf("family %q size %q needs %d vertices (cap %d)", family, size, n, int64(MaxVertices))
+// count exceeds the build caps, naming the cap constant and — on the
+// default tier — pointing at the sampled-precision route.
+func checkBudget(family, size string, n, m int64, b Budget) error {
+	vName, eName, hint := b.capNote()
+	if n > b.MaxV {
+		return fmt.Errorf("family %q size %q needs %d vertices (cap %s = %d)%s", family, size, n, vName, b.MaxV, hint)
 	}
-	if m > MaxEdges {
-		return fmt.Errorf("family %q size %q needs ~%d edges (cap %d)", family, size, m, int64(MaxEdges))
+	if m > b.MaxE {
+		return fmt.Errorf("family %q size %q needs ~%d edges (cap %s = %d)%s", family, size, m, eName, b.MaxE, hint)
 	}
 	return nil
 }
@@ -154,8 +233,8 @@ func checkBudget(family, size string, n, m int64) error {
 // rejecting multi-component tokens outright: building Hypercube(0) from
 // a typo'd "6x2" spec would stream plausible-looking n=1 results
 // instead of failing.
-func parseSingle(family, size string, min int) (int, error) {
-	dims, err := ParseDims(size)
+func parseSingle(family, size string, min int, b Budget) (int, error) {
+	dims, err := ParseDimsBudget(size, b)
 	if err != nil {
 		return 0, err
 	}
@@ -170,8 +249,8 @@ func parseSingle(family, size string, min int) (int, error) {
 
 // parsePair parses the "NxD" size token shared by the random-graph
 // families (vertices x degree).
-func parsePair(family, size string) (n, d int, err error) {
-	dims, derr := ParseDims(size)
+func parsePair(family, size string, b Budget) (n, d int, err error) {
+	dims, derr := ParseDimsBudget(size, b)
 	if derr != nil || len(dims) != 2 {
 		return 0, 0, fmt.Errorf("%s needs -size NxD (vertices x degree)", family)
 	}
@@ -183,13 +262,21 @@ func parsePair(family, size string) (n, d int, err error) {
 func latticeFamily(name, doc string, build func(dims ...int) *graph.Graph) Family {
 	return &familyDef{
 		name: name, sizeSyntax: "L1xL2[x…]", doc: doc,
-		build: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
-			dims, err := ParseDims(size)
+		plan: func(size string, _ int, b Budget) (int64, int64, []int, error) {
+			dims, err := ParseDimsBudget(size, b)
 			if err != nil {
-				return nil, nil, err
+				return 0, 0, nil, err
 			}
 			// ≤ len(dims) edges per vertex in a lattice.
-			if err := checkBudget(name, size, prodDims(dims), prodDims(dims)*int64(len(dims))); err != nil {
+			n, m := prodDims(dims), prodDims(dims)*int64(len(dims))
+			if err := checkBudget(name, size, n, m, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return n, m, dims, nil
+		},
+		construct: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			dims, err := ParseDimsBudget(size, estimateBudget)
+			if err != nil {
 				return nil, nil, err
 			}
 			return build(dims...), dims, nil
@@ -212,16 +299,24 @@ func prodDims(dims []int) int64 {
 func oneIntFamily(name, sizeSyntax, doc string, min int, est func(v int) (n, m int64), build func(v int) *graph.Graph) Family {
 	return &familyDef{
 		name: name, sizeSyntax: sizeSyntax, doc: doc,
-		build: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
-			v, err := parseSingle(name, size, min)
+		plan: func(size string, _ int, b Budget) (int64, int64, []int, error) {
+			v, err := parseSingle(name, size, min, b)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			n, m := int64(v), int64(v) // degenerate fallback when est is nil
+			if est != nil {
+				n, m = est(v)
+				if err := checkBudget(name, size, n, m, b); err != nil {
+					return 0, 0, nil, err
+				}
+			}
+			return n, m, nil, nil
+		},
+		construct: func(size string, _ int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			v, err := parseSingle(name, size, min, estimateBudget)
 			if err != nil {
 				return nil, nil, err
-			}
-			if est != nil {
-				n, m := est(v)
-				if err := checkBudget(name, size, n, m); err != nil {
-					return nil, nil, err
-				}
 			}
 			return build(v), nil, nil
 		},
@@ -234,7 +329,7 @@ func oneIntFamily(name, sizeSyntax, doc string, min int, est func(v int) (n, m i
 func pow2Est(nm func(d int) (int64, int64)) func(int) (int64, int64) {
 	return func(d int) (int64, int64) {
 		if d > 32 {
-			return int64(MaxVertices) + 1, int64(MaxEdges) + 1
+			return 1 << 62, 1 << 62
 		}
 		return nm(d)
 	}
@@ -268,18 +363,26 @@ func init() {
 	RegisterFamily(&familyDef{
 		name: "rr", sizeSyntax: "NxD",
 		doc: "connected random D-regular graph on N vertices",
-		build: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-			n, d, err := parsePair("rr", size)
+		plan: func(size string, _ int, b Budget) (int64, int64, []int, error) {
+			n, d, err := parsePair("rr", size, b)
 			if err != nil {
-				return nil, nil, err
+				return 0, 0, nil, err
 			}
 			// ConnectedRandomRegular retries until connected, so degrees
 			// that are almost surely disconnected (d ≤ 1 on n > 2) or
 			// infeasible would loop forever — reject them here.
 			if d >= n || (d == 1 && n != 2) || n*d%2 != 0 {
-				return nil, nil, fmt.Errorf("rr size %q infeasible: need 2 ≤ D < N with N·D even", size)
+				return 0, 0, nil, fmt.Errorf("rr size %q infeasible: need 2 ≤ D < N with N·D even", size)
 			}
-			if err := checkBudget("rr", size, int64(n), int64(n)*int64(d)/2); err != nil {
+			nn, mm := int64(n), int64(n)*int64(d)/2
+			if err := checkBudget("rr", size, nn, mm, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return nn, mm, nil, nil
+		},
+		construct: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("rr", size, estimateBudget)
+			if err != nil {
 				return nil, nil, err
 			}
 			return ConnectedRandomRegular(n, d, rng), nil, nil
@@ -289,26 +392,34 @@ func init() {
 		name: "chain", sizeSyntax: "M",
 		kUse: "chain length: internal vertices replacing each base-expander edge",
 		doc:  "Theorem 2.3 chain construction over an expander base of side M",
-		build: func(size string, k int, _ *xrand.RNG) (*graph.Graph, []int, error) {
-			v, err := parseSingle("chain", size, 2)
+		plan: func(size string, k int, b Budget) (int64, int64, []int, error) {
+			v, err := parseSingle("chain", size, 2, b)
 			if err != nil {
-				return nil, nil, err
+				return 0, 0, nil, err
 			}
 			if k < 1 {
-				return nil, nil, fmt.Errorf("chain needs k ≥ 1, got %d", k)
+				return 0, 0, nil, fmt.Errorf("chain needs k ≥ 1, got %d", k)
 			}
 			n0 := int64(v) * int64(v)
 			m0 := 4 * n0 // GabberGalil is ≤ 8-regular
 			// Check the base and the k multiplier separately so the
 			// m0·k product can never overflow int64 before the cap test.
-			if err := checkBudget("chain", size, n0, m0); err != nil {
-				return nil, nil, err
+			if err := checkBudget("chain", size, n0, m0, b); err != nil {
+				return 0, 0, nil, err
 			}
-			if int64(k) > int64(MaxEdges)/m0 {
-				return nil, nil, fmt.Errorf("family %q size %q with k=%d needs more than %d chain edges (cap %d)",
-					"chain", size, k, int64(MaxEdges), int64(MaxEdges))
+			if int64(k) > b.MaxE/m0 {
+				return 0, 0, nil, fmt.Errorf("family %q size %q with k=%d needs more than %d chain edges (cap %d)",
+					"chain", size, k, b.MaxE, b.MaxE)
 			}
-			if err := checkBudget("chain", size, n0+m0*int64(k), m0*int64(k+1)); err != nil {
+			n, m := n0+m0*int64(k), m0*int64(k+1)
+			if err := checkBudget("chain", size, n, m, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return n, m, nil, nil
+		},
+		construct: func(size string, k int, _ *xrand.RNG) (*graph.Graph, []int, error) {
+			v, err := parseSingle("chain", size, 2, estimateBudget)
+			if err != nil {
 				return nil, nil, err
 			}
 			base := GabberGalil(v)
@@ -322,15 +433,23 @@ func init() {
 	RegisterFamily(&familyDef{
 		name: "gnp", sizeSyntax: "NxD",
 		doc: "Erdős–Rényi G(n,p) on N vertices at expected degree D (p = D/(N−1))",
-		build: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-			n, d, err := parsePair("gnp", size)
+		plan: func(size string, _ int, b Budget) (int64, int64, []int, error) {
+			n, d, err := parsePair("gnp", size, b)
 			if err != nil {
-				return nil, nil, err
+				return 0, 0, nil, err
 			}
 			if n < 2 || d >= n {
-				return nil, nil, fmt.Errorf("gnp size %q infeasible: need N ≥ 2 and D < N", size)
+				return 0, 0, nil, fmt.Errorf("gnp size %q infeasible: need N ≥ 2 and D < N", size)
 			}
-			if err := checkBudget("gnp", size, int64(n), int64(n)*int64(d)/2+1); err != nil {
+			nn, mm := int64(n), int64(n)*int64(d)/2+1
+			if err := checkBudget("gnp", size, nn, mm, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return nn, mm, nil, nil
+		},
+		construct: func(size string, _ int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("gnp", size, estimateBudget)
+			if err != nil {
 				return nil, nil, err
 			}
 			return GNP(n, float64(d)/float64(n-1), rng), nil, nil
@@ -340,19 +459,26 @@ func init() {
 		name: "smallworld", sizeSyntax: "NxD",
 		kUse: "number of randomly rewired lattice edges (Watts–Strogatz)",
 		doc:  "Watts–Strogatz ring lattice C(N,D) with k edges randomly rewired",
-		build: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-			n, d, err := parsePair("smallworld", size)
+		plan: func(size string, k int, b Budget) (int64, int64, []int, error) {
+			n, d, err := parsePair("smallworld", size, b)
 			if err != nil {
-				return nil, nil, err
+				return 0, 0, nil, err
 			}
 			if n < 3 || d < 2 || d%2 != 0 || d >= n {
-				return nil, nil, fmt.Errorf("smallworld size %q infeasible: need N ≥ 3 and even 2 ≤ D < N", size)
+				return 0, 0, nil, fmt.Errorf("smallworld size %q infeasible: need N ≥ 3 and even 2 ≤ D < N", size)
 			}
 			m := int64(n) * int64(d) / 2
 			if k < 0 || int64(k) > m {
-				return nil, nil, fmt.Errorf("smallworld k=%d outside [0, %d] (the lattice's edge count)", k, m)
+				return 0, 0, nil, fmt.Errorf("smallworld k=%d outside [0, %d] (the lattice's edge count)", k, m)
 			}
-			if err := checkBudget("smallworld", size, int64(n), m); err != nil {
+			if err := checkBudget("smallworld", size, int64(n), m, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return int64(n), m, nil, nil
+		},
+		construct: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			n, d, err := parsePair("smallworld", size, estimateBudget)
+			if err != nil {
 				return nil, nil, err
 			}
 			return SmallWorld(n, d, k, rng), nil, nil
@@ -362,18 +488,27 @@ func init() {
 		name: "shortcut", sizeSyntax: "L1xL2[x…]",
 		kUse: "number of random shortcut edges added to the mesh",
 		doc:  "mesh of the given side lengths plus k random shortcut edges",
-		build: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
-			dims, err := ParseDims(size)
+		plan: func(size string, k int, b Budget) (int64, int64, []int, error) {
+			dims, err := ParseDimsBudget(size, b)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if k < 0 || int64(k) > b.MaxE {
+				return 0, 0, nil, fmt.Errorf("shortcut k=%d outside [0, %d]", k, b.MaxE)
+			}
+			n := prodDims(dims)
+			m := n*int64(len(dims)) + int64(k)
+			if err := checkBudget("shortcut", size, n, m, b); err != nil {
+				return 0, 0, nil, err
+			}
+			return n, m, dims, nil
+		},
+		construct: func(size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+			dims, err := ParseDimsBudget(size, estimateBudget)
 			if err != nil {
 				return nil, nil, err
 			}
-			if k < 0 || k > MaxEdges {
-				return nil, nil, fmt.Errorf("shortcut k=%d outside [0, %d]", k, MaxEdges)
-			}
 			n := prodDims(dims)
-			if err := checkBudget("shortcut", size, n, n*int64(len(dims))+int64(k)); err != nil {
-				return nil, nil, err
-			}
 			base := Mesh(dims...)
 			// Keep rejection sampling in Shortcut fast: require at least
 			// half the non-edges to stay free.
@@ -395,9 +530,42 @@ func init() {
 // lattice dimensions (nil for non-lattice families). Randomized
 // families draw from rng; deterministic families ignore it.
 func FromFamily(family, size string, k int, rng *xrand.RNG) (*graph.Graph, []int, error) {
+	return FromFamilyBudget(family, size, k, DefaultBudget, rng)
+}
+
+// FromFamilyBudget is FromFamily under an explicit budget. Families
+// registered from outside this package (non-familyDef implementations)
+// only support the default budget, since the Family interface has no
+// budget channel.
+func FromFamilyBudget(family, size string, k int, b Budget, rng *xrand.RNG) (*graph.Graph, []int, error) {
 	f, ok := FamilyByName(family)
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown family %q (have %s)", family, strings.Join(FamilyNames(), ", "))
 	}
+	if fd, ok := f.(*familyDef); ok {
+		return fd.BuildBudget(size, k, b, rng)
+	}
+	if b != DefaultBudget {
+		return nil, nil, fmt.Errorf("family %q does not support non-default build budgets", family)
+	}
 	return f.Build(size, k, rng)
+}
+
+// EstimateFamily returns the estimated vertex and edge counts of the
+// named family at the given size/k WITHOUT building it — the dry-run
+// memory column. The plan runs under a permissive internal bound so
+// over-cap sizes still report their numbers (callers compare against
+// DefaultBudget/SampledBudget themselves); size tokens that are
+// malformed or infeasible still error.
+func EstimateFamily(family, size string, k int) (n, m int64, err error) {
+	f, ok := FamilyByName(family)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown family %q (have %s)", family, strings.Join(FamilyNames(), ", "))
+	}
+	fd, ok := f.(*familyDef)
+	if !ok {
+		return 0, 0, fmt.Errorf("family %q (registered externally) has no size estimate", family)
+	}
+	n, m, _, err = fd.plan(size, k, estimateBudget)
+	return n, m, err
 }

@@ -289,3 +289,83 @@ func TestRandomizedFamilyDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestBudgetTiers pins the sampled-precision budget behavior: sizes the
+// exact tier refuses build under SampledBudget, the cap errors name
+// their constants and point at the sampled route, and estimates come
+// back without building.
+func TestBudgetTiers(t *testing.T) {
+	rng := xrand.New(1)
+	// 4096x4096 = 2^24 + … no: 2^24 exactly equals MaxVertices, pick
+	// one over: 4097x4096 > 2^24 but well under 2^27.
+	const size = "4097x4096"
+	_, _, err := FromFamily("torus", size, 0, rng)
+	if err == nil {
+		t.Fatalf("torus %s should exceed the exact-tier cap", size)
+	}
+	for _, want := range []string{"gen.MaxVertices", `"precision": "sampled:k"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("exact-tier cap error %q does not mention %s", err, want)
+		}
+	}
+	if _, _, err := FromFamilyBudget("torus", "99999x99999x99999", 0, SampledBudget, rng); err == nil {
+		t.Error("sampled tier must still have a ceiling")
+	} else if !strings.Contains(err.Error(), "gen.MaxVerticesSampled") {
+		t.Errorf("sampled-tier cap error %q does not name gen.MaxVerticesSampled", err)
+	}
+	// The raised tier actually builds what the exact tier refuses
+	// (kept small enough for a unit test: a path beyond no cap, but a
+	// mesh estimate check suffices — building 2^24 vertices here would
+	// be slow, so exercise the plan path via a modest over-exact-cap
+	// ESTIMATE instead and a genuine build at a small size).
+	if g, _, err := FromFamilyBudget("mesh", "8x8", 0, SampledBudget, rng); err != nil || g.N() != 64 {
+		t.Fatalf("FromFamilyBudget(mesh, 8x8) = %v, %v", g, err)
+	}
+	n, m, err := EstimateFamily("torus", size, 0)
+	if err != nil {
+		t.Fatalf("EstimateFamily(torus, %s): %v", size, err)
+	}
+	if wantN := int64(4097) * 4096; n != wantN || m != 2*wantN {
+		t.Errorf("EstimateFamily(torus, %s) = (%d, %d), want (%d, %d)", size, n, m, wantN, 2*wantN)
+	}
+	// Estimates of in-cap sizes agree with the built graph.
+	for _, c := range []struct {
+		family, size string
+		k            int
+	}{
+		{"torus", "16x16", 0},
+		{"hypercube", "6", 0},
+		{"cycle", "31", 0},
+		{"complete", "9", 0},
+		{"ccc", "4", 0},
+		{"chain", "3", 2},
+	} {
+		n, m, err := EstimateFamily(c.family, c.size, c.k)
+		if err != nil {
+			t.Fatalf("EstimateFamily(%s, %s): %v", c.family, c.size, err)
+		}
+		g, _, err := FromFamily(c.family, c.size, c.k, rng)
+		if err != nil {
+			t.Fatalf("FromFamily(%s, %s): %v", c.family, c.size, err)
+		}
+		if c.family == "chain" {
+			// chain's base-edge estimate is an upper bound (GabberGalil
+			// dedupes), so its vertex estimate is an upper bound too.
+			if int64(g.N()) > n {
+				t.Errorf("%s:%s estimate n=%d below built n=%d", c.family, c.size, n, g.N())
+			}
+		} else if int64(g.N()) != n {
+			t.Errorf("%s:%s estimate n=%d, built n=%d", c.family, c.size, n, g.N())
+		}
+		if int64(g.M()) > m {
+			t.Errorf("%s:%s estimate m=%d below built m=%d", c.family, c.size, m, g.M())
+		}
+	}
+	// Malformed sizes still fail the estimate.
+	if _, _, err := EstimateFamily("torus", "axb", 0); err == nil {
+		t.Error("EstimateFamily should reject malformed sizes")
+	}
+	if _, _, err := EstimateFamily("nosuch", "8", 0); err == nil {
+		t.Error("EstimateFamily should reject unknown families")
+	}
+}

@@ -423,3 +423,74 @@ func BenchmarkGabberGalil(b *testing.B) {
 		_ = GabberGalil(32)
 	}
 }
+
+// latticeRef is the original Builder-based lattice construction, kept
+// as the reference the direct-CSR fast path must match byte for byte.
+func latticeRef(dims []int, wrap bool) *graph.Graph {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	b := graph.NewBuilder(n)
+	stride := make([]int, len(dims))
+	s := 1
+	for i, d := range dims {
+		stride[i] = s
+		s *= d
+	}
+	coord := make([]int, len(dims))
+	for v := 0; v < n; v++ {
+		for i, d := range dims {
+			if coord[i]+1 < d {
+				b.AddEdge(v, v+stride[i])
+			} else if wrap && d > 2 {
+				b.AddEdge(v, v-(d-1)*stride[i])
+			}
+		}
+		for i := range coord {
+			coord[i]++
+			if coord[i] < dims[i] {
+				break
+			}
+			coord[i] = 0
+		}
+	}
+	return b.Build()
+}
+
+// TestLatticeCSRMatchesBuilder pins the direct-CSR lattice against the
+// Builder reference across dimension shapes, including the wrap
+// special cases (side 2 must not double edges, side 1 contributes
+// nothing).
+func TestLatticeCSRMatchesBuilder(t *testing.T) {
+	cases := [][]int{
+		{1}, {2}, {3}, {7},
+		{4, 4}, {2, 5}, {1, 6}, {2, 2},
+		{3, 4, 5}, {2, 2, 2}, {1, 3, 1, 4},
+		{5, 1, 2},
+	}
+	for _, dims := range cases {
+		for _, wrap := range []bool{false, true} {
+			var got, want *graph.Graph
+			if wrap {
+				got, want = Torus(dims...), latticeRef(dims, true)
+			} else {
+				got, want = Mesh(dims...), latticeRef(dims, false)
+			}
+			if got.N() != want.N() || got.M() != want.M() {
+				t.Fatalf("dims %v wrap=%v: got %v, want %v", dims, wrap, got, want)
+			}
+			for v := 0; v < got.N(); v++ {
+				gn, wn := got.Neighbors(v), want.Neighbors(v)
+				if len(gn) != len(wn) {
+					t.Fatalf("dims %v wrap=%v vertex %d: neighbors %v, want %v", dims, wrap, v, gn, wn)
+				}
+				for i := range gn {
+					if gn[i] != wn[i] {
+						t.Fatalf("dims %v wrap=%v vertex %d: neighbors %v, want %v", dims, wrap, v, gn, wn)
+					}
+				}
+			}
+		}
+	}
+}

@@ -193,3 +193,46 @@ func FromEdges(n int, edges [][2]int) *Graph {
 	}
 	return b.Build()
 }
+
+// FromSortedAdjacency adopts an already-correct CSR pair as a Graph,
+// for generators that can emit sorted adjacency directly and must not
+// pay the Builder's 16-bytes-per-edge staging arrays at million-vertex
+// sizes. The arrays are validated in one linear pass (monotone offsets,
+// in-range sorted strictly-increasing neighbor lists, no self-loops,
+// symmetric degree sum) and then owned by the Graph — the caller must
+// not retain or modify them. Symmetry of individual edges is the
+// caller's contract; checking it here would cost a second pass with
+// binary searches, which is exactly what this constructor exists to
+// avoid.
+func FromSortedAdjacency(offsets, adj []int32) *Graph {
+	if len(offsets) == 0 {
+		panic("graph: FromSortedAdjacency needs offsets of length n+1")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 || int(offsets[n]) != len(adj) {
+		panic(fmt.Sprintf("graph: offsets must run 0..len(adj)=%d, got [%d..%d]",
+			len(adj), offsets[0], offsets[n]))
+	}
+	if len(adj)%2 != 0 {
+		panic("graph: odd adjacency length cannot be a symmetric undirected graph")
+	}
+	for u := 0; u < n; u++ {
+		if offsets[u+1] < offsets[u] {
+			panic(fmt.Sprintf("graph: offsets not monotone at vertex %d", u))
+		}
+		prev := int32(-1)
+		for _, w := range adj[offsets[u]:offsets[u+1]] {
+			if w < 0 || int(w) >= n {
+				panic(fmt.Sprintf("graph: neighbor %d of vertex %d out of range [0,%d)", w, u, n))
+			}
+			if int(w) == u {
+				panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+			}
+			if w <= prev {
+				panic(fmt.Sprintf("graph: adjacency of vertex %d not strictly increasing", u))
+			}
+			prev = w
+		}
+	}
+	return &Graph{offsets: offsets, adj: adj}
+}

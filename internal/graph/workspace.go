@@ -50,6 +50,8 @@ type Workspace struct {
 
 	slots [2]csrSlot
 	cur   int
+
+	front frontierScratch // bitset-BFS state (see frontier.go)
 }
 
 // NewWorkspace returns an empty Workspace. The zero value is also valid;

@@ -35,6 +35,8 @@ type Scratch struct {
 	zArena     []float64
 	zRows      [][]float64
 	ritz       []float64
+
+	resY, resLy []float64 // Lambda2BudgetScratch residual buffers
 }
 
 // growF resizes s to length n (contents unspecified), reallocating only

@@ -333,7 +333,13 @@ func (j *Job) run(ctx context.Context) {
 			j.finish(stCancelled, fmt.Errorf("sweep: cancelled before execution: %w", err))
 			return
 		}
-		g, _, err := gen.FromFamily(f.Family, f.Size, f.K, xrand.New(GraphSeed(j.spec.Seed, f)))
+		// Sampled-precision cells measure in O(k·(n+m)), so they get the
+		// raised size budget; exact cells keep the default OOM guard.
+		budget := gen.DefaultBudget
+		if c.Precision.Sampled {
+			budget = gen.SampledBudget
+		}
+		g, _, err := gen.FromFamilyBudget(f.Family, f.Size, f.K, budget, xrand.New(GraphSeed(j.spec.Seed, f)))
 		if err != nil {
 			j.finish(stFailed, fmt.Errorf("sweep: building %s: %w", key, err))
 			return

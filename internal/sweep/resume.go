@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"faultexp/internal/gen"
 )
 
 // ResumeState describes the usable prefix of an existing JSONL output.
@@ -124,6 +126,42 @@ type Plan struct {
 	Trials   int
 	Seed     uint64
 	Shard    Shard
+	// Precision is the run's measurement tier.
+	Precision Precision
+	// FamilyPlans carries, per distinct family (parallel to Families),
+	// the estimated vertex/edge counts and peak build memory, so a user
+	// can see whether a million-vertex spec fits before launching.
+	FamilyPlans []FamilyPlan
+}
+
+// FamilyPlan is the dry-run estimate for one family graph.
+type FamilyPlan struct {
+	// Token is the family:size[:k] token (matches Families).
+	Token string
+	// N and M are the estimated vertex and (upper-bound) edge counts.
+	N, M int64
+	// PeakBytes estimates the peak resident footprint of building and
+	// measuring the graph (CSR + construction transient + workspace).
+	PeakBytes int64
+	// Fits reports whether the family passes the run's size budget
+	// (exact or sampled tier).
+	Fits bool
+	// Err carries the estimate failure for families the registry
+	// cannot size without building (estimates then read zero).
+	Err string
+}
+
+// EstimatePeakBytes estimates the peak resident footprint of building
+// and sweeping one family graph with n vertices and m undirected
+// edges: the CSR graph itself (4(n+1)+8m), the Builder's staging
+// arrays while constructing (16m+8n — direct-CSR families skip this,
+// so it is an upper bound), and a trial Workspace (two CSR slots,
+// visited/labels/dist arrays, masks: ≈29n+16m).
+func EstimatePeakBytes(n, m int64) int64 {
+	graphBytes := 4*(n+1) + 8*m
+	builderBytes := 16*m + 8*n
+	workspaceBytes := 29*n + 16*m
+	return graphBytes + builderBytes + workspaceBytes
 }
 
 // Plan expands the grid under the given shard and summarizes it. The
@@ -147,13 +185,29 @@ func (s *Spec) Plan(sh Shard) (Plan, error) {
 		Seed:      s.Seed,
 		Shard:     sh,
 	}
+	p.Precision = s.precision()
+	budget := gen.DefaultBudget
+	if p.Precision.Sampled {
+		budget = gen.SampledBudget
+	}
 	seen := map[string]bool{}
 	for _, c := range cells {
 		key := c.Family.String()
-		if !seen[key] {
-			seen[key] = true
-			p.Families = append(p.Families, key)
+		if seen[key] {
+			continue
 		}
+		seen[key] = true
+		p.Families = append(p.Families, key)
+		fp := FamilyPlan{Token: key}
+		n, m, err := gen.EstimateFamily(c.Family.Family, c.Family.Size, c.Family.K)
+		if err != nil {
+			fp.Err = err.Error()
+		} else {
+			fp.N, fp.M = n, m
+			fp.PeakBytes = EstimatePeakBytes(n, m)
+			fp.Fits = n <= budget.MaxV && m <= budget.MaxE
+		}
+		p.FamilyPlans = append(p.FamilyPlans, fp)
 	}
 	return p, nil
 }

@@ -198,6 +198,13 @@ type Spec struct {
 	// models and measures with a registered coupled implementation, and
 	// is incompatible with sharding and cell-granular resume.
 	RateMode string `json:"rate_mode,omitempty"`
+	// Precision selects the measurement tier: "" or "exact" (the
+	// default — historical kernels, byte-identical output) or
+	// "sampled:k" (k-sample approximate kernels with error-bar
+	// companion metrics and the raised gen size caps). Sampled
+	// precision requires every measure in the grid to be
+	// sampled-capable and is incompatible with the coupled rate mode.
+	Precision string `json:"precision,omitempty"`
 }
 
 // Rate-axis sampling modes.
@@ -211,6 +218,17 @@ const (
 
 // Coupled reports whether the spec asks for the coupled rate mode.
 func (s *Spec) Coupled() bool { return s.RateMode == RateModeCoupled }
+
+// precision returns the parsed precision tier; only meaningful after
+// Validate (which rejects malformed fields), so parse errors fall back
+// to exact.
+func (s *Spec) precision() Precision {
+	p, err := ParsePrecision(s.Precision)
+	if err != nil {
+		return PrecisionExact
+	}
+	return p
+}
 
 // modelList returns the effective fault-model axis, honoring the legacy
 // scalar field when the list is unset.
@@ -287,6 +305,20 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("sweep: unknown rate_mode %q (want %q or %q)", s.RateMode, RateModeIndependent, RateModeCoupled)
 	}
+	prec, err := ParsePrecision(s.Precision)
+	if err != nil {
+		return err
+	}
+	if prec.Sampled {
+		if s.Coupled() {
+			return fmt.Errorf("sweep: coupled rate mode does not compose with sampled precision (coupled kernels are exact incremental passes); drop rate_mode or use precision %q", "exact")
+		}
+		for _, m := range s.Measures {
+			if !SampledCapable(m) {
+				return fmt.Errorf("sweep: measure %q has no sampled-precision kernel (have %s)", m, strings.Join(SampledMeasures(), ", "))
+			}
+		}
+	}
 	if s.Coupled() {
 		for _, m := range s.Models {
 			if m != ModelIIDNode && m != ModelIIDEdge {
@@ -313,6 +345,10 @@ type Cell struct {
 	// Seed is the cell's private RNG root, derived by hash-splitting
 	// from the grid seed and the cell's semantic key.
 	Seed uint64
+	// Precision is the cell's measurement tier. Sampled cells fold the
+	// tier into Seed (see CellSeedPrecision), so exact cells keep their
+	// historical seeds and output bytes.
+	Precision Precision
 }
 
 // rateToken renders a rate for seed keys and CSV cells; shortest
@@ -324,6 +360,18 @@ func rateToken(r float64) string { return strconv.FormatFloat(r, 'g', -1, 64) }
 // without running the grid.
 func CellSeed(gridSeed uint64, f FamilySpec, measure, model string, rate float64) uint64 {
 	return xrand.SeedFor(gridSeed, "cell", f.String(), measure, model, rateToken(rate))
+}
+
+// CellSeedPrecision is CellSeed with the precision tier folded into the
+// semantic key for sampled cells. Exact cells hash exactly as CellSeed
+// always has, so existing output stays byte-identical; sampled cells
+// get seeds disjoint from every exact cell (and from other sample
+// budgets), which also makes resume refuse to mix tiers.
+func CellSeedPrecision(gridSeed uint64, f FamilySpec, measure, model string, rate float64, p Precision) uint64 {
+	if !p.Sampled {
+		return CellSeed(gridSeed, f, measure, model, rate)
+	}
+	return xrand.SeedFor(gridSeed, "cell", f.String(), measure, model, rateToken(rate), p.String())
 }
 
 // CoupledGroupSeed derives the deterministic RNG root for one coupled
@@ -349,19 +397,21 @@ func GraphSeed(gridSeed uint64, f FamilySpec) uint64 {
 // on semantic keys, never on grid shape or position.
 func (s *Spec) Cells() []Cell {
 	models := s.modelList()
+	prec := s.precision()
 	out := make([]Cell, 0, len(s.Families)*len(s.Measures)*len(models)*len(s.Rates))
 	for _, f := range s.Families {
 		for _, m := range s.Measures {
 			for _, mod := range models {
 				for _, r := range s.Rates {
 					out = append(out, Cell{
-						Index:   len(out),
-						Family:  f,
-						Measure: m,
-						Model:   mod,
-						Rate:    r,
-						Trials:  s.Trials,
-						Seed:    CellSeed(s.Seed, f, m, mod, r),
+						Index:     len(out),
+						Family:    f,
+						Measure:   m,
+						Model:     mod,
+						Rate:      r,
+						Trials:    s.Trials,
+						Seed:      CellSeedPrecision(s.Seed, f, m, mod, r, prec),
+						Precision: prec,
 					})
 				}
 			}

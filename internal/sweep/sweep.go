@@ -98,7 +98,10 @@ type Result struct {
 	Rate    float64            `json:"rate"`
 	Trials  int                `json:"trials"`
 	Seed    uint64             `json:"seed"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Precision is the measurement tier ("sampled:k"); empty (omitted)
+	// for exact cells, so historical output is byte-identical.
+	Precision string             `json:"precision,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	// Nonfinite lists (comma-joined, sorted) the metric keys whose
 	// values were NaN/±Inf and therefore dropped from Metrics — a
 	// half-broken measure is visibly different from a clean one.
@@ -154,6 +157,9 @@ func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 		Rate:    c.Rate,
 		Trials:  c.Trials,
 		Seed:    c.Seed,
+	}
+	if c.Precision.Sampled {
+		res.Precision = c.Precision.String()
 	}
 	defer func() {
 		if p := recover(); p != nil {

@@ -300,3 +300,61 @@ func TestREADMEDocumentsRateModeAndKernelScratch(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMESampledMeasuresInSync keeps README's sampled-capable
+// measure list in lockstep with the live sampled registry (the same
+// marker mechanism as the coupled-measures list).
+func TestREADMESampledMeasuresInSync(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	begin := strings.Index(s, "<!-- sampledmeasures:begin")
+	end := strings.Index(s, "<!-- sampledmeasures:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("README.md is missing the sampledmeasures:begin/sampledmeasures:end markers")
+	}
+	section := s[begin:end]
+	var got []string
+	for _, m := range regexp.MustCompile("`([a-z0-9]+)`").FindAllStringSubmatch(section, -1) {
+		got = append(got, m[1])
+	}
+	sort.Strings(got)
+	want := faultexp.SweepSampledMeasures() // sorted by contract
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("README sampled measures %v, registry says %v", got, want)
+	}
+	if len(want) < 4 {
+		t.Errorf("%d sampled measures registered, want ≥ 4", len(want))
+	}
+}
+
+// TestREADMEDocumentsPrecision pins the precision-tier surfaces the
+// README promises: the spec field and flag with both tokens, the
+// error-bar metrics, the raised sampled-tier size caps, the coupled
+// refusal, and the dry-run memory table.
+func TestREADMEDocumentsPrecision(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### Precision tiers",
+		`"precision": "sampled:k"`,
+		`"` + faultexp.SweepPrecisionExact + `"`,
+		"-precision",
+		"diameter_lb",
+		"residual",
+		"stretch_max",
+		"gen.MaxVerticesSampled",
+		"gen.MaxEdgesSampled",
+		"does not compose with sampling",
+		"peak build memory",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README does not document %q", want)
+		}
+	}
+}
