@@ -196,6 +196,87 @@ func BenchmarkTrialPathPercolation(b *testing.B) {
 }
 func BenchmarkTrialPathSpan(b *testing.B) { benchTrialPath(b, "span", sweep.ModelIIDNode, 0.05) }
 
+// BenchmarkTrialPathGammaBlocks is the blocked (trial-parallel) form of
+// the bare trial path: the same 64 trials driven through RunTrialsRange
+// in 16-trial blocks — what one worker pays per block under
+// -trial-parallel. The alloc gate holds it to the same 0 allocs/op as
+// the whole-loop path: blocking must not reintroduce per-trial
+// allocation.
+func BenchmarkTrialPathGammaBlocks(b *testing.B) {
+	setup, ok := sweep.LookupTrials("gamma")
+	if !ok {
+		b.Fatal("gamma is not trial-grained")
+	}
+	spec := &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}},
+		Measures: []string{"gamma"},
+		Model:    sweep.ModelIIDNode,
+		Rates:    []float64{0.05},
+		Trials:   64,
+		Seed:     7,
+	}
+	c := spec.Cells()[0]
+	g, _, err := gen.FromFamily("torus", "16x16", 0, xrand.New(sweep.GraphSeed(spec.Seed, c.Family)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := graph.NewWorkspace()
+	rec := sweep.NewRecorder()
+	run, err := setup(g, c, ws, xrand.New(c.Seed), rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const block = 16
+	pass := func() {
+		for lo := 0; lo < c.Trials; lo += block {
+			hi := lo + block
+			if hi > c.Trials {
+				hi = c.Trials
+			}
+			if err := sweep.RunTrialsRange(c, ws, rec, run.Trial, lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pass() // warm workspace buffers and recorder slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pass()
+	}
+}
+
+// BenchmarkJobWideCellParallel is the wide-cell scheduling scenario the
+// trial-parallel mode exists for: ONE sampled cell whose trials are the
+// only parallelism available. One op = a full trial-parallel job (graph
+// build included) with block size 1, so every trial is its own
+// schedulable unit. On a multi-core host this is the number that should
+// scale with GOMAXPROCS; see BENCH_sweep.json for recorded runs.
+func BenchmarkJobWideCellParallel(b *testing.B) {
+	spec := &sweep.Spec{
+		Families:      []sweep.FamilySpec{{Family: "torus", Size: "256x256"}},
+		Measures:      []string{"diameter"},
+		Model:         sweep.ModelIIDNode,
+		Rates:         []float64{0.05},
+		Trials:        8,
+		Seed:          7,
+		Precision:     "sampled:4",
+		TrialParallel: true,
+		TrialBlock:    1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := sweep.Run(spec, discardWriter{}, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Errors != 0 {
+			b.Fatalf("%d cells errored", sum.Errors)
+		}
+	}
+}
+
 // Micro-benchmarks for the primitives.
 
 func BenchmarkPrimitiveNodeExpansion(b *testing.B) {

@@ -39,6 +39,8 @@ func cmdSweep(ctx context.Context, args []string) error {
 	rates := fs.String("rates", "", "comma list of fault rates in [0,1], e.g. 0,0.02,0.05,0.1")
 	trials := fs.Int("trials", 3, "Monte-Carlo trials per cell")
 	rateMode := fs.String("rate-mode", "", "rate-axis sampling: "+sweep.RateModeIndependent+" (default) or "+sweep.RateModeCoupled+" (one draw per element serves every rate; iid models and coupled-capable measures only)")
+	trialParallel := fs.Bool("trial-parallel", false, "split each cell's trial loop into blocks and run blocks on the worker pool (trial-grained measures only; output is byte-identical across -workers but differs from serial mode in the last ulp)")
+	trialBlock := fs.Int("trial-block", 0, "trials per block under -trial-parallel (0 = default "+strconv.Itoa(sweep.DefaultTrialBlock)+"); the block size is part of the output's byte contract")
 	precision := fs.String("precision", "", `measurement tier: "exact" (default) or "sampled:k" (k-sample kernels with error bars and raised size caps; sampled-capable measures: `+strings.Join(sweep.SampledMeasures(), ", ")+`)`)
 	seed := fs.Uint64("seed", 1, "grid seed (per-cell seeds are hash-split from it)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); does not affect output bytes")
@@ -50,7 +52,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
 
-	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *rateMode, *precision, *trials, *seed)
+	spec, err := sweepSpecFromFlags(*specFile, *families, *measures, *model, *models, *rates, *rateMode, *precision, *trials, *seed, *trialParallel, *trialBlock)
 	if err != nil {
 		return err
 	}
@@ -230,6 +232,13 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 	if p.Precision.Sampled {
 		fmt.Printf("precision: %s (sampled kernels, raised size caps)\n", p.Precision)
 	}
+	if spec.TrialParallel {
+		block := spec.TrialBlock
+		if block == 0 {
+			block = sweep.DefaultTrialBlock
+		}
+		fmt.Printf("trial-parallel: blocks of %d trials (the block size is part of the output's byte contract)\n", block)
+	}
 	fmt.Printf("families to build (%d):\n", len(p.Families))
 	for _, fp := range p.FamilyPlans {
 		if fp.Err != "" {
@@ -240,13 +249,32 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 		if !fp.Fits {
 			fits = "OVER BUDGET"
 		}
-		fmt.Printf("  %-24s n=%-12d m<=%-12d peak~%-8s %s\n", fp.Token, fp.N, fp.M, humanBytes(fp.PeakBytes), fits)
+		// cost is the scheduler's per-cell dispatch score (UnitCost):
+		// relative execution weight, the number cost-aware dispatch sorts
+		// units by — not seconds.
+		fmt.Printf("  %-24s n=%-12d m<=%-12d peak~%-8s cost~%-8s %s\n",
+			fp.Token, fp.N, fp.M, humanBytes(fp.PeakBytes), humanCount(fp.CellCost), fits)
 	}
 	fmt.Printf("measures (%d): %s\n", len(p.Measures), strings.Join(p.Measures, ", "))
 	fmt.Printf("models (%d): %s\n", len(p.Models), strings.Join(p.Models, ", "))
 	fmt.Printf("rates (%d): %s\n", len(p.Rates), strings.Join(rateToks, ", "))
 	fmt.Printf("trials/cell: %d  seed: %d\n", p.Trials, p.Seed)
 	return nil
+}
+
+// humanCount renders a unitless score in the nearest decimal SI unit
+// (1.5k, 2.3M) — the dry-run form of the scheduler's cost scores.
+func humanCount(v float64) string {
+	const unit = 1000
+	if v < unit {
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+	div, exp := float64(unit), 0
+	for n := v / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%c", v/div, "kMGTPE"[exp])
 }
 
 // humanBytes renders a byte count in the nearest binary unit.
@@ -264,9 +292,10 @@ func humanBytes(b int64) string {
 }
 
 // sweepSpecFromFlags assembles and validates the grid spec from either a
-// JSON file or the individual grid flags. -rate-mode and -precision
-// compose with -spec: a non-empty flag overrides the file's field.
-func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rateMode, precision string, trials int, seed uint64) (*sweep.Spec, error) {
+// JSON file or the individual grid flags. -rate-mode, -precision,
+// -trial-parallel, and -trial-block compose with -spec: a non-default
+// flag overrides the file's field.
+func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rateMode, precision string, trials int, seed uint64, trialParallel bool, trialBlock int) (*sweep.Spec, error) {
 	if specFile != "" {
 		f, err := os.Open(specFile)
 		if err != nil {
@@ -277,12 +306,18 @@ func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rate
 		if err != nil {
 			return nil, err
 		}
-		if rateMode != "" || precision != "" {
+		if rateMode != "" || precision != "" || trialParallel || trialBlock != 0 {
 			if rateMode != "" {
 				spec.RateMode = rateMode
 			}
 			if precision != "" {
 				spec.Precision = precision
+			}
+			if trialParallel {
+				spec.TrialParallel = true
+			}
+			if trialBlock != 0 {
+				spec.TrialBlock = trialBlock
 			}
 			if err := spec.Validate(); err != nil {
 				return nil, err
@@ -324,14 +359,16 @@ func sweepSpecFromFlags(specFile, families, measures, model, models, rates, rate
 		}
 	}
 	spec := &sweep.Spec{
-		Families:  fams,
-		Measures:  ms,
-		Models:    modelAxis,
-		Rates:     rs,
-		Trials:    trials,
-		Seed:      seed,
-		RateMode:  rateMode,
-		Precision: precision,
+		Families:      fams,
+		Measures:      ms,
+		Models:        modelAxis,
+		Rates:         rs,
+		Trials:        trials,
+		Seed:          seed,
+		RateMode:      rateMode,
+		Precision:     precision,
+		TrialParallel: trialParallel,
+		TrialBlock:    trialBlock,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err

@@ -385,6 +385,7 @@ func TestSweepDryRun(t *testing.T) {
 		"torus:4x4",
 		"hypercube:4",
 		"peak~",
+		"cost~",
 		"fits",
 		"measures (1): gamma",
 		"models (1): iid-node",
@@ -398,5 +399,109 @@ func TestSweepDryRun(t *testing.T) {
 	// A dry run with an invalid grid still fails validation.
 	if err := cmdSweep(context.Background(), []string{"-families", "torus:4x4", "-rates", "0", "-measures", "nope", "-dry-run", "-quiet"}); err == nil {
 		t.Error("dry run validated an unknown measure")
+	}
+}
+
+// TestSweepTrialParallelCLI drives the -trial-parallel / -trial-block
+// flags end to end: byte identity across worker counts, the trial_block
+// field on every record, composition with -spec, the dry-run plan line,
+// and the flag-validation refusals.
+func TestSweepTrialParallelCLI(t *testing.T) {
+	tpArgs := func(dir, workers string) []string {
+		return []string{
+			"-families", "torus:4x4,hypercube:4",
+			"-measures", "gamma",
+			"-model", "iid-node",
+			"-rates", "0,0.25",
+			"-trials", "10",
+			"-seed", "11",
+			"-trial-parallel",
+			"-trial-block", "3",
+			"-workers", workers,
+			"-quiet",
+			"-jsonl", filepath.Join(dir, "out.jsonl"),
+		}
+	}
+	refDir := t.TempDir()
+	if err := cmdSweep(context.Background(), tpArgs(refDir, "1")); err != nil {
+		t.Fatal(err)
+	}
+	ref := readFile(t, filepath.Join(refDir, "out.jsonl"))
+	for _, workers := range []string{"2", "8"} {
+		dir := t.TempDir()
+		if err := cmdSweep(context.Background(), tpArgs(dir, workers)); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		if got := readFile(t, filepath.Join(dir, "out.jsonl")); !bytes.Equal(got, ref) {
+			t.Errorf("workers=%s: trial-parallel output differs from workers=1", workers)
+		}
+	}
+	for i, ln := range bytes.Split(bytes.TrimSpace(ref), []byte("\n")) {
+		var r sweep.Result
+		if err := json.Unmarshal(ln, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.TrialBlock != 3 {
+			t.Errorf("record %d trial_block = %d, want 3", i, r.TrialBlock)
+		}
+	}
+
+	// The flags compose with -spec (override-then-revalidate), and the
+	// result matches the flag form byte for byte.
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	specJSON := `{
+	  "families": [
+	    {"family": "torus", "size": "4x4"},
+	    {"family": "hypercube", "size": "4"}
+	  ],
+	  "measures": ["gamma"],
+	  "model": "iid-node",
+	  "rates": [0, 0.25],
+	  "trials": 10,
+	  "seed": 11
+	}`
+	if err := os.WriteFile(specPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep(context.Background(), []string{
+		"-spec", specPath, "-trial-parallel", "-trial-block", "3",
+		"-workers", "4", "-quiet", "-jsonl", filepath.Join(dir, "out.jsonl"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, filepath.Join(dir, "out.jsonl")); !bytes.Equal(got, ref) {
+		t.Error("-spec + -trial-parallel output differs from the flag form")
+	}
+
+	// Dry run announces the block partition.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := cmdSweep(context.Background(), append(tpArgs(t.TempDir(), "1"), "-dry-run"))
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("dry run: %v", runErr)
+	}
+	if !strings.Contains(string(out), "trial-parallel: blocks of 3 trials") {
+		t.Errorf("dry-run output missing the trial-parallel plan line:\n%s", out)
+	}
+
+	// Refusals: -trial-block without -trial-parallel, coupled rate mode,
+	// and a cell-grained measure.
+	for _, bad := range [][]string{
+		{"-families", "torus:4x4", "-rates", "0", "-trial-block", "4", "-quiet"},
+		{"-families", "torus:4x4", "-rates", "0,0.1", "-measures", "percolation", "-rate-mode", "coupled", "-trial-parallel", "-quiet"},
+		{"-families", "torus:4x4", "-rates", "0", "-measures", "adversarial", "-trial-parallel", "-quiet"},
+	} {
+		bad = append(bad, "-jsonl", filepath.Join(t.TempDir(), "out.jsonl"))
+		if err := cmdSweep(context.Background(), bad); err == nil {
+			t.Errorf("cmdSweep(%v) succeeded, want error", bad)
+		}
 	}
 }

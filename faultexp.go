@@ -494,6 +494,34 @@ const SweepPrecisionExact = "exact"
 // these).
 func SweepSampledMeasures() []string { return sweep.SampledMeasures() }
 
+// SweepDefaultTrialBlock is the trial-block size a trial-parallel spec
+// gets when SweepSpec.TrialBlock is zero. Under trial-parallel mode a
+// cell's trial loop splits into blocks of this many trials, each a
+// schedulable unit on the worker pool; the block partition is part of
+// the output's byte contract (Result.TrialBlock), so changing it — like
+// changing the seed — produces a different, internally consistent
+// stream.
+const SweepDefaultTrialBlock = sweep.DefaultTrialBlock
+
+// SweepTrialMeasures lists the trial-grained measures — the subset of
+// SweepMeasures whose kernels run per trial and therefore support
+// trial-parallel execution (SweepSpec.TrialParallel).
+func SweepTrialMeasures() []string { return sweep.TrialMeasures() }
+
+// SweepUnitCost scores the relative execution cost of trials trials on
+// a graph with n vertices and m edges — the gen.EstimateFamily-derived
+// score the job scheduler dispatches largest-first and `sweep -dry-run`
+// prints per cell (SweepPlan's FamilyPlan.CellCost). sampledK is 0 for
+// exact kernels, the sample count for "sampled:k" kernels. The score
+// orders units; it does not predict seconds.
+func SweepUnitCost(n, m int64, trials, sampledK int) float64 {
+	p := sweep.Precision{}
+	if sampledK > 0 {
+		p = sweep.Precision{Sampled: true, K: sampledK}
+	}
+	return sweep.UnitCost(n, m, trials, p)
+}
+
 // SweepPlan describes what a run would execute — cells before and after
 // shard selection, trial volume, and the family graphs to build —
 // without executing anything (the `faultexp sweep -dry-run` surface).

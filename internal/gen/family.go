@@ -569,3 +569,24 @@ func EstimateFamily(family, size string, k int) (n, m int64, err error) {
 	n, m, _, err = fd.plan(size, k, estimateBudget)
 	return n, m, err
 }
+
+// EstimateFamilyBudget is EstimateFamily under an explicit build
+// budget: the plan applies b's caps, so a malformed or over-budget
+// size token fails here with the same error the real build would raise
+// — without building anything. This is the sweep engine's pre-flight
+// check before constructing graphs lazily mid-run: a spec-level error
+// surfaces before any output is written. Families registered from
+// outside this package have no plan; they return (0, 0, nil) and defer
+// any size errors to build time.
+func EstimateFamilyBudget(family, size string, k int, b Budget) (n, m int64, err error) {
+	f, ok := FamilyByName(family)
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown family %q (have %s)", family, strings.Join(FamilyNames(), ", "))
+	}
+	fd, ok := f.(*familyDef)
+	if !ok {
+		return 0, 0, nil
+	}
+	n, m, _, err = fd.plan(size, k, b)
+	return n, m, err
+}

@@ -56,8 +56,35 @@ func RunOrderedCtx[T any](ctx context.Context, n, workers int, run func(i int) T
 // if cancellation prevented any job from being dispatched, nil if all n
 // jobs ran (even if ctx was cancelled after the last dispatch).
 func RunOrderedWorkersCtx[T any](ctx context.Context, n, workers int, run func(worker, i int) T, emit func(i int, v T)) error {
+	return RunOrderedDispatchCtx(ctx, n, workers, nil, run, emit)
+}
+
+// RunOrderedDispatchCtx is RunOrderedWorkersCtx with an explicit
+// dispatch order: order[k] is the k-th job index handed to the pool, so
+// a scheduler can dispatch expensive jobs first (killing tail latency)
+// while emit still runs in strictly increasing *index* order — the
+// dispatch permutation can therefore never change the emitted bytes,
+// only the wall clock. A nil order means identity dispatch; a non-nil
+// order must be a permutation of [0, n) (length mismatches panic — a
+// wiring bug, not a runtime condition).
+//
+// The serial path (workers ≤ 1 or n == 1) ignores the permutation:
+// nothing overlaps, so index-order dispatch is both legal and strictly
+// better under cancellation (every completed job is emitted, none is
+// discarded).
+//
+// Cancellation drains at a job boundary, as in RunOrderedWorkersCtx,
+// but with a permuted dispatch the completed set is a prefix of the
+// *dispatch* sequence, not of the index sequence: the emitted set is
+// then the longest contiguous index prefix [0, d) inside the completed
+// set, and completed jobs beyond d are discarded. The output invariant
+// — always an exact contiguous, resumable prefix — is unchanged.
+func RunOrderedDispatchCtx[T any](ctx context.Context, n, workers int, order []int, run func(worker, i int) T, emit func(i int, v T)) error {
 	if n <= 0 {
 		return nil
+	}
+	if order != nil && len(order) != n {
+		panic("harness: dispatch order length does not match job count")
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
@@ -74,7 +101,11 @@ func RunOrderedWorkersCtx[T any](ctx context.Context, n, workers int, run func(w
 		vals = make([]T, n)
 		next int
 	)
-	return ParallelForWorkersCtx(ctx, n, workers, func(worker, i int) {
+	return ParallelForWorkersCtx(ctx, n, workers, func(worker, k int) {
+		i := k
+		if order != nil {
+			i = order[k]
+		}
 		v := run(worker, i)
 		mu.Lock()
 		defer mu.Unlock()

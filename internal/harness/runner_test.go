@@ -180,3 +180,90 @@ func TestParallelForWorkersCtxCancel(t *testing.T) {
 		t.Fatalf("ran %d of 500 jobs, want a proper nonempty prefix", g)
 	}
 }
+
+func TestRunOrderedDispatchEmitsInIndexOrder(t *testing.T) {
+	// Dispatch in reverse (and a shuffled) order; emission must still be
+	// the ascending index sequence with the right values — the dispatch
+	// permutation is invisible in the output.
+	const n = 60
+	reverse := make([]int, n)
+	for i := range reverse {
+		reverse[i] = n - 1 - i
+	}
+	shuffled := make([]int, n)
+	for i := range shuffled {
+		shuffled[i] = (i*37 + 11) % n // 37 is coprime to 60: a permutation
+	}
+	for _, order := range [][]int{nil, reverse, shuffled} {
+		for _, workers := range []int{1, 2, 4} {
+			var got []int
+			err := RunOrderedDispatchCtx(context.Background(), n, workers, order,
+				func(_, i int) int {
+					time.Sleep(time.Duration(i%5) * 50 * time.Microsecond)
+					return i * 7
+				},
+				func(i, v int) {
+					if v != i*7 {
+						t.Errorf("workers=%d: emit(%d) carried %d, want %d", workers, i, v, i*7)
+					}
+					got = append(got, i)
+				})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if len(got) != n {
+				t.Fatalf("workers=%d: emitted %d of %d", workers, len(got), n)
+			}
+			for i, idx := range got {
+				if idx != i {
+					t.Fatalf("workers=%d order=%v: emission not ascending at %d: %v", workers, order != nil, i, got[:i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestRunOrderedDispatchCancelStillContiguousPrefix(t *testing.T) {
+	// With reverse dispatch, cancellation completes a prefix of the
+	// DISPATCH order (high indices); the emitted set must still be a
+	// contiguous prefix of the INDEX order — possibly empty, never holed.
+	const n = 100
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []int
+	var ran atomic.Int32
+	err := RunOrderedDispatchCtx(ctx, n, 4, order,
+		func(_, i int) int {
+			if ran.Add(1) == 30 {
+				cancel()
+			}
+			time.Sleep(50 * time.Microsecond)
+			return i
+		},
+		func(i, v int) { got = append(got, i) })
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("emitted set has a hole at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) >= n {
+		t.Fatalf("cancellation did not stop the run (%d emitted)", len(got))
+	}
+}
+
+func TestRunOrderedDispatchBadOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-mismatched dispatch order did not panic")
+		}
+	}()
+	RunOrderedDispatchCtx(context.Background(), 5, 2, []int{0, 1},
+		func(_, i int) int { return i }, func(int, int) {})
+}

@@ -1,0 +1,162 @@
+package sweep
+
+// Trial-parallel execution: the block layer that makes the TRIAL the
+// schedulable unit instead of the cell. A cell's [0, Trials) loop
+// splits into fixed-size blocks of Cell.TrialBlock trials; each block
+// runs on a pool worker with its own Recorder, and the (single-
+// threaded) emit path folds the blocks back together in block-index
+// order via Recorder.MergeFrom / stats.Stream.Merge.
+//
+// The determinism contract: trial t's draws come from TrialSeed(c.Seed,
+// t) whether the loop is whole or blocked, so every individual trial is
+// bit-identical to the serial mode; only the *fold order* of the
+// streaming moments changes, and that order is fixed by the block
+// partition (Trials, TrialBlock), never by worker count or scheduling.
+// Blocked output is therefore byte-identical across -workers values,
+// shards, and resumes — but distinct from serial output in the last ulp
+// of _mean/_std, which is why the mode is opt-in and records its
+// partition on every Result (trial_block).
+//
+// Each block replays the cell's TrialSetup from the same setup seed
+// (xrand.New(c.Seed), exactly as runCell does), so per-cell baselines
+// and constants are recomputed identically per block; the setup cost is
+// amortized over the block's trials.
+
+import (
+	"fmt"
+
+	"faultexp/internal/graph"
+	"faultexp/internal/xrand"
+)
+
+// UnitCost scores the relative execution cost of running trials trials
+// on a family with (estimated) n vertices and m edges at precision p —
+// the gen.EstimateFamily-derived score the job scheduler dispatches
+// largest-first and `sweep -dry-run` prints per cell. One trial of an
+// exact kernel walks the graph at least once (≈ n + 2m work); sampled
+// kernels repeat a linear-time pass k times. The score is relative: it
+// orders units, it does not predict seconds.
+func UnitCost(n, m int64, trials int, p Precision) float64 {
+	per := float64(n) + 2*float64(m)
+	if p.Sampled {
+		per *= float64(p.K)
+	}
+	return per * float64(trials)
+}
+
+// blockCount returns how many trial blocks a cell splits into.
+func blockCount(trials, block int) int {
+	if block <= 0 || block >= trials {
+		return 1
+	}
+	return (trials + block - 1) / block
+}
+
+// blockOut is one trial block's computed state, carried from the worker
+// that ran it to the emit path that folds it into the cell's Result.
+type blockOut struct {
+	// rec holds the block's accumulated streams and constants; the fold
+	// path owns it once emitted (merged then recycled to recorderPool).
+	rec *Recorder
+	// finish is the cell's post-loop finisher. Setup is deterministic,
+	// so every block carries the same finisher; the fold runs the one
+	// from the block that survives the merge, once, on the merged
+	// recorder.
+	finish FinishFunc
+	// errMsg is the block's failure (setup error, trial error, panic).
+	// The lowest-indexed failing block's message becomes the cell's
+	// Err — the same error the serial loop would have stopped at when
+	// the failure is deterministic in trial order.
+	errMsg string
+	// n, m snapshot the graph's size for the Result, so the fold never
+	// needs the graph itself (it may already be released).
+	n, m int
+}
+
+// runTrialBlock executes trials [lo, hi) of one cell: it replays the
+// cell's TrialSetup (same c.Seed root as runCell, so baselines and
+// constants reproduce identically per block) and drives the block's
+// slice of the trial loop into a private recorder. Panics are contained
+// per block, as runCell contains them per cell.
+func runTrialBlock(g *graph.Graph, c Cell, ws *graph.Workspace, lo, hi int) (out *blockOut) {
+	out = &blockOut{n: g.N(), m: g.M()}
+	rec := recorderPool.Get().(*Recorder)
+	rec.Reset()
+	out.rec = rec
+	defer func() {
+		if p := recover(); p != nil {
+			out.errMsg = fmt.Sprintf("panic: %v", p)
+			out.finish = nil
+		}
+	}()
+	setup, ok := LookupTrials(c.Measure)
+	if !ok {
+		// Validate refuses cell-grained measures before a job starts;
+		// this guards hand-built Cells in tests and tools.
+		out.errMsg = fmt.Sprintf("measure %q is not trial-grained", c.Measure)
+		return out
+	}
+	run, err := setup(g, c, ws, xrand.New(c.Seed), rec)
+	if err != nil {
+		out.errMsg = err.Error()
+		return out
+	}
+	if run.Trial == nil {
+		out.errMsg = "trial measure returned no trial function"
+		return out
+	}
+	out.finish = run.Finish
+	if err := RunTrialsRange(c, ws, rec, run.Trial, lo, hi); err != nil {
+		out.errMsg = err.Error()
+		out.finish = nil
+	}
+	return out
+}
+
+// foldCell renders a cell's merged block state into its Result — the
+// trial-parallel counterpart of runCell's tail (finisher, metric
+// rendering, non-finite filtering, panic containment). rec is recycled
+// here whatever path returns.
+func foldCell(c Cell, rec *Recorder, finish FinishFunc, errMsg string, n, m int) (res *Result) {
+	res = &Result{
+		Family:     c.Family.Family,
+		Size:       c.Family.Size,
+		N:          n,
+		M:          m,
+		Measure:    c.Measure,
+		Model:      c.Model,
+		Rate:       c.Rate,
+		Trials:     c.Trials,
+		Seed:       c.Seed,
+		TrialBlock: c.TrialBlock,
+	}
+	if c.Precision.Sampled {
+		res.Precision = c.Precision.String()
+	}
+	defer func() {
+		if rec != nil {
+			recorderPool.Put(rec)
+		}
+		if p := recover(); p != nil {
+			res.Metrics = nil
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	if errMsg != "" {
+		res.Err = errMsg
+		return res
+	}
+	if finish != nil {
+		if err := finish(rec); err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	metrics, err := rec.Metrics()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	finishResult(res, metrics)
+	return res
+}

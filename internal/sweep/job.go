@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,9 +66,18 @@ type Snapshot struct {
 	CellsDone    int `json:"cells_done"`
 	CellsTotal   int `json:"cells_total"`
 	CellsSkipped int `json:"cells_skipped,omitempty"`
-	// TrialsDone is cell-granular: it advances by a cell's trial budget
-	// when the cell completes.
+	// TrialsDone counts completed trial executions. It advances as
+	// compute finishes — per trial block in trial-parallel mode, per
+	// cell (or coupled group) otherwise — so it can run ahead of the
+	// durable output by the in-flight window; CellsDone stays
+	// write-confirmed.
 	TrialsDone int64 `json:"trials_done"`
+	// GraphsBuilt / GraphsTotal track the lazy family-graph lifecycle:
+	// Total is how many distinct family graphs this run needs, Built
+	// how many have been constructed so far. A job mid-build shows
+	// progress here before any cell completes.
+	GraphsBuilt int `json:"graphs_built,omitempty"`
+	GraphsTotal int `json:"graphs_total,omitempty"`
 	// Errors counts cells whose Result carries an Err.
 	Errors int `json:"errors"`
 	// Elapsed is wall-clock time since Start (frozen at completion);
@@ -143,14 +153,16 @@ type Job struct {
 	sum       Summary
 	err       error
 
-	// Lock-free observability, written by the emit path and read by
-	// Snapshot from any goroutine.
-	cellsDone  atomic.Int64
-	trialsDone atomic.Int64
-	errCells   atomic.Int64
-	startNano  atomic.Int64
-	endNano    atomic.Int64
-	failMsg    atomic.Value // string
+	// Lock-free observability, written by the emit and compute paths
+	// and read by Snapshot from any goroutine.
+	cellsDone   atomic.Int64
+	trialsDone  atomic.Int64
+	errCells    atomic.Int64
+	graphsBuilt atomic.Int64
+	graphsTotal atomic.Int64
+	startNano   atomic.Int64
+	endNano     atomic.Int64
+	failMsg     atomic.Value // string
 }
 
 // jobStates maps the atomic state index to its JobState; order matters.
@@ -284,6 +296,8 @@ func (j *Job) Snapshot() Snapshot {
 		CellsTotal:   len(j.cells),
 		CellsSkipped: j.cfg.skip,
 		TrialsDone:   j.trialsDone.Load(),
+		GraphsBuilt:  int(j.graphsBuilt.Load()),
+		GraphsTotal:  int(j.graphsTotal.Load()),
 		Errors:       int(j.errCells.Load()),
 		Shard:        j.cfg.shard,
 	}
@@ -312,26 +326,109 @@ func (j *Job) finish(state int32, err error) {
 	close(j.done)
 }
 
-// run executes the job: build each family graph once, execute the cells
-// on a bounded pool with ordered emission, stream to the writer, flush.
-// This is the body Run used to own, plus cancellation and observability.
-func (j *Job) run(ctx context.Context) {
-	// Build each distinct family graph once, serially, up front: graphs
-	// are immutable so cells can share them, and a bad family spec fails
-	// before any output is written. Only families that actually appear
-	// in this run's (possibly sharded) cell set are built; the graph
-	// seed is semantic (GraphSeed), so every shard that does build a
-	// family builds the identical instance.
-	graphs := map[string]*graph.Graph{}
-	for _, c := range j.cells {
-		f := c.Family
-		key := f.String()
-		if _, ok := graphs[key]; ok {
-			continue
+// graphEntry is one family's lazily-built, ref-counted graph slot.
+// refs is preset to the number of units that will reference the entry
+// before the pool starts; the first acquire builds (sync.Once —
+// concurrent acquirers block and share the one build), every unit
+// releases exactly once, and the last release drops the graph, so peak
+// graph memory tracks the in-flight working set instead of the whole
+// grid.
+type graphEntry struct {
+	fam    FamilySpec
+	budget gen.Budget
+	seed   uint64
+	// estN/estM are the plan-time size estimates (no build), feeding
+	// the unit cost scores.
+	estN, estM int64
+
+	refs atomic.Int64
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// acquire returns the entry's graph, building it on first use. Safe for
+// concurrent use: non-building acquirers observe g/err through the
+// Once's happens-before edge.
+func (e *graphEntry) acquire(built *atomic.Int64) (*graph.Graph, error) {
+	e.once.Do(func() {
+		e.g, _, e.err = gen.FromFamilyBudget(e.fam.Family, e.fam.Size, e.fam.K, e.budget, xrand.New(e.seed))
+		if e.err == nil {
+			built.Add(1)
 		}
-		if err := ctx.Err(); err != nil {
-			j.finish(stCancelled, fmt.Errorf("sweep: cancelled before execution: %w", err))
-			return
+	})
+	return e.g, e.err
+}
+
+// release drops one unit's reference; the last release frees the graph.
+// The g = nil write is race-free because refs is preset to the total
+// unit count before dispatch begins: no acquire can arrive after refs
+// hits zero, and every other unit's reads of the graph happen-before
+// its own refs decrement, which happens-before the final decrementer's
+// write (sync/atomic acquire-release ordering).
+func (e *graphEntry) release() {
+	if e.refs.Add(-1) == 0 {
+		e.g = nil
+	}
+}
+
+// unitKind discriminates the schedulable unit shapes.
+type unitKind uint8
+
+const (
+	unitCell  unitKind = iota // one independent cell
+	unitGroup                 // one coupled rate group (contiguous cells)
+	unitBlock                 // one trial block of a trial-parallel cell
+)
+
+// unit is one schedulable piece of work. Units are built in cell-major
+// order, so emitting them in unit-index order reproduces the cell
+// order — and, within a trial-parallel cell, block order.
+type unit struct {
+	kind unitKind
+	cell int // index into j.cells (first cell of the group for unitGroup)
+	// lo/hi bound the trial range and last marks the cell's final
+	// block; unitBlock only.
+	lo, hi int
+	last   bool
+	fam    *graphEntry
+	// cost is the EstimateFamily-derived dispatch priority (UnitCost).
+	cost float64
+}
+
+// unitOut is what one scheduled unit yields to the ordered emit path.
+type unitOut struct {
+	res  *Result   // unitCell
+	grp  []*Result // unitGroup
+	blk  *blockOut // unitBlock
+	skip bool      // dropped: writer already failed or a graph build failed
+}
+
+// run executes the job: plan every family up front (fail before any
+// output), build graphs lazily and ref-counted on the pool, execute
+// the schedulable units — cells, coupled groups, or trial blocks —
+// with cost-ordered dispatch and ordered emission, stream to the
+// writer, flush.
+func (j *Job) run(parent context.Context) {
+	// An internal cancel layer lets a mid-run graph-build failure stop
+	// dispatch the same way a user cancel does (drain, flush, then
+	// report stFailed instead of stCancelled).
+	ctx, cancelRun := context.WithCancel(parent)
+	defer cancelRun()
+
+	// Plan (not build) each distinct family up front: a bad family spec
+	// — malformed size token, over-budget graph — still fails before
+	// any output is written, exactly as the old eager build did, and
+	// the plan's size estimates price the dispatch order. Construction
+	// itself is deferred to first use on the pool. The graph seed is
+	// semantic (GraphSeed), so every shard that builds a family builds
+	// the identical instance.
+	entries := map[string]*graphEntry{}
+	for i := range j.cells {
+		c := &j.cells[i]
+		key := c.Family.String()
+		if _, ok := entries[key]; ok {
+			continue
 		}
 		// Sampled-precision cells measure in O(k·(n+m)), so they get the
 		// raised size budget; exact cells keep the default OOM guard.
@@ -339,23 +436,70 @@ func (j *Job) run(ctx context.Context) {
 		if c.Precision.Sampled {
 			budget = gen.SampledBudget
 		}
-		g, _, err := gen.FromFamilyBudget(f.Family, f.Size, f.K, budget, xrand.New(GraphSeed(j.spec.Seed, f)))
+		n, m, err := gen.EstimateFamilyBudget(c.Family.Family, c.Family.Size, c.Family.K, budget)
 		if err != nil {
 			j.finish(stFailed, fmt.Errorf("sweep: building %s: %w", key, err))
 			return
 		}
-		graphs[key] = g
+		entries[key] = &graphEntry{
+			fam:    c.Family,
+			budget: budget,
+			seed:   GraphSeed(j.spec.Seed, c.Family),
+			estN:   n,
+			estM:   m,
+		}
 	}
+	j.graphsTotal.Store(int64(len(entries)))
 
-	// In coupled mode the dispatch unit is the cell group (one family ×
-	// measure × model, every rate); Cells() expands rates innermost, so
-	// each group is a contiguous slice of length len(Rates) and emitting
-	// groups in order reproduces the independent cell order exactly.
-	unit := 1
-	if j.spec.Coupled() {
-		unit = len(j.spec.Rates)
+	// Expand the cell sequence into schedulable units, cell-major: the
+	// coupled group (every rate of one family × measure × model), the
+	// trial block, or the plain cell. Emission in unit order therefore
+	// reproduces cell order, and a trial-parallel cell's blocks arrive
+	// at the fold consecutively, in block order.
+	var units []unit
+	switch {
+	case j.spec.Coupled():
+		per := len(j.spec.Rates)
+		for s := 0; s < len(j.cells); s += per {
+			c := &j.cells[s]
+			e := entries[c.Family.String()]
+			units = append(units, unit{
+				kind: unitGroup, cell: s, fam: e,
+				cost: UnitCost(e.estN, e.estM, c.Trials*per, c.Precision),
+			})
+		}
+	case j.spec.TrialParallel:
+		for i := range j.cells {
+			c := &j.cells[i]
+			e := entries[c.Family.String()]
+			nb := blockCount(c.Trials, c.TrialBlock)
+			for b := 0; b < nb; b++ {
+				lo := b * c.TrialBlock
+				hi := min(lo+c.TrialBlock, c.Trials)
+				if nb == 1 {
+					lo, hi = 0, c.Trials
+				}
+				units = append(units, unit{
+					kind: unitBlock, cell: i, lo: lo, hi: hi, last: b == nb-1, fam: e,
+					cost: UnitCost(e.estN, e.estM, hi-lo, c.Precision),
+				})
+			}
+		}
+	default:
+		for i := range j.cells {
+			c := &j.cells[i]
+			e := entries[c.Family.String()]
+			units = append(units, unit{
+				kind: unitCell, cell: i, fam: e,
+				cost: UnitCost(e.estN, e.estM, c.Trials, c.Precision),
+			})
+		}
 	}
-	units := len(j.cells) / unit
+	// Preset the ref counts before any dispatch: release() relies on
+	// refs only ever reaching zero after the final unit is done.
+	for i := range units {
+		units[i].fam.refs.Add(1)
+	}
 
 	workers := j.cfg.workers
 	if workers == 0 {
@@ -367,11 +511,27 @@ func (j *Job) run(ctx context.Context) {
 	// More workers than work units is pure waste — and without the clamp
 	// a hostile "workers": 1e9 spec would allocate a workspace per
 	// phantom worker before the pool ever clamps its goroutines.
-	if workers > units {
-		workers = units
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if workers < 1 {
 		workers = 1
+	}
+
+	// Cost-aware dispatch: hand the most expensive units to the pool
+	// first (stable sort — ties keep cell order, so same-family units
+	// stay contiguous and the in-flight graph set stays small). The
+	// permutation affects wall-clock only: RunOrderedDispatchCtx emits
+	// in unit-index order regardless, so output bytes are untouched.
+	var order []int
+	if workers > 1 {
+		order = make([]int, len(units))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return units[order[a]].cost > units[order[b]].cost
+		})
 	}
 
 	// One private Workspace per worker goroutine (never shared, never
@@ -385,16 +545,27 @@ func (j *Job) run(ctx context.Context) {
 	var (
 		writeErr error
 		aborted  atomic.Bool
+		// buildErr records the first mid-run graph construction failure
+		// (rare: the plan above admits the size, so only randomized
+		// feasibility checks can fail here). It cancels dispatch; the
+		// terminal state is stFailed.
+		buildErr atomic.Pointer[error]
 	)
-	// emitOne streams one cell result, shared by both dispatch shapes.
+	failBuild := func(key string, err error) {
+		werr := fmt.Errorf("sweep: building %s: %w", key, err)
+		if buildErr.CompareAndSwap(nil, &werr) {
+			cancelRun()
+		}
+	}
+
+	// emitOne streams one cell result, shared by every unit shape.
 	emitOne := func(r *Result) {
 		if writeErr != nil {
-			// The sink already failed: the remaining results — the
-			// synthetic aborted placeholders and any real cells that
-			// were in flight — can never be written, so they are not
-			// part of the run's outcome. Counting them would inflate
-			// the summary, and reporting progress for them would show
-			// a run marching on after its output died.
+			// The sink already failed: the remaining results — any real
+			// cells that were in flight — can never be written, so they
+			// are not part of the run's outcome. Counting them would
+			// inflate the summary, and reporting progress for them would
+			// show a run marching on after its output died.
 			return
 		}
 		// The Summary counts every cell that reached the sink — the
@@ -411,51 +582,115 @@ func (j *Job) run(ctx context.Context) {
 			return
 		}
 		j.cellsDone.Store(int64(j.sum.Cells))
-		j.trialsDone.Add(int64(r.Trials))
 		j.errCells.Store(int64(j.sum.Errors))
 		if j.cfg.progress != nil {
 			j.cfg.progress(j.sum.Cells, len(j.cells))
 		}
 	}
-	var ctxErr error
-	if j.spec.Coupled() {
-		ctxErr = harness.RunOrderedWorkersCtx(ctx, units, workers,
-			func(worker, i int) []*Result {
-				group := j.cells[i*unit : (i+1)*unit]
-				if aborted.Load() {
-					rs := make([]*Result, len(group))
-					for k := range rs {
-						rs[k] = &Result{Err: "aborted: writer failed"}
-					}
-					return rs
-				}
-				c0 := group[0]
-				seed := CoupledGroupSeed(j.spec.Seed, c0.Family, c0.Measure, c0.Model)
-				return runCoupledGroup(graphs[c0.Family.String()], group, workspaces[worker], seed)
-			},
-			func(i int, rs []*Result) {
-				for _, r := range rs {
-					emitOne(r)
-				}
-			})
-	} else {
-		ctxErr = harness.RunOrderedWorkersCtx(ctx, len(j.cells), workers,
-			func(worker, i int) *Result {
-				if aborted.Load() {
-					// The sink already failed; don't burn hours computing
-					// cells whose results can never be written.
-					return &Result{Err: "aborted: writer failed"}
-				}
-				return runCell(graphs[j.cells[i].Family.String()], j.cells[i], workspaces[worker])
-			},
-			func(i int, r *Result) { emitOne(r) })
+
+	// runUnit computes one unit on a pool worker. Every unit acquires
+	// its family's graph (building it on first use) and releases it on
+	// the way out, so a family's graph lives exactly as long as it has
+	// in-flight or pending units.
+	runUnit := func(worker, ui int) unitOut {
+		u := &units[ui]
+		if aborted.Load() || buildErr.Load() != nil {
+			// Don't burn hours computing units whose results can never
+			// be written; still release the ref so counts stay balanced.
+			u.fam.release()
+			return unitOut{skip: true}
+		}
+		g, err := u.fam.acquire(&j.graphsBuilt)
+		if err != nil {
+			u.fam.release()
+			failBuild(u.fam.fam.String(), err)
+			return unitOut{skip: true}
+		}
+		defer u.fam.release()
+		ws := workspaces[worker]
+		switch u.kind {
+		case unitGroup:
+			group := j.cells[u.cell : u.cell+len(j.spec.Rates)]
+			c0 := group[0]
+			seed := CoupledGroupSeed(j.spec.Seed, c0.Family, c0.Measure, c0.Model)
+			rs := runCoupledGroup(g, group, ws, seed)
+			j.trialsDone.Add(int64(c0.Trials) * int64(len(group)))
+			return unitOut{grp: rs}
+		case unitBlock:
+			blk := runTrialBlock(g, j.cells[u.cell], ws, u.lo, u.hi)
+			j.trialsDone.Add(int64(u.hi - u.lo))
+			return unitOut{blk: blk}
+		default:
+			r := runCell(g, j.cells[u.cell], ws)
+			j.trialsDone.Add(int64(r.Trials))
+			return unitOut{res: r}
+		}
 	}
+
+	// Trial-block fold state. RunOrderedDispatchCtx emits units in
+	// index order on one goroutine and units are cell-major, so a
+	// cell's blocks arrive here consecutively, in block order — the
+	// fold needs no locking and no out-of-order buffering beyond what
+	// the harness already does. The merge order is therefore fixed by
+	// the block partition, never by scheduling: that is the whole
+	// byte-determinism argument for trial-parallel mode.
+	var (
+		accRec     *Recorder
+		accFinish  FinishFunc
+		accErr     string
+		accN, accM int
+	)
+	emitUnit := func(ui int, out unitOut) {
+		if out.skip || writeErr != nil || buildErr.Load() != nil {
+			// Recycle a dropped block's recorder; the fold for its cell
+			// will never complete (the run is ending).
+			if out.blk != nil && out.blk.rec != nil {
+				recorderPool.Put(out.blk.rec)
+			}
+			return
+		}
+		switch {
+		case out.grp != nil:
+			for _, r := range out.grp {
+				emitOne(r)
+			}
+		case out.blk != nil:
+			u := &units[ui]
+			b := out.blk
+			if u.lo == 0 {
+				accRec, accFinish, accErr, accN, accM = b.rec, b.finish, b.errMsg, b.n, b.m
+			} else {
+				if accErr == "" {
+					accErr = b.errMsg
+				}
+				if b.rec != nil {
+					if accRec == nil {
+						accRec = b.rec
+					} else {
+						accRec.MergeFrom(b.rec)
+						recorderPool.Put(b.rec)
+					}
+				}
+			}
+			if u.last {
+				r := foldCell(j.cells[u.cell], accRec, accFinish, accErr, accN, accM)
+				accRec, accFinish, accErr = nil, nil, ""
+				emitOne(r)
+			}
+		default:
+			emitOne(out.res)
+		}
+	}
+
+	ctxErr := harness.RunOrderedDispatchCtx(ctx, len(units), workers, order, runUnit, emitUnit)
 	// Flush regardless of how the run ended: a cancelled job's prefix
 	// must be durable for -resume to pick up.
 	flushErr := j.cfg.w.Flush()
 	switch {
 	case writeErr != nil:
 		j.finish(stFailed, fmt.Errorf("sweep: writing results: %w", writeErr))
+	case buildErr.Load() != nil:
+		j.finish(stFailed, *buildErr.Load())
 	case ctxErr != nil:
 		j.finish(stCancelled, fmt.Errorf("sweep: cancelled after %d of %d cells: %w", j.sum.Cells, len(j.cells), ctxErr))
 	case flushErr != nil:

@@ -77,7 +77,17 @@ func TestJobCancelResumesByteIdentical(t *testing.T) {
 			}
 			sum, werr := j.Wait()
 			if werr == nil {
-				t.Fatal("cancelled job returned nil error")
+				// Cost-ordered dispatch can hand every unit to the pool
+				// before the cancel lands; the drain contract then
+				// completes the run cleanly. The outcome must be the
+				// full run, byte-identical.
+				if sum.Cells != len(cells) {
+					t.Fatalf("clean finish after cancel ran %d of %d cells", sum.Cells, len(cells))
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatal("clean finish after cancel differs from the uninterrupted run")
+				}
+				return
 			}
 			if !errors.Is(werr, context.Canceled) {
 				t.Fatalf("Wait error %v does not wrap context.Canceled", werr)

@@ -74,6 +74,14 @@ func ScanResume(r io.Reader, cells []Cell) (ResumeState, error) {
 				return st, fmt.Errorf("sweep: resume: record %d ran %d trials, spec wants %d — output from a different trial budget",
 					st.Done, res.Trials, c.Trials)
 			}
+			// The trial-parallel block partition is part of a record's
+			// byte contract (blocked stream merges differ from the serial
+			// fold in the last ulp), so serial and trial-parallel output
+			// must never splice into one stream.
+			if res.TrialBlock != c.TrialBlock {
+				return st, fmt.Errorf("sweep: resume: record %d used trial blocks of %d, spec wants %d — serial and trial-parallel output do not splice",
+					st.Done, res.TrialBlock, c.TrialBlock)
+			}
 			st.Done++
 			st.Offset += int64(len(line))
 		case err == io.EOF:
@@ -146,6 +154,11 @@ type FamilyPlan struct {
 	// Fits reports whether the family passes the run's size budget
 	// (exact or sampled tier).
 	Fits bool
+	// CellCost is the scheduler's estimated cost score for ONE cell of
+	// this family (UnitCost at the run's trial budget and precision) —
+	// the number the cost-aware dispatcher sorts units by, surfaced so
+	// a dry run can predict wall-clock and explain dispatch order.
+	CellCost float64
 	// Err carries the estimate failure for families the registry
 	// cannot size without building (estimates then read zero).
 	Err string
@@ -206,6 +219,7 @@ func (s *Spec) Plan(sh Shard) (Plan, error) {
 			fp.N, fp.M = n, m
 			fp.PeakBytes = EstimatePeakBytes(n, m)
 			fp.Fits = n <= budget.MaxV && m <= budget.MaxE
+			fp.CellCost = UnitCost(n, m, s.Trials, p.Precision)
 		}
 		p.FamilyPlans = append(p.FamilyPlans, fp)
 	}

@@ -205,7 +205,30 @@ type Spec struct {
 	// precision requires every measure in the grid to be
 	// sampled-capable and is incompatible with the coupled rate mode.
 	Precision string `json:"precision,omitempty"`
+	// TrialParallel opts the run into trial-level parallelism: each
+	// cell's trial loop splits into fixed-size blocks of TrialBlock
+	// trials, blocks run on the worker pool, and each block's streaming
+	// accumulators fold via stats.Stream.Merge in block-index order.
+	// Output bytes then depend on the block partition (Trials,
+	// TrialBlock) — never on worker count, sharding, or resume — but
+	// the _mean/_std companions can differ from the serial fold in the
+	// last ulp, which is why the mode is opt-in and every Result
+	// records its partition (trial_block). Requires every measure in
+	// the grid to be trial-grained and is incompatible with the coupled
+	// rate mode (a coupled group's incremental rate pass is sequential
+	// by construction).
+	TrialParallel bool `json:"trial_parallel,omitempty"`
+	// TrialBlock is the trial-block size of the trial-parallel mode
+	// (0 = DefaultTrialBlock; Validate normalizes). Part of the output
+	// contract: changing it changes the block partition and therefore
+	// the bytes. Setting it without TrialParallel is an error.
+	TrialBlock int `json:"trial_block,omitempty"`
 }
+
+// DefaultTrialBlock is the trial-block size a trial-parallel spec gets
+// when trial_block is unset: large enough to amortize the per-block
+// setup replay, small enough to spread a wide cell across a pool.
+const DefaultTrialBlock = 64
 
 // Rate-axis sampling modes.
 const (
@@ -331,6 +354,25 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
+	if !s.TrialParallel && s.TrialBlock != 0 {
+		return fmt.Errorf("sweep: trial_block is set but trial_parallel is not (the block size is part of the trial-parallel output contract)")
+	}
+	if s.TrialParallel {
+		if s.Coupled() {
+			return fmt.Errorf("sweep: coupled rate mode does not compose with trial_parallel (a coupled group's incremental rate pass is sequential by construction)")
+		}
+		if s.TrialBlock < 0 {
+			return fmt.Errorf("sweep: trial_block must be ≥ 0 (0 = %d), got %d", DefaultTrialBlock, s.TrialBlock)
+		}
+		if s.TrialBlock == 0 {
+			s.TrialBlock = DefaultTrialBlock
+		}
+		for _, m := range s.Measures {
+			if _, ok := LookupTrials(m); !ok {
+				return fmt.Errorf("sweep: measure %q is cell-grained; trial_parallel needs trial-grained measures (have %s)", m, strings.Join(TrialMeasures(), ", "))
+			}
+		}
+	}
 	return nil
 }
 
@@ -349,6 +391,10 @@ type Cell struct {
 	// tier into Seed (see CellSeedPrecision), so exact cells keep their
 	// historical seeds and output bytes.
 	Precision Precision
+	// TrialBlock is the trial-parallel block size; 0 means the serial
+	// trial loop (the default, historical fold order). Non-zero only
+	// when the spec opts into trial_parallel.
+	TrialBlock int
 }
 
 // rateToken renders a rate for seed keys and CSV cells; shortest
@@ -398,20 +444,28 @@ func GraphSeed(gridSeed uint64, f FamilySpec) uint64 {
 func (s *Spec) Cells() []Cell {
 	models := s.modelList()
 	prec := s.precision()
+	block := 0
+	if s.TrialParallel {
+		block = s.TrialBlock
+		if block == 0 {
+			block = DefaultTrialBlock // spec not yet normalized by Validate
+		}
+	}
 	out := make([]Cell, 0, len(s.Families)*len(s.Measures)*len(models)*len(s.Rates))
 	for _, f := range s.Families {
 		for _, m := range s.Measures {
 			for _, mod := range models {
 				for _, r := range s.Rates {
 					out = append(out, Cell{
-						Index:     len(out),
-						Family:    f,
-						Measure:   m,
-						Model:     mod,
-						Rate:      r,
-						Trials:    s.Trials,
-						Seed:      CellSeedPrecision(s.Seed, f, m, mod, r, prec),
-						Precision: prec,
+						Index:      len(out),
+						Family:     f,
+						Measure:    m,
+						Model:      mod,
+						Rate:       r,
+						Trials:     s.Trials,
+						Seed:       CellSeedPrecision(s.Seed, f, m, mod, r, prec),
+						Precision:  prec,
+						TrialBlock: block,
 					})
 				}
 			}

@@ -100,8 +100,15 @@ type Result struct {
 	Seed    uint64             `json:"seed"`
 	// Precision is the measurement tier ("sampled:k"); empty (omitted)
 	// for exact cells, so historical output is byte-identical.
-	Precision string             `json:"precision,omitempty"`
-	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	// TrialBlock records the trial-parallel block partition that
+	// produced this record (0/omitted = the serial trial fold, so
+	// historical output is byte-identical). Part of the resume
+	// contract: serial and trial-parallel records never splice into
+	// one stream, since their _mean/_std bytes can differ in the last
+	// ulp.
+	TrialBlock int                `json:"trial_block,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 	// Nonfinite lists (comma-joined, sorted) the metric keys whose
 	// values were NaN/±Inf and therefore dropped from Metrics — a
 	// half-broken measure is visibly different from a clean one.
@@ -148,15 +155,16 @@ type Options struct {
 // cannot kill a grid.
 func runCell(g *graph.Graph, c Cell, ws *graph.Workspace) (res *Result) {
 	res = &Result{
-		Family:  c.Family.Family,
-		Size:    c.Family.Size,
-		N:       g.N(),
-		M:       g.M(),
-		Measure: c.Measure,
-		Model:   c.Model,
-		Rate:    c.Rate,
-		Trials:  c.Trials,
-		Seed:    c.Seed,
+		Family:     c.Family.Family,
+		Size:       c.Family.Size,
+		N:          g.N(),
+		M:          g.M(),
+		Measure:    c.Measure,
+		Model:      c.Model,
+		Rate:       c.Rate,
+		Trials:     c.Trials,
+		Seed:       c.Seed,
+		TrialBlock: c.TrialBlock,
 	}
 	if c.Precision.Sampled {
 		res.Precision = c.Precision.String()

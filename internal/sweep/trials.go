@@ -85,6 +85,19 @@ func LookupTrials(name string) (TrialSetup, bool) {
 	return setup, ok
 }
 
+// TrialMeasures returns the trial-grained measure names, sorted — the
+// measures a trial_parallel grid accepts.
+func TrialMeasures() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(trialRegistry))
+	for name := range trialRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // recorderPool recycles Recorders across cells: a pooled recorder's
 // name slots survive Reset, so a worker grinding through cells of the
 // same measure re-finds its slots instead of re-allocating the map and
@@ -123,8 +136,18 @@ func trialCellFunc(setup TrialSetup) CellFunc {
 // lives in rec, pre-allocated), so a TrialFunc that routes everything
 // through ws keeps the steady-state trial path allocation-free.
 func RunTrials(c Cell, ws *graph.Workspace, rec *Recorder, fn TrialFunc) error {
+	return RunTrialsRange(c, ws, rec, fn, 0, c.Trials)
+}
+
+// RunTrialsRange drives trials t in [lo, hi) of the cell's [0, Trials)
+// loop — the trial-parallel block body. Trial t's generator is reseeded
+// from TrialSeed(c.Seed, t) exactly as in the full loop, so the block
+// partition changes only which accumulator a trial folds into, never
+// the trial's own draws. The range body allocates nothing, like
+// RunTrials.
+func RunTrialsRange(c Cell, ws *graph.Workspace, rec *Recorder, fn TrialFunc, lo, hi int) error {
 	rng := &rec.trialRNG
-	for t := 0; t < c.Trials; t++ {
+	for t := lo; t < hi; t++ {
 		rng.Reseed(TrialSeed(c.Seed, t))
 		if err := fn(t, ws, rng, rec); err != nil {
 			return err
@@ -181,6 +204,33 @@ func (r *Recorder) Observe(name string, v float64) {
 // Const records a per-cell scalar (a fault-free baseline, a theorem
 // constant) emitted under its exact name, with no companions.
 func (r *Recorder) Const(name string, v float64) { r.consts[name] = v }
+
+// MergeFrom folds another recorder's accumulated observations and
+// constants into r (stats.Stream.Merge per base metric) — the
+// block-fold step of trial-parallel execution. The caller fixes the
+// merge order (block-index order), which is what pins the merged
+// _mean/_std values to the block partition instead of the schedule.
+// Constants overwrite: blocks of one cell replay the same
+// deterministic setup, so their constants are identical. Name slots
+// with no observations (pooled-recorder residue) are skipped.
+func (r *Recorder) MergeFrom(o *Recorder) {
+	for i, name := range o.names {
+		if o.streams[i].N() == 0 && o.streams[i].Nonfinite() == 0 {
+			continue
+		}
+		j, ok := r.idx[name]
+		if !ok {
+			j = len(r.streams)
+			r.idx[name] = j
+			r.names = append(r.names, name)
+			r.streams = append(r.streams, stats.Stream{})
+		}
+		r.streams[j].Merge(o.streams[i])
+	}
+	for k, v := range o.consts {
+		r.consts[k] = v
+	}
+}
 
 // Count returns how many observations base metric name has received —
 // the denominator for "fraction of trials that were measurable".

@@ -301,6 +301,39 @@ func TestREADMEDocumentsRateModeAndKernelScratch(t *testing.T) {
 	}
 }
 
+// TestREADMEDocumentsParallelismModel pins the trial-parallel surfaces
+// the README promises: the section itself, the spec fields and flags,
+// the block-merge determinism contract with its last-ulp caveat, the
+// lazy ref-counted graph lifecycle counters, and the cost-aware
+// dispatch story with its dry-run column.
+func TestREADMEDocumentsParallelismModel(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### Parallelism model",
+		`"trial_parallel": true`, "-trial-parallel",
+		`"trial_block"`, "-trial-block",
+		"block-index",
+		"last\n  ulp",
+		"SweepTrialMeasures",
+		"ref-counted",
+		"`graphs_built` / `graphs_total`",
+		"largest\nfirst",
+		"cost~", "SweepUnitCost",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README's parallelism docs do not mention %q", want)
+		}
+	}
+	// The documented default must be the real one.
+	if faultexp.SweepDefaultTrialBlock != 64 {
+		t.Errorf("README documents a default trial block of 64, code says %d", faultexp.SweepDefaultTrialBlock)
+	}
+}
+
 // TestREADMESampledMeasuresInSync keeps README's sampled-capable
 // measure list in lockstep with the live sampled registry (the same
 // marker mechanism as the coupled-measures list).
