@@ -16,6 +16,9 @@ package faultexp_test
 // leans on (expansion estimation, pruning, span, percolation sweeps).
 
 import (
+	"context"
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"faultexp"
@@ -358,5 +361,97 @@ func BenchmarkPrimitiveEmulate(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = emb.Evaluate()
+	}
+}
+
+// --- Result-cache benchmarks (see README "Result cache") ---
+
+// BenchmarkCacheKeyHash: one op = deriving one cell's content address
+// with a reused hasher — the per-cell overhead every cached run pays up
+// front for the whole grid. The acceptance gate is 0 allocs/op.
+func BenchmarkCacheKeyHash(b *testing.B) {
+	spec := &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}},
+		Measures: []string{"gamma"},
+		Model:    sweep.ModelIIDNode,
+		Rates:    []float64{0.05},
+		Trials:   32,
+		Seed:     7,
+	}
+	c := spec.Cells()[0]
+	var h faultexp.CacheHasher
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = faultexp.SweepCellCacheKey(&h, spec.RateMode, c)
+	}
+}
+
+// cacheBenchSpec is the grid the hit/cold-path benchmarks run: real
+// measures, enough cells that scheduling matters, small enough that one
+// cold op is affordable.
+func cacheBenchSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Families: []sweep.FamilySpec{{Family: "torus", Size: "16x16"}, {Family: "hypercube", Size: "6"}},
+		Measures: []string{"gamma", "shatter"},
+		Model:    sweep.ModelIIDNode,
+		Rates:    []float64{0, 0.05, 0.1},
+		Trials:   32,
+		Seed:     7,
+	}
+}
+
+func runCacheBenchJob(b *testing.B, rc *faultexp.ResultCache) *sweep.Job {
+	j, err := sweep.NewJob(cacheBenchSpec(), sweep.WithWriter(discardWriter{}), sweep.WithCache(rc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	return j
+}
+
+// BenchmarkJobCacheHitPath: one op = a fully-warm job over the 12-cell
+// grid — cache probe, verification, and ordered emit, no graph builds,
+// no trials. Compare against BenchmarkJobCacheColdPath for the speedup
+// a warm cache buys (the PR's ≥10× acceptance criterion).
+func BenchmarkJobCacheHitPath(b *testing.B) {
+	rc, err := faultexp.OpenResultCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	runCacheBenchJob(b, rc) // cold fill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := runCacheBenchJob(b, rc)
+		if s := j.Snapshot(); s.CacheHits != int64(s.CellsTotal) {
+			b.Fatalf("warm job: %d hits of %d cells", s.CacheHits, s.CellsTotal)
+		}
+	}
+}
+
+// BenchmarkJobCacheColdPath: the same grid with an always-empty cache —
+// what the hit path saves. One op = a full cold run (graph builds +
+// trials + write-back).
+func BenchmarkJobCacheColdPath(b *testing.B) {
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rc, err := faultexp.OpenResultCache(filepath.Join(dir, fmt.Sprint(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		j := runCacheBenchJob(b, rc)
+		if s := j.Snapshot(); s.CacheMisses != int64(s.CellsTotal) {
+			b.Fatalf("cold job: %d misses of %d cells", s.CacheMisses, s.CellsTotal)
+		}
 	}
 }

@@ -13,8 +13,8 @@
 //	faultexp prune2     -family torus -size 16x16 -p 0.001 -alphae 0.25 -eps 0.125
 //	faultexp percolate  -family torus -size 32x32 -mode bond [-trials 20]
 //	faultexp sweep      -families torus:8x8,hypercube:6 -measures gamma,prune2 -rates 0,0.02,0.05,0.1 [-jsonl out.jsonl] [-csv out.csv]
-//	faultexp sweep      -spec grid.json -resume out.jsonl | -dry-run
-//	faultexp serve      -addr 127.0.0.1:8080 [-max-active 2]
+//	faultexp sweep      -spec grid.json -resume out.jsonl | -dry-run [-cache DIR]
+//	faultexp serve      -addr 127.0.0.1:8080 [-max-active 2] [-cache DIR]
 //	faultexp agg        -by family,rate out.jsonl [-csv summary.csv]
 //	faultexp experiment E7 [-full] [-seed 42]
 //	faultexp experiment all
@@ -148,8 +148,10 @@ commands:
   route       random-pairs routing congestion (§1.3 application)
   sweep       run a parameter grid (family × measure × model × rate) streaming JSONL/CSV
               (-resume picks up an interrupted run; -dry-run prints the plan;
-              SIGINT/SIGTERM drains at a cell boundary and leaves a resumable prefix)
+              -cache DIR never recomputes a cell already computed under identical
+              parameters; SIGINT/SIGTERM drains at a cell boundary, resumable prefix)
   serve       HTTP daemon over the sweep Job API: POST /v1/jobs, snapshot, stream, cancel
+              (-cache DIR shares a result cache across jobs with single-flight dedup)
   merge       reassemble 'sweep -shard i/m' JSONL outputs into the unsharded stream
   agg         group sweep JSONL records and emit summary tables (CSV/JSONL) for plotting
   experiment  run a reproduction experiment (E1–E19) or "all"

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"faultexp/internal/cache"
 	"faultexp/internal/sweep"
 )
 
@@ -40,6 +41,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxActive := fs.Int("max-active", 2, "jobs executing concurrently; submissions beyond it queue as pending")
 	maxJobs := fs.Int("max-jobs", 64, "jobs held in memory; when full, finished jobs are evicted oldest-first and POST returns 503 only if every held job is still active")
 	maxResultBytes := fs.Int64("max-result-bytes", 64<<20, "per-job cap on retained result bytes; a job whose output would exceed it fails with a clear error (0 = unlimited)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory shared by every job: overlapping grids recompute nothing, and identical cells wanted by concurrent jobs are computed once (single-flight)")
 	quiet := fs.Bool("quiet", false, "suppress the startup line on stderr")
 	fs.Parse(args)
 	if *maxActive < 1 || *maxJobs < 1 {
@@ -53,6 +55,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	defer stop()
 
 	mgr := newJobManager(ctx, *maxActive, *maxJobs, *maxResultBytes)
+	if *cacheDir != "" {
+		rc, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		mgr.cache, mgr.flight = rc, cache.NewFlight()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -178,13 +187,53 @@ type servedJob struct {
 
 	cancelOnce sync.Once
 	cancelled  chan struct{}
+
+	// mu guards the admission/cancellation handshake between the pool
+	// runner (beginRun) and DELETE (requestCancel): exactly one of
+	// "admitted to a slot" and "cancelled while queued" wins, so a
+	// queued job's DELETE can safely wait for the (immediate) terminal
+	// state instead of racing a Start it cannot see.
+	mu              sync.Mutex
+	admitted        bool
+	cancelRequested bool
 }
 
 func (s *servedJob) cancel() {
 	s.cancelOnce.Do(func() {
+		s.mu.Lock()
+		s.cancelRequested = true
+		s.mu.Unlock()
 		close(s.cancelled)
 		s.job.Cancel()
 	})
+}
+
+// requestCancel cancels the job and reports whether it was still queued
+// (never admitted to a pool slot). When queued=true the run goroutine
+// is guaranteed to take the pre-cancelled path — Start with a cancelled
+// job dispatches nothing — so the caller may block on job.Done() for a
+// prompt, acknowledged terminal state. sync.Once makes the ordering
+// sound for concurrent DELETEs: cancel() returns only after
+// cancelRequested is set, and beginRun checks it under mu.
+func (s *servedJob) requestCancel() (queued bool) {
+	s.cancel()
+	s.mu.Lock()
+	queued = !s.admitted
+	s.mu.Unlock()
+	return queued
+}
+
+// beginRun claims the admission slot for a real run. It fails exactly
+// when a cancel was requested first — the queued-DELETE case — and the
+// caller then starts the job pre-cancelled instead of executing it.
+func (s *servedJob) beginRun() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancelRequested {
+		return false
+	}
+	s.admitted = true
+	return true
 }
 
 // jobManager owns every submitted job and the bounded concurrency pool:
@@ -197,10 +246,16 @@ type jobManager struct {
 
 	maxJobs        int
 	maxResultBytes int64
-	mu             sync.Mutex
-	jobs           map[string]*servedJob
-	order          []string
-	seq            int
+	// cache/flight, when set (-cache), are shared by every job: the
+	// cache makes overlapping grids incremental across jobs and server
+	// restarts; the flight dedups identical cells in concurrent jobs.
+	cache  *cache.Cache
+	flight *cache.Flight
+
+	mu    sync.Mutex
+	jobs  map[string]*servedJob
+	order []string
+	seq   int
 }
 
 func newJobManager(ctx context.Context, maxActive, maxJobs int, maxResultBytes int64) *jobManager {
@@ -217,7 +272,8 @@ func newJobManager(ctx context.Context, maxActive, maxJobs int, maxResultBytes i
 // sweep.Load — it registers the job and hands it to the pool runner.
 func (m *jobManager) submit(spec *sweep.Spec) (*servedJob, error) {
 	log := newResultLog(m.maxResultBytes)
-	job, err := sweep.NewJob(spec, sweep.WithWriter(log))
+	job, err := sweep.NewJob(spec, sweep.WithWriter(log),
+		sweep.WithCache(m.cache), sweep.WithFlight(m.flight))
 	if err != nil {
 		return nil, err
 	}
@@ -296,9 +352,13 @@ func (m *jobManager) run(sj *servedJob) {
 	}
 	if acquired {
 		defer func() { <-m.sem }()
-	} else {
-		// Never got a slot: start pre-cancelled so Wait/Snapshot/streams
-		// all resolve instead of hanging in pending forever.
+	}
+	if !acquired || !sj.beginRun() {
+		// Never got a slot, or was cancelled between queueing and
+		// admission (beginRun loses to requestCancel exactly once, under
+		// the same lock): start pre-cancelled so Wait/Snapshot/streams
+		// all resolve through the ordinary cancelled terminal state —
+		// immediately, without computing anything.
 		sj.job.Cancel()
 	}
 	if err := sj.job.Start(m.ctx); err != nil {
@@ -410,11 +470,13 @@ func (m *jobManager) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sj.view())
 }
 
-// handleCancel: DELETE on an active job cancels it (the job object
-// stays queryable so clients can watch the drain); DELETE on a job
-// already in a terminal state removes it from the store, freeing its
-// result log — the explicit form of the eviction submit performs when
-// the store fills.
+// handleCancel: DELETE on a running job cancels it and returns at once
+// (the job object stays queryable so clients can watch the drain);
+// DELETE on a still-queued job cancels it immediately — no waiting for
+// pool admission — and the response already shows the cancelled
+// terminal state; DELETE on a job already in a terminal state removes
+// it from the store, freeing its result log — the explicit form of the
+// eviction submit performs when the store fills.
 func (m *jobManager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	sj, ok := m.get(r.PathValue("id"))
 	if !ok {
@@ -428,7 +490,13 @@ func (m *jobManager) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	sj.cancel()
+	if sj.requestCancel() {
+		// The job never reached a pool slot, so it terminates without
+		// computing anything — await that (it is immediate) so the
+		// response acknowledges the cancellation instead of racing it
+		// with a stale "pending" snapshot.
+		<-sj.job.Done()
+	}
 	writeJSON(w, http.StatusOK, sj.view())
 }
 

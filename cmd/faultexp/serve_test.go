@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"faultexp/internal/cache"
 	"faultexp/internal/sweep"
 )
 
@@ -573,4 +574,139 @@ func TestServeStreamChurn(t *testing.T) {
 		resp.Body.Close()
 	}()
 	wg.Wait()
+}
+
+// TestServeCancelQueuedJobAcknowledgedImmediately is the regression test
+// for the queued-DELETE race: cancelling a job that is still waiting for
+// a pool slot must resolve it to the cancelled terminal state before the
+// DELETE response is written — no waiting for pool admission, no stale
+// "pending" snapshot in the response — and must not disturb the running
+// job that holds the slot.
+func TestServeCancelQueuedJobAcknowledgedImmediately(t *testing.T) {
+	srv, _ := newTestServer(t, 1, 8)
+	first := postJob(t, srv, slowSpecJSON)
+
+	// Wait until the slow job provably holds the only slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if getView(t, srv, first.ID).Snapshot.State == sweep.JobRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s := getView(t, srv, first.ID).Snapshot.State; s != sweep.JobRunning {
+		t.Fatalf("first job state = %q, want running", s)
+	}
+
+	second := postJob(t, srv, serveSpecJSON)
+	if s := getView(t, srv, second.ID).Snapshot.State; s != sweep.JobPending {
+		t.Fatalf("second job state = %q, want pending behind the 1-slot pool", s)
+	}
+
+	// DELETE the queued job: the response itself must already carry the
+	// cancelled terminal state with zero cells run.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+second.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	var dv jobView
+	if err := json.NewDecoder(dresp.Body).Decode(&dv); err != nil {
+		t.Fatalf("decoding DELETE response: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", dresp.StatusCode)
+	}
+	if dv.Snapshot.State != sweep.JobCancelled {
+		t.Fatalf("DELETE response state = %q, want cancelled (queued cancel must be acknowledged, not raced)", dv.Snapshot.State)
+	}
+	if dv.Snapshot.CellsDone != 0 {
+		t.Errorf("queued job ran %d cells before cancel, want 0", dv.Snapshot.CellsDone)
+	}
+
+	// The running job is untouched by the queued cancel.
+	if s := getView(t, srv, first.ID).Snapshot.State; s != sweep.JobRunning {
+		t.Errorf("first job state after queued DELETE = %q, want still running", s)
+	}
+	// Its stream closes promptly too (the log finished without output).
+	if resp, err := http.Get(srv.URL + "/v1/jobs/" + second.ID + "/results"); err == nil {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if len(b) != 0 {
+			t.Errorf("cancelled queued job streamed %d bytes", len(b))
+		}
+	}
+
+	cancelDeleteJob(t, srv, first.ID)
+	waitTerminal(t, srv, first.ID)
+}
+
+// cancelDeleteJob issues DELETE and only checks the status code.
+func cancelDeleteJob(t *testing.T, srv *httptest.Server, id string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", id, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE %s = %d", id, resp.StatusCode)
+	}
+}
+
+// TestServeCacheSharedAcrossJobs: with -cache, a job identical to an
+// earlier one answers entirely from the cache — its snapshot reports
+// hits == cells — and its stream is byte-identical to the first job's.
+func TestServeCacheSharedAcrossJobs(t *testing.T) {
+	mgr := newJobManager(context.Background(), 2, 8, 0)
+	rc, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.cache, mgr.flight = rc, cache.NewFlight()
+	srv := httptest.NewServer(mgr.handler())
+	t.Cleanup(func() {
+		mgr.cancelAll()
+		srv.Close()
+	})
+
+	read := func(id string) []byte {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/results")
+		if err != nil {
+			t.Fatalf("GET results: %v", err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	v1 := postJob(t, srv, serveSpecJSON)
+	out1 := read(v1.ID)
+	fin1 := waitTerminal(t, srv, v1.ID)
+	if fin1.Snapshot.State != sweep.JobDone {
+		t.Fatalf("first job state %q", fin1.Snapshot.State)
+	}
+	if fin1.Snapshot.CacheMisses != int64(fin1.Snapshot.CellsTotal) || fin1.Snapshot.CacheHits != 0 {
+		t.Fatalf("cold job counters: %d hits, %d misses over %d cells",
+			fin1.Snapshot.CacheHits, fin1.Snapshot.CacheMisses, fin1.Snapshot.CellsTotal)
+	}
+
+	v2 := postJob(t, srv, serveSpecJSON)
+	out2 := read(v2.ID)
+	fin2 := waitTerminal(t, srv, v2.ID)
+	if fin2.Snapshot.State != sweep.JobDone {
+		t.Fatalf("second job state %q", fin2.Snapshot.State)
+	}
+	if fin2.Snapshot.CacheHits != int64(fin2.Snapshot.CellsTotal) || fin2.Snapshot.CacheMisses != 0 {
+		t.Fatalf("warm job counters: %d hits, %d misses over %d cells",
+			fin2.Snapshot.CacheHits, fin2.Snapshot.CacheMisses, fin2.Snapshot.CellsTotal)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("warm job stream differs from cold job stream")
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"faultexp/internal/cache"
 	"faultexp/internal/sweep"
 )
 
@@ -48,6 +49,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	jsonlOut := fs.String("jsonl", "", `JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
 	csvOut := fs.String("csv", "", `CSV output path ("-" = stdout)`)
 	resume := fs.String("resume", "", "resume an interrupted run: verify this JSONL output against the grid and append only the missing cells (JSONL only; composes with -shard)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory: cells already computed under identical parameters (and kernel version) emit their stored records without building a graph or running a trial; misses write back after computing (composes with -resume and -shard; output bytes are identical either way)")
 	dryRun := fs.Bool("dry-run", false, "validate the spec and print the expanded cell/shard plan without executing")
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	fs.Parse(args)
@@ -62,8 +64,14 @@ func cmdSweep(ctx context.Context, args []string) error {
 			return err
 		}
 	}
+	var rcache *cache.Cache
+	if *cacheDir != "" {
+		if rcache, err = cache.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
 	if *dryRun {
-		return printSweepPlan(spec, sh)
+		return printSweepPlan(spec, sh, rcache)
 	}
 
 	skip := 0
@@ -175,6 +183,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		sweep.WithShard(sh),
 		sweep.WithSkipCells(skip),
 		sweep.WithProgress(progress),
+		sweep.WithCache(rcache),
 	)
 	if err != nil {
 		return err
@@ -207,6 +216,10 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 		return err
 	}
+	if rcache != nil && !*quiet {
+		snap := job.Snapshot()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", snap.CacheHits, snap.CacheMisses)
+	}
 	if sum.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d cells reported errors (see the err field)\n", sum.Errors, sum.Cells)
 	}
@@ -215,8 +228,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 
 // printSweepPlan renders the -dry-run view: what the grid expands to
 // and what this (possibly sharded) invocation would execute — without
-// building a single graph.
-func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
+// building a single graph. With -cache it additionally probes every
+// cell and prints which ones a real run would emit from the cache.
+func printSweepPlan(spec *sweep.Spec, sh sweep.Shard, rcache *cache.Cache) error {
 	p, err := spec.Plan(sh)
 	if err != nil {
 		return err
@@ -259,6 +273,27 @@ func printSweepPlan(spec *sweep.Spec, sh sweep.Shard) error {
 	fmt.Printf("models (%d): %s\n", len(p.Models), strings.Join(p.Models, ", "))
 	fmt.Printf("rates (%d): %s\n", len(p.Rates), strings.Join(rateToks, ", "))
 	fmt.Printf("trials/cell: %d  seed: %d\n", p.Trials, p.Seed)
+	if rcache != nil {
+		// Per-cell cache forecast: the same probe (key, verification,
+		// coupled-group granularity) a real run performs, so "cached"
+		// here is exactly the set of cells a warm run will not compute.
+		cells := spec.ShardCells(sh)
+		mask := spec.CachedMask(sh, rcache)
+		hits := 0
+		fmt.Printf("cells (%d):\n", len(cells))
+		fmt.Printf("  %-4s %-24s %-12s %-12s %-10s %s\n", "idx", "family", "measure", "model", "rate", "cached")
+		for i, c := range cells {
+			mark := "-"
+			if mask[i] {
+				mark = "cached"
+				hits++
+			}
+			fmt.Printf("  %-4d %-24s %-12s %-12s %-10s %s\n",
+				i, c.Family.String(), c.Measure, c.Model,
+				strconv.FormatFloat(c.Rate, 'g', -1, 64), mark)
+		}
+		fmt.Printf("%d/%d cells cached\n", hits, len(cells))
+	}
 	return nil
 }
 

@@ -505,3 +505,76 @@ func TestSweepTrialParallelCLI(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepCacheCLI drives -cache end to end: a cold run fills the
+// cache and matches the uncached golden bytes, a warm run answers
+// entirely from it (byte-identical again), and -dry-run -cache prints
+// the per-cell cached column with the summary count line.
+func TestSweepCacheCLI(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	golden := filepath.Join(dir, "golden.jsonl")
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", golden)); err != nil {
+		t.Fatal(err)
+	}
+	want := readFile(t, golden)
+
+	cold := filepath.Join(dir, "cold.jsonl")
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", cold, "-cache", cacheDir)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, cold); !bytes.Equal(got, want) {
+		t.Errorf("cold cached run differs from uncached run:\n--- got ---\n%s", got)
+	}
+
+	warm := filepath.Join(dir, "warm.jsonl")
+	if err := cmdSweep(context.Background(), resumeGridArgs("-jsonl", warm, "-cache", cacheDir)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, warm); !bytes.Equal(got, want) {
+		t.Errorf("warm cached run differs from cold run:\n--- got ---\n%s", got)
+	}
+
+	// Dry-run planning view: per-cell cached column + summary line.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := cmdSweep(context.Background(), resumeGridArgs("-dry-run", "-cache", cacheDir))
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("dry run with cache: %v", runErr)
+	}
+	s := string(out)
+	for _, wantLine := range []string{
+		"cells (6):",
+		"cached",
+		"6/6 cells cached",
+	} {
+		if !strings.Contains(s, wantLine) {
+			t.Errorf("cached dry-run output missing %q:\n%s", wantLine, s)
+		}
+	}
+
+	// A fresh cache dir: the same plan reports zero cached cells.
+	r2, w2, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w2
+	runErr = cmdSweep(context.Background(), resumeGridArgs("-dry-run", "-cache", filepath.Join(dir, "empty-cache")))
+	w2.Close()
+	os.Stdout = old
+	out2, _ := io.ReadAll(r2)
+	if runErr != nil {
+		t.Fatalf("dry run with empty cache: %v", runErr)
+	}
+	if !strings.Contains(string(out2), "0/6 cells cached") {
+		t.Errorf("empty-cache dry run missing \"0/6 cells cached\":\n%s", out2)
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"faultexp/internal/agree"
 	"faultexp/internal/balance"
+	"faultexp/internal/cache"
 	"faultexp/internal/core"
 	"faultexp/internal/cuts"
 	"faultexp/internal/embed"
@@ -571,6 +572,61 @@ func NewSweepAggregator(by, metrics []string) (*SweepAggregator, error) {
 
 // SweepAggDims lists the record dimensions a summary can group by.
 func SweepAggDims() []string { return append([]string(nil), sweep.AggDims...) }
+
+// --- The content-addressed result cache (package cache) ---
+
+// ResultCache is an on-disk content-addressed store of sweep records:
+// each entry is one cell's exact JSONL bytes under a key derived from
+// everything that could change them (SweepCellCacheKey). Entries are
+// written atomically (temp file + rename) and read back only if their
+// length+CRC-32C header verifies — a torn or corrupt entry is a miss,
+// never a payload. Safe for concurrent use by any number of processes
+// sharing the directory (the `faultexp sweep/serve -cache DIR` surface).
+type ResultCache = cache.Cache
+
+// CacheKey is a 32-byte content address (SHA-256 of an injective
+// field encoding).
+type CacheKey = cache.Key
+
+// CacheHasher derives CacheKeys from typed fields; Reset lets one
+// hasher serve a whole grid without allocating (see
+// BenchmarkCacheKeyHash).
+type CacheHasher = cache.Hasher
+
+// CacheFlight coordinates single-flight computation of cache misses:
+// concurrent jobs wanting the same key elect one leader to compute it,
+// and followers reuse its bytes (the `faultexp serve -cache` dedup).
+type CacheFlight = cache.Flight
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return cache.Open(dir) }
+
+// NewCacheFlight returns an empty single-flight group.
+func NewCacheFlight() *CacheFlight { return cache.NewFlight() }
+
+// SweepKernelVersion stamps every cache key with the generation of the
+// measurement kernels; bumping it orphans all existing entries, which
+// is how cache invalidation works — stale results are never found, so
+// a version bump costs one cold run, never a wrong byte.
+const SweepKernelVersion = sweep.KernelVersion
+
+// SweepCellCacheKey derives the content address of one cell's output
+// record: the kernel version, the spec's rate mode ("" = independent),
+// and the cell's full identity (family, size, k, measure, model, exact
+// rate bits, trials, derived seed, precision tier, trial block).
+func SweepCellCacheKey(h *CacheHasher, rateMode string, c sweep.Cell) CacheKey {
+	return sweep.CellCacheKey(h, rateMode, c)
+}
+
+// SweepWithCache routes a job through a result cache: cells whose
+// verified records are already stored emit those exact bytes (skipping
+// graph build and trials), misses compute and write back. Snapshots
+// report the accounting in CacheHits/CacheMisses/CacheInflight.
+func SweepWithCache(rc *ResultCache) SweepJobOption { return sweep.WithCache(rc) }
+
+// SweepWithFlight dedups identical in-flight cells across jobs sharing
+// the flight group (pair with SweepWithCache; the serve configuration).
+func SweepWithFlight(f *CacheFlight) SweepJobOption { return sweep.WithFlight(f) }
 
 // --- Embedding / emulation (package embed, §1.2) ---
 

@@ -1,0 +1,270 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testKey(parts ...string) Key {
+	var h Hasher
+	for _, p := range parts {
+		h.Field(p)
+	}
+	return h.Sum()
+}
+
+// entryFile locates the single on-disk entry of a one-entry cache (the
+// corruption tests need to reach under the API).
+func entryFile(t *testing.T, c *Cache, k Key) string {
+	t.Helper()
+	hx := k.String()
+	path := filepath.Join(c.Dir(), hx[:2], hx[2:])
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("expected entry at %s: %v", path, err)
+	}
+	return path
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("round", "trip")
+	payload := []byte(`{"family":"torus","metrics":{"gamma_mean":1}}`)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Get on an empty cache reported a hit")
+	}
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	// Distinct key, no cross-talk.
+	if _, ok := c.Get(testKey("round", "trip2")); ok {
+		t.Fatal("distinct key hit")
+	}
+	// Overwrite wins.
+	if err := c.Put(k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(k); !ok || string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q, %v", got, ok)
+	}
+}
+
+func TestCacheEmptyPayload(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	k := testKey("empty")
+	if err := c.Put(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload round-trip = %q, %v", got, ok)
+	}
+}
+
+// TestCacheRejectsCorruption covers the adversarial on-disk matrix: a
+// truncated entry (torn write), a bit-flipped payload (checksum
+// mismatch), a header length lie, and header garbage must all read as
+// misses — never as payloads.
+func TestCacheRejectsCorruption(t *testing.T) {
+	payload := []byte(`{"family":"torus","rate":0.1,"metrics":{"x":2}}`)
+	corrupt := []struct {
+		name string
+		mod  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"headerOnly", func(b []byte) []byte { return b[:bytes.IndexByte(b, '\n')+1] }},
+		{"bitFlip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] ^= 0x40 // flip a payload bit; crc must catch it
+			return out
+		}},
+		{"magicGarbage", func(b []byte) []byte { return append([]byte("XXXX"), b[4:]...) }},
+		{"lengthLie", func(b []byte) []byte {
+			nl := bytes.IndexByte(b, '\n')
+			head := bytes.Fields(b[:nl])
+			return append([]byte(fmt.Sprintf("%s %s00 %s\n", head[0], head[1], head[2])), b[nl+1:]...)
+		}},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"noNewline", func(b []byte) []byte { return []byte("fxc1 5 00000000") }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := Open(t.TempDir())
+			k := testKey("corrupt", tc.name)
+			if err := c.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := entryFile(t, c, k)
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mod(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Get(k); ok {
+				t.Fatalf("corrupt entry (%s) was returned: %q", tc.name, got)
+			}
+			// Write-back repairs: a fresh Put makes the key readable again.
+			if err := c.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c.Get(k); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("repair Put did not restore the entry: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestCacheConcurrentWritersOneKey hammers a single key from many
+// goroutines (run under -race). Every interleaving must leave a valid,
+// complete entry — atomic rename means last-writer-wins, never a torn
+// mix of two writes.
+func TestCacheConcurrentWritersOneKey(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	k := testKey("one", "key")
+	const writers = 16
+	payloads := make([][]byte, writers)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 128+i)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				if err := c.Put(k, payloads[i]); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := c.Get(k); ok {
+					// Any complete payload is fine; a blend is not.
+					if len(got) < 128 || len(got) > 128+writers ||
+						!bytes.Equal(got, bytes.Repeat(got[:1], len(got))) {
+						t.Errorf("torn read: %d bytes starting %q", len(got), got[:1])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("no entry after concurrent writes")
+	}
+	found := false
+	for _, p := range payloads {
+		if bytes.Equal(got, p) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("final entry matches no writer's payload: %q", got)
+	}
+}
+
+// TestHasherInjective: the field encoding must not collide under
+// concatenation or type confusion.
+func TestHasherInjective(t *testing.T) {
+	var h Hasher
+	key := func(build func(*Hasher)) Key {
+		h.Reset()
+		build(&h)
+		return h.Sum()
+	}
+	pairs := [][2]func(*Hasher){
+		{func(h *Hasher) { h.Field("ab"); h.Field("c") },
+			func(h *Hasher) { h.Field("a"); h.Field("bc") }},
+		{func(h *Hasher) { h.Field("") },
+			func(h *Hasher) {}},
+		{func(h *Hasher) { h.Int(1) },
+			func(h *Hasher) { h.Uint(1) }},
+		{func(h *Hasher) { h.Float(0) },
+			func(h *Hasher) { h.Float(math.Copysign(0, -1)) }}, // ±0 have distinct bit patterns
+		{func(h *Hasher) { h.Int(-1) },
+			func(h *Hasher) { h.Uint(1<<64 - 1) }},
+	}
+	for i, p := range pairs {
+		if key(p[0]) == key(p[1]) {
+			t.Errorf("pair %d: distinct field sequences collided", i)
+		}
+	}
+	// Determinism and Reset reuse.
+	k1 := key(func(h *Hasher) { h.Field("x"); h.Int(3); h.Float(0.1) })
+	k2 := key(func(h *Hasher) { h.Field("x"); h.Int(3); h.Float(0.1) })
+	if k1 != k2 {
+		t.Error("same fields, different keys")
+	}
+}
+
+func TestFlightLeaderFollower(t *testing.T) {
+	f := NewFlight()
+	k := testKey("flight")
+	leader, p := f.Begin(k)
+	if !leader || p != nil {
+		t.Fatalf("first Begin: leader=%v p=%v", leader, p)
+	}
+	leader2, p2 := f.Begin(k)
+	if leader2 || p2 == nil {
+		t.Fatal("second Begin should follow")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, ok := p2.Wait(context.Background())
+		if !ok || string(got) != "bytes" {
+			t.Errorf("follower Wait = %q, %v", got, ok)
+		}
+	}()
+	f.Finish(k, []byte("bytes"))
+	<-done
+	// Key retired: the next Begin elects a fresh leader.
+	if leader3, _ := f.Begin(k); !leader3 {
+		t.Fatal("key not retired after Finish")
+	}
+	f.Abort(k)
+}
+
+func TestFlightAbortReleasesFollowers(t *testing.T) {
+	f := NewFlight()
+	k := testKey("abort")
+	f.Begin(k)
+	_, p := f.Begin(k)
+	go f.Abort(k)
+	if got, ok := p.Wait(context.Background()); ok {
+		t.Fatalf("aborted wait returned ok with %q", got)
+	}
+}
+
+func TestFlightWaitHonorsContext(t *testing.T) {
+	f := NewFlight()
+	k := testKey("ctx")
+	f.Begin(k) // leader never finishes
+	_, p := f.Begin(k)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := p.Wait(ctx); ok {
+		t.Fatal("Wait returned ok under a cancelled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait ignored the context deadline")
+	}
+	f.Abort(k)
+}

@@ -1,0 +1,93 @@
+package cache
+
+// Single-flight dedup over cache keys: when several concurrent
+// computations want the same key — the serve daemon running two jobs
+// whose grids overlap — exactly one of them (the leader) computes, and
+// the rest (followers) wait for the leader's bytes instead of repeating
+// the work. The Flight holds only in-flight keys; completed work lives
+// in the Cache (or nowhere, if no cache is attached — dedup is useful
+// on its own).
+//
+// Protocol: Begin(k) elects. The leader MUST eventually call Finish
+// (publishing its bytes to the waiters) or Abort (releasing them to
+// compute on their own — the failure/cancellation path). A follower
+// calls Wait on the returned Pending; ok=false means the leader
+// aborted, and the follower falls back to computing itself. The
+// protocol cannot deadlock a single job: a job's cells have distinct
+// keys, so it never follows itself, and a leader's drain-on-cancel
+// semantics guarantee Finish or Abort is always reached.
+
+import (
+	"context"
+	"sync"
+)
+
+// Pending is one in-flight computation a follower can wait on.
+type Pending struct {
+	done    chan struct{}
+	payload []byte
+	ok      bool
+}
+
+// Wait blocks until the leader finishes or aborts, or ctx is cancelled.
+// ok is true only when the leader published bytes.
+func (p *Pending) Wait(ctx context.Context) (payload []byte, ok bool) {
+	select {
+	case <-p.done:
+		return p.payload, p.ok
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// Flight tracks the in-flight computations. The zero value is not
+// usable; call NewFlight.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[Key]*Pending
+}
+
+// NewFlight returns an empty flight group.
+func NewFlight() *Flight {
+	return &Flight{calls: map[Key]*Pending{}}
+}
+
+// Begin registers interest in k. The first caller becomes the leader
+// (leader=true, p=nil) and owes the group a Finish or Abort; later
+// callers are followers and receive the leader's Pending to Wait on.
+func (f *Flight) Begin(k Key) (leader bool, p *Pending) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[k]; ok {
+		return false, c
+	}
+	f.calls[k] = &Pending{done: make(chan struct{})}
+	return true, nil
+}
+
+// Finish publishes the leader's bytes to every waiter and retires the
+// key; the next Begin for k elects a fresh leader. The payload is
+// retained by waiters — the caller must not mutate it afterwards.
+func (f *Flight) Finish(k Key, payload []byte) {
+	f.release(k, payload, true)
+}
+
+// Abort retires the key without publishing: every waiter's Wait returns
+// ok=false and the waiters compute for themselves.
+func (f *Flight) Abort(k Key) {
+	f.release(k, nil, false)
+}
+
+func (f *Flight) release(k Key, payload []byte, ok bool) {
+	f.mu.Lock()
+	c := f.calls[k]
+	delete(f.calls, k)
+	f.mu.Unlock()
+	if c == nil {
+		return
+	}
+	// Publish before close: waiters read payload/ok only after the
+	// channel closes, so the close is the happens-before edge.
+	c.payload, c.ok = payload, ok
+	close(c.done)
+}

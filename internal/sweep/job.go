@@ -17,6 +17,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faultexp/internal/cache"
 	"faultexp/internal/gen"
 	"faultexp/internal/graph"
 	"faultexp/internal/harness"
@@ -80,6 +82,15 @@ type Snapshot struct {
 	GraphsTotal int `json:"graphs_total,omitempty"`
 	// Errors counts cells whose Result carries an Err.
 	Errors int `json:"errors"`
+	// Cache accounting, present only on cache/flight-enabled jobs:
+	// CacheHits counts cells emitted from the content-addressed cache
+	// without any computation, CacheMisses cells this job computed, and
+	// CacheInflight cells satisfied by another job's in-flight
+	// computation (single-flight dedup). At completion the three sum to
+	// CellsTotal.
+	CacheHits     int64 `json:"cache_hits,omitempty"`
+	CacheMisses   int64 `json:"cache_misses,omitempty"`
+	CacheInflight int64 `json:"cache_inflight,omitempty"`
 	// Elapsed is wall-clock time since Start (frozen at completion);
 	// zero before Start.
 	Elapsed time.Duration `json:"elapsed_ns"`
@@ -96,6 +107,8 @@ type jobConfig struct {
 	shard    Shard
 	skip     int
 	progress func(done, total int)
+	cache    *cache.Cache
+	flight   *cache.Flight
 }
 
 // JobOption configures a Job at construction.
@@ -124,6 +137,22 @@ func WithSkipCells(n int) JobOption { return func(c *jobConfig) { c.skip = n } }
 func WithProgress(fn func(done, total int)) JobOption {
 	return func(c *jobConfig) { c.progress = fn }
 }
+
+// WithCache attaches a content-addressed result cache (nil = none).
+// Before scheduling, every cell is probed under its CellCacheKey: a
+// verified hit is emitted on the ordered emit path without building the
+// cell's graph or running a single trial, and a miss computes then
+// writes its record back (atomically, temp file + rename). Error
+// records are never cached. Output bytes are identical with or without
+// a cache — CachedResult proves it per record before emitting.
+func WithCache(rc *cache.Cache) JobOption { return func(c *jobConfig) { c.cache = rc } }
+
+// WithFlight attaches a single-flight group shared across jobs (nil =
+// none): when another job is computing a cell with the same cache key,
+// this job waits for its bytes instead of recomputing — the serve
+// daemon's cross-job dedup. Applies to plain cells (coupled groups and
+// trial blocks always compute locally on a probe miss).
+func WithFlight(f *cache.Flight) JobOption { return func(c *jobConfig) { c.flight = f } }
 
 // discardWriter is the default sink when no WithWriter option is given.
 type discardWriter struct{}
@@ -163,6 +192,11 @@ type Job struct {
 	startNano   atomic.Int64
 	endNano     atomic.Int64
 	failMsg     atomic.Value // string
+
+	// Cache accounting (see Snapshot).
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cacheInflight atomic.Int64
 }
 
 // jobStates maps the atomic state index to its JobState; order matters.
@@ -291,15 +325,18 @@ func (j *Job) Cells() int { return len(j.cells) }
 // by an observer, however hot the poll rate.
 func (j *Job) Snapshot() Snapshot {
 	s := Snapshot{
-		State:        jobStates[j.state.Load()],
-		CellsDone:    int(j.cellsDone.Load()),
-		CellsTotal:   len(j.cells),
-		CellsSkipped: j.cfg.skip,
-		TrialsDone:   j.trialsDone.Load(),
-		GraphsBuilt:  int(j.graphsBuilt.Load()),
-		GraphsTotal:  int(j.graphsTotal.Load()),
-		Errors:       int(j.errCells.Load()),
-		Shard:        j.cfg.shard,
+		State:         jobStates[j.state.Load()],
+		CellsDone:     int(j.cellsDone.Load()),
+		CellsTotal:    len(j.cells),
+		CellsSkipped:  j.cfg.skip,
+		TrialsDone:    j.trialsDone.Load(),
+		GraphsBuilt:   int(j.graphsBuilt.Load()),
+		GraphsTotal:   int(j.graphsTotal.Load()),
+		Errors:        int(j.errCells.Load()),
+		Shard:         j.cfg.shard,
+		CacheHits:     j.cacheHits.Load(),
+		CacheMisses:   j.cacheMisses.Load(),
+		CacheInflight: j.cacheInflight.Load(),
 	}
 	if start := j.startNano.Load(); start != 0 {
 		end := j.endNano.Load()
@@ -416,16 +453,57 @@ func (j *Job) run(parent context.Context) {
 	ctx, cancelRun := context.WithCancel(parent)
 	defer cancelRun()
 
+	// Content-addressed cache probe, before any planning: every cell's
+	// key is derived once (one reused hasher — the key path allocates
+	// nothing), and cells whose stored record verifies under
+	// CachedResult are excluded from scheduling entirely — no graph
+	// entry, no unit, no trial. Their records re-enter on the ordered
+	// emit path below, interleaved back into exact cell order, so the
+	// output bytes are identical to a cold run's. In coupled mode the
+	// rate group computes all-or-nothing (probeCache masks partial
+	// groups), matching the group being the unit of work.
+	var (
+		cacheOn bool // any cache machinery attached
+		keys    []cache.Key
+		hits    []*Result // index-aligned with j.cells; non-nil = emit from cache
+	)
+	if j.cfg.cache != nil || j.cfg.flight != nil {
+		cacheOn = true
+		keys = make([]cache.Key, len(j.cells))
+		var h cache.Hasher
+		for i := range j.cells {
+			keys[i] = CellCacheKey(&h, j.spec.RateMode, j.cells[i])
+		}
+	}
+	if j.cfg.cache != nil {
+		group := 1
+		if j.spec.Coupled() {
+			group = len(j.spec.Rates)
+		}
+		hits = probeCache(j.cfg.cache, j.cells, keys, group)
+		for _, r := range hits {
+			if r != nil {
+				j.cacheHits.Add(1)
+			}
+		}
+	}
+	isHit := func(i int) bool { return hits != nil && hits[i] != nil }
+
 	// Plan (not build) each distinct family up front: a bad family spec
 	// — malformed size token, over-budget graph — still fails before
 	// any output is written, exactly as the old eager build did, and
 	// the plan's size estimates price the dispatch order. Construction
 	// itself is deferred to first use on the pool. The graph seed is
 	// semantic (GraphSeed), so every shard that builds a family builds
-	// the identical instance.
+	// the identical instance. Fully-cached families are skipped: a warm
+	// run builds no graphs at all (GraphsTotal counts only families
+	// with at least one scheduled cell).
 	entries := map[string]*graphEntry{}
 	for i := range j.cells {
 		c := &j.cells[i]
+		if isHit(i) {
+			continue
+		}
 		key := c.Family.String()
 		if _, ok := entries[key]; ok {
 			continue
@@ -461,6 +539,11 @@ func (j *Job) run(parent context.Context) {
 	case j.spec.Coupled():
 		per := len(j.spec.Rates)
 		for s := 0; s < len(j.cells); s += per {
+			// probeCache guarantees group granularity: the first cell's
+			// hit status speaks for the whole group.
+			if isHit(s) {
+				continue
+			}
 			c := &j.cells[s]
 			e := entries[c.Family.String()]
 			units = append(units, unit{
@@ -470,6 +553,9 @@ func (j *Job) run(parent context.Context) {
 		}
 	case j.spec.TrialParallel:
 		for i := range j.cells {
+			if isHit(i) {
+				continue
+			}
 			c := &j.cells[i]
 			e := entries[c.Family.String()]
 			nb := blockCount(c.Trials, c.TrialBlock)
@@ -487,6 +573,9 @@ func (j *Job) run(parent context.Context) {
 		}
 	default:
 		for i := range j.cells {
+			if isHit(i) {
+				continue
+			}
 			c := &j.cells[i]
 			e := entries[c.Family.String()]
 			units = append(units, unit{
@@ -588,6 +677,25 @@ func (j *Job) run(parent context.Context) {
 		}
 	}
 
+	// writeBack stores one computed record in the cache (best-effort:
+	// a full disk degrades to cold-run behavior, never to an error) and
+	// returns the encoded payload for the single-flight publish. Error
+	// records are not cached — an error may be environmental — and
+	// return nil, which Aborts the flight so followers compute locally.
+	writeBack := func(ci int, r *Result) []byte {
+		if r.Err != "" {
+			return nil
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return nil
+		}
+		if j.cfg.cache != nil {
+			j.cfg.cache.Put(keys[ci], payload)
+		}
+		return payload
+	}
+
 	// runUnit computes one unit on a pool worker. Every unit acquires
 	// its family's graph (building it on first use) and releases it on
 	// the way out, so a family's graph lives exactly as long as it has
@@ -600,8 +708,32 @@ func (j *Job) run(parent context.Context) {
 			u.fam.release()
 			return unitOut{skip: true}
 		}
+		// Cross-job single-flight (plain cells only): if another job is
+		// already computing this exact cell, wait for its bytes instead
+		// of acquiring the graph at all. A leader election obliges this
+		// worker to Finish or Abort on every exit path below.
+		var flightLeader bool
+		if j.cfg.flight != nil && u.kind == unitCell {
+			leader, p := j.cfg.flight.Begin(keys[u.cell])
+			if !leader {
+				if payload, ok := p.Wait(ctx); ok {
+					if r, ok := CachedResult(payload, &j.cells[u.cell]); ok {
+						u.fam.release()
+						j.cacheInflight.Add(1)
+						return unitOut{res: r}
+					}
+				}
+				// Leader aborted (error cell, cancellation) or the bytes
+				// did not verify: compute locally, outside the flight.
+			} else {
+				flightLeader = true
+			}
+		}
 		g, err := u.fam.acquire(&j.graphsBuilt)
 		if err != nil {
+			if flightLeader {
+				j.cfg.flight.Abort(keys[u.cell])
+			}
 			u.fam.release()
 			failBuild(u.fam.fam.String(), err)
 			return unitOut{skip: true}
@@ -615,14 +747,37 @@ func (j *Job) run(parent context.Context) {
 			seed := CoupledGroupSeed(j.spec.Seed, c0.Family, c0.Measure, c0.Model)
 			rs := runCoupledGroup(g, group, ws, seed)
 			j.trialsDone.Add(int64(c0.Trials) * int64(len(group)))
+			if cacheOn {
+				j.cacheMisses.Add(int64(len(rs)))
+				for k, r := range rs {
+					writeBack(u.cell+k, r)
+				}
+			}
 			return unitOut{grp: rs}
 		case unitBlock:
 			blk := runTrialBlock(g, j.cells[u.cell], ws, u.lo, u.hi)
 			j.trialsDone.Add(int64(u.hi - u.lo))
+			if cacheOn && u.lo == 0 {
+				// One miss per cell, counted at its first block; the
+				// write-back waits for the fold on the emit path.
+				j.cacheMisses.Add(1)
+			}
 			return unitOut{blk: blk}
 		default:
 			r := runCell(g, j.cells[u.cell], ws)
 			j.trialsDone.Add(int64(r.Trials))
+			var payload []byte
+			if cacheOn {
+				j.cacheMisses.Add(1)
+				payload = writeBack(u.cell, r)
+			}
+			if flightLeader {
+				if payload != nil {
+					j.cfg.flight.Finish(keys[u.cell], payload)
+				} else {
+					j.cfg.flight.Abort(keys[u.cell])
+				}
+			}
 			return unitOut{res: r}
 		}
 	}
@@ -640,6 +795,26 @@ func (j *Job) run(parent context.Context) {
 		accErr     string
 		accN, accM int
 	)
+	// flushHits interleaves cached records back into cell order: before
+	// a scheduled unit's cell emits, every cached cell below it emits
+	// first, and after the last unit the trailing cached cells follow.
+	// Units are cell-major and the harness emits them in unit order, so
+	// every cell in [nextEmit, limit) that has no unit is a cache hit —
+	// the invariant that keeps the output an exact contiguous cell
+	// sequence, byte-identical to a cold run.
+	nextEmit := 0
+	flushHits := func(limit int) {
+		if hits == nil {
+			nextEmit = limit
+			return
+		}
+		for nextEmit < limit {
+			if r := hits[nextEmit]; r != nil {
+				emitOne(r)
+			}
+			nextEmit++
+		}
+	}
 	emitUnit := func(ui int, out unitOut) {
 		if out.skip || writeErr != nil || buildErr.Load() != nil {
 			// Recycle a dropped block's recorder; the fold for its cell
@@ -649,13 +824,15 @@ func (j *Job) run(parent context.Context) {
 			}
 			return
 		}
+		u := &units[ui]
+		flushHits(u.cell)
 		switch {
 		case out.grp != nil:
 			for _, r := range out.grp {
 				emitOne(r)
 			}
+			nextEmit = u.cell + len(out.grp)
 		case out.blk != nil:
-			u := &units[ui]
 			b := out.blk
 			if u.lo == 0 {
 				accRec, accFinish, accErr, accN, accM = b.rec, b.finish, b.errMsg, b.n, b.m
@@ -675,14 +852,29 @@ func (j *Job) run(parent context.Context) {
 			if u.last {
 				r := foldCell(j.cells[u.cell], accRec, accFinish, accErr, accN, accM)
 				accRec, accFinish, accErr = nil, nil, ""
+				if cacheOn {
+					// Trial-parallel write-back happens here, where the
+					// folded record first exists.
+					writeBack(u.cell, r)
+				}
 				emitOne(r)
+				nextEmit = u.cell + 1
 			}
 		default:
 			emitOne(out.res)
+			nextEmit = u.cell + 1
 		}
 	}
 
 	ctxErr := harness.RunOrderedDispatchCtx(ctx, len(units), workers, order, runUnit, emitUnit)
+	if writeErr == nil && buildErr.Load() == nil && ctxErr == nil {
+		// Every scheduled unit emitted: flush the cached cells past the
+		// last one (on an all-hit run, that is the entire grid — no
+		// graph was built and no trial ran). Skipped on any abort path,
+		// so a cancelled run's output stays the contiguous prefix ending
+		// at its last computed cell.
+		flushHits(len(j.cells))
+	}
 	// Flush regardless of how the run ended: a cancelled job's prefix
 	// must be durable for -resume to pick up.
 	flushErr := j.cfg.w.Flush()

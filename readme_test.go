@@ -391,3 +391,47 @@ func TestREADMEDocumentsPrecision(t *testing.T) {
 		}
 	}
 }
+
+// TestREADMEDocumentsResultCache pins the "Result cache" section: the
+// flag, the key-derivation and invalidation story, the integrity and
+// single-flight semantics, the on-disk layout, the snapshot counters,
+// and the exported library surface must all stay documented.
+func TestREADMEDocumentsResultCache(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### Result cache (`-cache`)",
+		"content-addressed",
+		"SHA-256",
+		"kernel-version",
+		"Invalidation",
+		"orphans every old entry",
+		"all-or-nothing",
+		"Error records are never cached",
+		"CRC-32C",
+		"temp file",
+		"`rename`",
+		"byte-identical",
+		"DIR/<hex[0:2]>/<hex[2:]>",
+		"Single-flight",
+		"`cache_hits`",
+		"`cache_misses`",
+		"`cache_inflight`",
+		"cells cached",
+		"OpenResultCache",
+		"SweepWithCache",
+		"SweepWithFlight",
+		"SweepCellCacheKey",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README's result-cache docs do not mention %q", want)
+		}
+	}
+	// The documented kernel-version stamp export exists and is non-empty.
+	if faultexp.SweepKernelVersion == "" {
+		t.Error("SweepKernelVersion is empty")
+	}
+}
