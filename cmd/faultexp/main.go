@@ -15,6 +15,9 @@
 //	faultexp sweep      -families torus:8x8,hypercube:6 -measures gamma,prune2 -rates 0,0.02,0.05,0.1 [-jsonl out.jsonl] [-csv out.csv]
 //	faultexp sweep      -spec grid.json -resume out.jsonl | -dry-run [-cache DIR]
 //	faultexp serve      -addr 127.0.0.1:8080 [-max-active 2] [-cache DIR]
+//	faultexp worker     -addr 127.0.0.1:8081 [-max-active 2] [-cache DIR]
+//	faultexp coordinator -addr 127.0.0.1:8090 -workers host:8081,host:8082 -store jobs/
+//	faultexp merge      -dir jobs/job-1 [-spec grid.json] | shard0.jsonl shard1.jsonl …
 //	faultexp agg        -by family,rate out.jsonl [-csv summary.csv]
 //	faultexp experiment E7 [-full] [-seed 42]
 //	faultexp experiment all
@@ -78,6 +81,10 @@ func main() {
 		err = cmdSweep(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
+	case "coordinator":
+		err = cmdCoordinator(ctx, os.Args[2:])
 	case "merge":
 		err = cmdMerge(ctx, os.Args[2:])
 	case "agg":
@@ -152,7 +159,13 @@ commands:
               parameters; SIGINT/SIGTERM drains at a cell boundary, resumable prefix)
   serve       HTTP daemon over the sweep Job API: POST /v1/jobs, snapshot, stream, cancel
               (-cache DIR shares a result cache across jobs with single-flight dedup)
+  worker      the serve surface enrolled in a fleet: advertises capacity and kernel
+              version on GET /healthz, runs shard slices a coordinator dispatches
+  coordinator fleet front-end: splits each job across -workers as -shard i/m slices,
+              health-checks and reassigns via resume, streams the merged interleave
+              byte-identical to single-node; -store makes every job survive SIGKILL
   merge       reassemble 'sweep -shard i/m' JSONL outputs into the unsharded stream
+              (-dir reads a complete shard-<i>-of-<m>.jsonl set, the job-store layout)
   agg         group sweep JSONL records and emit summary tables (CSV/JSONL) for plotting
   experiment  run a reproduction experiment (E1–E19) or "all"
   version     print module version, VCS revision, and toolchain (also: faultexp -version)

@@ -19,6 +19,7 @@ func cmdMerge(ctx context.Context, args []string) error {
 	defer stop()
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	specFile := fs.String("spec", "", "JSON grid spec the shards were run with; verifies every record lands at its exact cell position")
+	dir := fs.String("dir", "", "directory holding a complete shard-<i>-of-<m>.jsonl set (the durable job store layout) — alternative to listing the shard files")
 	jsonlOut := fs.String("jsonl", "", `merged JSONL output path ("-" = stdout; default stdout when -csv is unset)`)
 	csvOut := fs.String("csv", "", `merged CSV output path ("-" = stdout)`)
 	quiet := fs.Bool("quiet", false, "suppress the summary line on stderr")
@@ -36,8 +37,21 @@ func cmdMerge(ctx context.Context, args []string) error {
 		}
 	}
 	shardPaths := fs.Args()
+	if *dir != "" {
+		if len(shardPaths) > 0 {
+			return fmt.Errorf("merge: -dir and positional shard files are mutually exclusive")
+		}
+		// The discovery enforces a complete, single-split set in shard
+		// order — and the naming matches what the coordinator's durable
+		// job store writes, so `-dir store/job-N` merges a fabric job.
+		paths, err := sweep.ShardFiles(*dir)
+		if err != nil {
+			return err
+		}
+		shardPaths = paths
+	}
 	if len(shardPaths) == 0 {
-		return fmt.Errorf("usage: faultexp merge [-jsonl out.jsonl] [-csv out.csv] shard0.jsonl shard1.jsonl … (in -shard 0/m..m-1/m order)")
+		return fmt.Errorf("usage: faultexp merge [-jsonl out.jsonl] [-csv out.csv] -dir jobdir | shard0.jsonl shard1.jsonl … (in -shard 0/m..m-1/m order)")
 	}
 
 	var readers []io.Reader

@@ -1,10 +1,11 @@
 package main
 
-// The serve subcommand: an HTTP daemon over the context-aware Job API,
-// turning the batch sweep engine into a service. Clients submit grid
-// specs, observe lock-free snapshots mid-flight, stream results as they
-// are produced, and cancel — the verbs of internal/sweep.Job, one
-// endpoint each:
+// The serve and worker subcommands: one HTTP daemon (internal/fabric's
+// Server) over the context-aware Job API, two roles. `serve` is the
+// standalone service clients talk to directly; `worker` is the same
+// surface enrolled in a fleet, driven by `faultexp coordinator`
+// through the ?shard=i/m&skip=K query parameters on POST /v1/jobs.
+// Either way the endpoints are:
 //
 //	POST   /v1/jobs               spec JSON → job id (queued into a bounded pool)
 //	GET    /v1/jobs               all jobs with snapshots
@@ -12,6 +13,7 @@ package main
 //	GET    /v1/jobs/{id}/results  streamed JSONL (?from=K skips the first K cells,
 //	                              so a dropped client resumes where it left off)
 //	DELETE /v1/jobs/{id}          graceful cancel (drains at a cell boundary)
+//	GET    /healthz               build version, kernel-version stamp, capacity
 //
 // The results stream is byte-identical to `faultexp sweep -jsonl` for
 // the same spec: both paths encode the same Result structs with the
@@ -21,23 +23,31 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
-	"strconv"
-	"sync"
 	"time"
 
 	"faultexp/internal/cache"
+	"faultexp/internal/fabric"
 	"faultexp/internal/sweep"
 )
 
 func cmdServe(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port)")
+	return runJobDaemon(ctx, "serve", "127.0.0.1:8080", args)
+}
+
+func cmdWorker(ctx context.Context, args []string) error {
+	return runJobDaemon(ctx, "worker", "127.0.0.1:8081", args)
+}
+
+// runJobDaemon is the shared serve/worker implementation; only the
+// flag-set name, default port, and startup line differ.
+func runJobDaemon(ctx context.Context, name, defaultAddr string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", defaultAddr, "listen address (host:port)")
 	maxActive := fs.Int("max-active", 2, "jobs executing concurrently; submissions beyond it queue as pending")
 	maxJobs := fs.Int("max-jobs", 64, "jobs held in memory; when full, finished jobs are evicted oldest-first and POST returns 503 only if every held job is still active")
 	maxResultBytes := fs.Int64("max-result-bytes", 64<<20, "per-job cap on retained result bytes; a job whose output would exceed it fails with a clear error (0 = unlimited)")
@@ -45,30 +55,32 @@ func cmdServe(ctx context.Context, args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the startup line on stderr")
 	fs.Parse(args)
 	if *maxActive < 1 || *maxJobs < 1 {
-		return fmt.Errorf("serve: -max-active and -max-jobs must be ≥ 1")
+		return fmt.Errorf("%s: -max-active and -max-jobs must be ≥ 1", name)
 	}
 	if *maxResultBytes < 0 {
-		return fmt.Errorf("serve: -max-result-bytes must be ≥ 0 (0 = unlimited)")
+		return fmt.Errorf("%s: -max-result-bytes must be ≥ 0 (0 = unlimited)", name)
 	}
 
 	ctx, stop := signalContext(ctx)
 	defer stop()
 
-	mgr := newJobManager(ctx, *maxActive, *maxJobs, *maxResultBytes)
+	cfg := fabric.Config{MaxActive: *maxActive, MaxJobs: *maxJobs, MaxResultBytes: *maxResultBytes}
 	if *cacheDir != "" {
 		rc, err := cache.Open(*cacheDir)
 		if err != nil {
 			return err
 		}
-		mgr.cache, mgr.flight = rc, cache.NewFlight()
+		cfg.Cache, cfg.Flight = rc, cache.NewFlight()
 	}
+	mgr := fabric.NewServer(ctx, cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: mgr.handler()}
+	srv := &http.Server{Handler: mgr.Handler()}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "serve: listening on http://%s (POST /v1/jobs, %d concurrent jobs)\n", ln.Addr(), *maxActive)
+		fmt.Fprintf(os.Stderr, "%s: listening on http://%s (POST /v1/jobs, %d concurrent jobs, kernels %s)\n",
+			name, ln.Addr(), *maxActive, sweep.KernelVersion)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -79,460 +91,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		// Graceful shutdown: cancel every job (each drains at a cell
 		// boundary), then let in-flight responses finish streaming their
 		// final records before the listener closes for good.
-		mgr.cancelAll()
+		mgr.CancelAll()
 		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		return srv.Shutdown(shCtx)
-	}
-}
-
-// resultLog is the in-memory result sink a served job streams into: a
-// sweep.Writer that keeps every encoded JSONL line, plus a condition
-// variable so any number of HTTP readers can follow the stream live —
-// including readers that attach mid-run or re-attach with ?from= after
-// a dropped connection.
-type resultLog struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	lines [][]byte
-	bytes int64
-	// maxBytes caps the retained result bytes (0 = unlimited): a served
-	// job is an in-memory sink, so without a cap one huge grid could
-	// hold the daemon's heap hostage for as long as the job stays in
-	// the store.
-	maxBytes  int64
-	truncated bool
-	done      bool
-}
-
-func newResultLog(maxBytes int64) *resultLog {
-	l := &resultLog{maxBytes: maxBytes}
-	l.cond = sync.NewCond(&l.mu)
-	return l
-}
-
-// Write implements sweep.Writer. The stored line is exactly what
-// NewJSONL would have written — json.Marshal plus a newline — which is
-// what makes the HTTP stream byte-identical to the CLI output. A write
-// that would push the log past maxBytes fails the job instead: the
-// returned error aborts the run (surfacing in the job snapshot), and a
-// final parseable record with an Err field closes the stream so a
-// follower sees why it stopped short rather than a silent truncation.
-func (l *resultLog) Write(r *sweep.Result) error {
-	b, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.truncated {
-		return fmt.Errorf("serve: result log over -max-result-bytes=%d", l.maxBytes)
-	}
-	if l.maxBytes > 0 && l.bytes+int64(len(b)) > l.maxBytes {
-		l.truncated = true
-		tail, _ := json.Marshal(&sweep.Result{Err: fmt.Sprintf("result stream truncated: output exceeds -max-result-bytes=%d", l.maxBytes)})
-		l.lines = append(l.lines, append(tail, '\n'))
-		l.cond.Broadcast()
-		return fmt.Errorf("serve: result log over -max-result-bytes=%d", l.maxBytes)
-	}
-	l.bytes += int64(len(b))
-	l.lines = append(l.lines, b)
-	l.cond.Broadcast()
-	return nil
-}
-
-// Flush implements sweep.Writer (lines are visible as soon as they are
-// written; there is nothing buffered to push).
-func (l *resultLog) Flush() error { return nil }
-
-// finish marks the stream complete and wakes every follower.
-func (l *resultLog) finish() {
-	l.mu.Lock()
-	l.done = true
-	l.cond.Broadcast()
-	l.mu.Unlock()
-}
-
-// next blocks until line i exists, the log is finished, or ctx (the
-// HTTP request's context) is cancelled; ok=false means the stream is
-// over for this reader.
-func (l *resultLog) next(ctx context.Context, i int) (line []byte, ok bool) {
-	// Wake the cond wait when the reader disappears, so a dropped
-	// connection doesn't park a goroutine for the rest of a long run.
-	stopWatch := context.AfterFunc(ctx, func() {
-		l.mu.Lock()
-		l.cond.Broadcast()
-		l.mu.Unlock()
-	})
-	defer stopWatch()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for i >= len(l.lines) && !l.done && ctx.Err() == nil {
-		l.cond.Wait()
-	}
-	if i < len(l.lines) && ctx.Err() == nil {
-		return l.lines[i], true
-	}
-	return nil, false
-}
-
-// servedJob is one submission: the Job, its result log, and a cancel
-// that also unblocks the queue wait if the job never got a slot.
-type servedJob struct {
-	id      string
-	job     *sweep.Job
-	log     *resultLog
-	created time.Time
-
-	cancelOnce sync.Once
-	cancelled  chan struct{}
-
-	// mu guards the admission/cancellation handshake between the pool
-	// runner (beginRun) and DELETE (requestCancel): exactly one of
-	// "admitted to a slot" and "cancelled while queued" wins, so a
-	// queued job's DELETE can safely wait for the (immediate) terminal
-	// state instead of racing a Start it cannot see.
-	mu              sync.Mutex
-	admitted        bool
-	cancelRequested bool
-}
-
-func (s *servedJob) cancel() {
-	s.cancelOnce.Do(func() {
-		s.mu.Lock()
-		s.cancelRequested = true
-		s.mu.Unlock()
-		close(s.cancelled)
-		s.job.Cancel()
-	})
-}
-
-// requestCancel cancels the job and reports whether it was still queued
-// (never admitted to a pool slot). When queued=true the run goroutine
-// is guaranteed to take the pre-cancelled path — Start with a cancelled
-// job dispatches nothing — so the caller may block on job.Done() for a
-// prompt, acknowledged terminal state. sync.Once makes the ordering
-// sound for concurrent DELETEs: cancel() returns only after
-// cancelRequested is set, and beginRun checks it under mu.
-func (s *servedJob) requestCancel() (queued bool) {
-	s.cancel()
-	s.mu.Lock()
-	queued = !s.admitted
-	s.mu.Unlock()
-	return queued
-}
-
-// beginRun claims the admission slot for a real run. It fails exactly
-// when a cancel was requested first — the queued-DELETE case — and the
-// caller then starts the job pre-cancelled instead of executing it.
-func (s *servedJob) beginRun() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cancelRequested {
-		return false
-	}
-	s.admitted = true
-	return true
-}
-
-// jobManager owns every submitted job and the bounded concurrency pool:
-// at most maxActive jobs execute at once (a semaphore; later
-// submissions sit in JobPending until a slot frees, FIFO by goroutine
-// wakeup), and at most maxJobs are held in memory at all.
-type jobManager struct {
-	ctx context.Context
-	sem chan struct{}
-
-	maxJobs        int
-	maxResultBytes int64
-	// cache/flight, when set (-cache), are shared by every job: the
-	// cache makes overlapping grids incremental across jobs and server
-	// restarts; the flight dedups identical cells in concurrent jobs.
-	cache  *cache.Cache
-	flight *cache.Flight
-
-	mu    sync.Mutex
-	jobs  map[string]*servedJob
-	order []string
-	seq   int
-}
-
-func newJobManager(ctx context.Context, maxActive, maxJobs int, maxResultBytes int64) *jobManager {
-	return &jobManager{
-		ctx:            ctx,
-		sem:            make(chan struct{}, maxActive),
-		maxJobs:        maxJobs,
-		maxResultBytes: maxResultBytes,
-		jobs:           map[string]*servedJob{},
-	}
-}
-
-// submit validates nothing itself — the spec arrives pre-validated by
-// sweep.Load — it registers the job and hands it to the pool runner.
-func (m *jobManager) submit(spec *sweep.Spec) (*servedJob, error) {
-	log := newResultLog(m.maxResultBytes)
-	job, err := sweep.NewJob(spec, sweep.WithWriter(log),
-		sweep.WithCache(m.cache), sweep.WithFlight(m.flight))
-	if err != nil {
-		return nil, err
-	}
-	m.mu.Lock()
-	if len(m.jobs) >= m.maxJobs {
-		// Make room by evicting finished jobs, oldest first; only when
-		// every held job is still queued or running is the store truly
-		// full.
-		m.evictTerminalLocked(len(m.jobs) - m.maxJobs + 1)
-	}
-	if len(m.jobs) >= m.maxJobs {
-		m.mu.Unlock()
-		return nil, errTooManyJobs
-	}
-	m.seq++
-	sj := &servedJob{
-		id:        fmt.Sprintf("job-%d", m.seq),
-		job:       job,
-		log:       log,
-		created:   time.Now(),
-		cancelled: make(chan struct{}),
-	}
-	m.jobs[sj.id] = sj
-	m.order = append(m.order, sj.id)
-	m.mu.Unlock()
-	go m.run(sj)
-	return sj, nil
-}
-
-var errTooManyJobs = fmt.Errorf("job store full")
-
-// evictTerminalLocked drops up to n of the oldest terminal jobs (their
-// result logs with them). Active jobs are never evicted. Caller holds
-// m.mu.
-func (m *jobManager) evictTerminalLocked(n int) {
-	kept := m.order[:0]
-	for _, id := range m.order {
-		if n > 0 && m.jobs[id].job.Snapshot().State.Terminal() {
-			delete(m.jobs, id)
-			n--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	m.order = kept
-}
-
-// remove drops one job from the store (the DELETE-a-finished-job path).
-func (m *jobManager) remove(id string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.jobs[id]; !ok {
-		return
-	}
-	delete(m.jobs, id)
-	kept := m.order[:0]
-	for _, o := range m.order {
-		if o != id {
-			kept = append(kept, o)
-		}
-	}
-	m.order = kept
-}
-
-// run waits for a pool slot, executes the job, and completes its result
-// log. A job cancelled while queued (DELETE, or server shutdown) still
-// passes through Start so it reaches the ordinary cancelled terminal
-// state and its streams close.
-func (m *jobManager) run(sj *servedJob) {
-	acquired := false
-	select {
-	case m.sem <- struct{}{}:
-		acquired = true
-	case <-sj.cancelled:
-	case <-m.ctx.Done():
-	}
-	if acquired {
-		defer func() { <-m.sem }()
-	}
-	if !acquired || !sj.beginRun() {
-		// Never got a slot, or was cancelled between queueing and
-		// admission (beginRun loses to requestCancel exactly once, under
-		// the same lock): start pre-cancelled so Wait/Snapshot/streams
-		// all resolve through the ordinary cancelled terminal state —
-		// immediately, without computing anything.
-		sj.job.Cancel()
-	}
-	if err := sj.job.Start(m.ctx); err != nil {
-		sj.log.finish()
-		return
-	}
-	sj.job.Wait()
-	sj.log.finish()
-}
-
-func (m *jobManager) get(id string) (*servedJob, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	sj, ok := m.jobs[id]
-	return sj, ok
-}
-
-// list returns the jobs in submission order.
-func (m *jobManager) list() []*servedJob {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*servedJob, 0, len(m.order))
-	for _, id := range m.order {
-		out = append(out, m.jobs[id])
-	}
-	return out
-}
-
-// cancelAll is the shutdown path: every job drains at a cell boundary.
-func (m *jobManager) cancelAll() {
-	for _, sj := range m.list() {
-		sj.cancel()
-	}
-}
-
-// jobView is the JSON shape of one job in responses.
-type jobView struct {
-	ID       string         `json:"id"`
-	Created  time.Time      `json:"created"`
-	Snapshot sweep.Snapshot `json:"snapshot"`
-	// Removed marks a DELETE response for a job that was already
-	// terminal: the job (and its stored results) left the store.
-	Removed bool `json:"removed,omitempty"`
-}
-
-func (s *servedJob) view() jobView {
-	return jobView{ID: s.id, Created: s.created, Snapshot: s.job.Snapshot()}
-}
-
-// handler wires the /v1 routes.
-func (m *jobManager) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", m.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/results", m.handleResults)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (m *jobManager) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	// sweep.Load applies the full spec contract: unknown fields, family
-	// registry, measures, models, rates, trials — same as -spec files.
-	spec, err := sweep.Load(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	sj, err := m.submit(spec)
-	if err == errTooManyJobs {
-		httpError(w, http.StatusServiceUnavailable, "job store full: all %d held jobs are still queued or running; cancel one (DELETE /v1/jobs/{id}) or retry later", m.maxJobs)
-		return
-	}
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	w.Header().Set("Location", "/v1/jobs/"+sj.id)
-	writeJSON(w, http.StatusCreated, sj.view())
-}
-
-func (m *jobManager) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := m.list()
-	views := make([]jobView, len(jobs))
-	for i, sj := range jobs {
-		views[i] = sj.view()
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
-}
-
-func (m *jobManager) handleGet(w http.ResponseWriter, r *http.Request) {
-	sj, ok := m.get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
-		return
-	}
-	writeJSON(w, http.StatusOK, sj.view())
-}
-
-// handleCancel: DELETE on a running job cancels it and returns at once
-// (the job object stays queryable so clients can watch the drain);
-// DELETE on a still-queued job cancels it immediately — no waiting for
-// pool admission — and the response already shows the cancelled
-// terminal state; DELETE on a job already in a terminal state removes
-// it from the store, freeing its result log — the explicit form of the
-// eviction submit performs when the store fills.
-func (m *jobManager) handleCancel(w http.ResponseWriter, r *http.Request) {
-	sj, ok := m.get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
-		return
-	}
-	v := sj.view()
-	if v.Snapshot.State.Terminal() {
-		m.remove(sj.id)
-		v.Removed = true
-		writeJSON(w, http.StatusOK, v)
-		return
-	}
-	if sj.requestCancel() {
-		// The job never reached a pool slot, so it terminates without
-		// computing anything — await that (it is immediate) so the
-		// response acknowledges the cancellation instead of racing it
-		// with a stale "pending" snapshot.
-		<-sj.job.Done()
-	}
-	writeJSON(w, http.StatusOK, sj.view())
-}
-
-// handleResults streams the job's JSONL live: records already produced
-// flush immediately, later ones as the workers emit them, and the
-// response ends when the job reaches a terminal state. ?from=K skips
-// the first K records — the re-attach path for clients that lost a
-// stream (the records are deterministic, so the spliced stream is
-// byte-identical to an unbroken one).
-func (m *jobManager) handleResults(w http.ResponseWriter, r *http.Request) {
-	sj, ok := m.get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
-		return
-	}
-	from := 0
-	if tok := r.URL.Query().Get("from"); tok != "" {
-		n, err := strconv.Atoi(tok)
-		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, "bad from=%q, want a cell index ≥ 0", tok)
-			return
-		}
-		from = n
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	for i := from; ; i++ {
-		line, ok := sj.log.next(r.Context(), i)
-		if !ok {
-			return
-		}
-		if _, err := w.Write(line); err != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"faultexp/internal/cache"
+	"faultexp/internal/fabric"
 	"faultexp/internal/sweep"
 )
 
@@ -55,18 +56,18 @@ const slowSpecJSON = `{
   "workers": 2
 }`
 
-func newTestServer(t *testing.T, maxActive, maxJobs int) (*httptest.Server, *jobManager) {
+func newTestServer(t *testing.T, maxActive, maxJobs int) (*httptest.Server, *fabric.Server) {
 	t.Helper()
-	mgr := newJobManager(context.Background(), maxActive, maxJobs, 0)
-	srv := httptest.NewServer(mgr.handler())
+	mgr := fabric.NewServer(context.Background(), fabric.Config{MaxActive: maxActive, MaxJobs: maxJobs})
+	srv := httptest.NewServer(mgr.Handler())
 	t.Cleanup(func() {
-		mgr.cancelAll()
+		mgr.CancelAll()
 		srv.Close()
 	})
 	return srv, mgr
 }
 
-func postJob(t *testing.T, srv *httptest.Server, spec string) jobView {
+func postJob(t *testing.T, srv *httptest.Server, spec string) fabric.JobView {
 	t.Helper()
 	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
 	if err != nil {
@@ -77,7 +78,7 @@ func postJob(t *testing.T, srv *httptest.Server, spec string) jobView {
 		b, _ := io.ReadAll(resp.Body)
 		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, b)
 	}
-	var v jobView
+	var v fabric.JobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatalf("decoding POST response: %v", err)
 	}
@@ -90,7 +91,7 @@ func postJob(t *testing.T, srv *httptest.Server, spec string) jobView {
 	return v
 }
 
-func getView(t *testing.T, srv *httptest.Server, id string) jobView {
+func getView(t *testing.T, srv *httptest.Server, id string) fabric.JobView {
 	t.Helper()
 	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
 	if err != nil {
@@ -100,14 +101,14 @@ func getView(t *testing.T, srv *httptest.Server, id string) jobView {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/jobs/%s = %d", id, resp.StatusCode)
 	}
-	var v jobView
+	var v fabric.JobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatalf("decoding snapshot: %v", err)
 	}
 	return v
 }
 
-func waitTerminal(t *testing.T, srv *httptest.Server, id string) jobView {
+func waitTerminal(t *testing.T, srv *httptest.Server, id string) fabric.JobView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -118,7 +119,7 @@ func waitTerminal(t *testing.T, srv *httptest.Server, id string) jobView {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("job %s never reached a terminal state", id)
-	return jobView{}
+	return fabric.JobView{}
 }
 
 // TestServeResultsByteIdenticalToCLI is the acceptance check: the same
@@ -190,7 +191,7 @@ func TestServeResultsByteIdenticalToCLI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var list struct {
-		Jobs []jobView `json:"jobs"`
+		Jobs []fabric.JobView `json:"jobs"`
 	}
 	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
 		t.Fatalf("decoding job list: %v", err)
@@ -392,7 +393,7 @@ func TestServeStoreEvictsFinishedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var v jobView
+	var v fabric.JobView
 	if err := json.NewDecoder(dresp.Body).Decode(&v); err != nil {
 		t.Fatalf("decoding DELETE response: %v", err)
 	}
@@ -445,10 +446,10 @@ func mustReq(t *testing.T, method, url string) *http.Request {
 // daemon's heap hostage, and the results stream closes with a final
 // parseable record naming the truncation.
 func TestServeMaxResultBytes(t *testing.T) {
-	mgr := newJobManager(context.Background(), 1, 4, 512)
-	srv := httptest.NewServer(mgr.handler())
+	mgr := fabric.NewServer(context.Background(), fabric.Config{MaxActive: 1, MaxJobs: 4, MaxResultBytes: 512})
+	srv := httptest.NewServer(mgr.Handler())
 	t.Cleanup(func() {
-		mgr.cancelAll()
+		mgr.CancelAll()
 		srv.Close()
 	})
 	v := postJob(t, srv, serveSpecJSON)
@@ -610,7 +611,7 @@ func TestServeCancelQueuedJobAcknowledgedImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DELETE: %v", err)
 	}
-	var dv jobView
+	var dv fabric.JobView
 	if err := json.NewDecoder(dresp.Body).Decode(&dv); err != nil {
 		t.Fatalf("decoding DELETE response: %v", err)
 	}
@@ -660,15 +661,15 @@ func cancelDeleteJob(t *testing.T, srv *httptest.Server, id string) {
 // earlier one answers entirely from the cache — its snapshot reports
 // hits == cells — and its stream is byte-identical to the first job's.
 func TestServeCacheSharedAcrossJobs(t *testing.T) {
-	mgr := newJobManager(context.Background(), 2, 8, 0)
 	rc, err := cache.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr.cache, mgr.flight = rc, cache.NewFlight()
-	srv := httptest.NewServer(mgr.handler())
+	mgr := fabric.NewServer(context.Background(), fabric.Config{
+		MaxActive: 2, MaxJobs: 8, Cache: rc, Flight: cache.NewFlight()})
+	srv := httptest.NewServer(mgr.Handler())
 	t.Cleanup(func() {
-		mgr.cancelAll()
+		mgr.CancelAll()
 		srv.Close()
 	})
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -576,5 +577,51 @@ func TestSweepCacheCLI(t *testing.T) {
 	}
 	if !strings.Contains(string(out2), "0/6 cells cached") {
 		t.Errorf("empty-cache dry run missing \"0/6 cells cached\":\n%s", out2)
+	}
+}
+
+// TestMergeDirCLI: `faultexp merge -dir` discovers a complete
+// shard-<i>-of-<m>.jsonl set — the durable job store layout — and
+// merges it to the unsharded golden bytes without listing files.
+func TestMergeDirCLI(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		args := []string{
+			"-families", "mesh:4x4,torus:4x4,hypercube:4",
+			"-measures", "gamma,percolation",
+			"-model", "iid-node",
+			"-rates", "0,0.25,0.5,0.75",
+			"-trials", "2",
+			"-seed", "42",
+			"-quiet",
+			"-shard", fmt.Sprintf("%d/3", i),
+			"-jsonl", filepath.Join(dir, fmt.Sprintf("shard-%d-of-3.jsonl", i)),
+		}
+		if err := cmdSweep(context.Background(), args); err != nil {
+			t.Fatalf("cmdSweep(shard %d/3): %v", i, err)
+		}
+	}
+	// Job-store clutter must not confuse the discovery.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := cmdMerge(context.Background(), []string{"-quiet", "-dir", dir, "-jsonl", merged}); err != nil {
+		t.Fatalf("cmdMerge -dir: %v", err)
+	}
+	if got, want := readFile(t, merged), readFile(t, filepath.Join("testdata", "sweep_golden.jsonl")); !bytes.Equal(got, want) {
+		t.Errorf("merge -dir differs from unsharded golden")
+	}
+	// -dir and positional shard files are mutually exclusive.
+	if err := cmdMerge(context.Background(), []string{"-quiet", "-dir", dir,
+		filepath.Join(dir, "shard-0-of-3.jsonl")}); err == nil {
+		t.Error("cmdMerge accepted -dir plus positional shard files")
+	}
+	// An incomplete set is refused, not silently part-merged.
+	if err := os.Remove(filepath.Join(dir, "shard-1-of-3.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMerge(context.Background(), []string{"-quiet", "-dir", dir, "-jsonl", filepath.Join(dir, "x.jsonl")}); err == nil {
+		t.Error("cmdMerge -dir accepted an incomplete shard set")
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
+
+	"faultexp/internal/sweep"
 )
 
 func cmdVersion(w io.Writer) error {
@@ -25,6 +27,10 @@ func cmdVersion(w io.Writer) error {
 	fmt.Fprintf(w, "faultexp %s\n", version)
 	fmt.Fprintf(w, "  module    %s\n", bi.Main.Path)
 	fmt.Fprintf(w, "  go        %s\n", bi.GoVersion)
+	// The measurement-kernel stamp namespaces the result cache and is
+	// what the coordinator matches across a fleet — printing it here is
+	// how an operator diagnoses kernel skew from the CLI.
+	fmt.Fprintf(w, "  kernels   %s\n", sweep.KernelVersion)
 	var rev, modified, vcsTime string
 	for _, s := range bi.Settings {
 		switch s.Key {

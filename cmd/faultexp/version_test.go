@@ -9,6 +9,8 @@ import (
 	"bytes"
 	"regexp"
 	"testing"
+
+	"faultexp/internal/sweep"
 )
 
 func TestVersionOutputShape(t *testing.T) {
@@ -21,6 +23,9 @@ func TestVersionOutputShape(t *testing.T) {
 		`(?m)^faultexp \S+$`,         // header: name + version (devel under go test)
 		`(?m)^  module    faultexp$`, // module path from build info
 		`(?m)^  go        go\d`,      // toolchain line
+		// The kernel stamp — what a fleet operator compares across
+		// daemons to diagnose kernel skew from the CLI.
+		`(?m)^  kernels   ` + regexp.QuoteMeta(sweep.KernelVersion) + `$`,
 	} {
 		if !regexp.MustCompile(re).MatchString(out) {
 			t.Errorf("version output missing %s:\n%s", re, out)

@@ -36,6 +36,7 @@
 package faultexp
 
 import (
+	"context"
 	"io"
 
 	"faultexp/internal/agree"
@@ -45,6 +46,7 @@ import (
 	"faultexp/internal/cuts"
 	"faultexp/internal/embed"
 	"faultexp/internal/expansion"
+	"faultexp/internal/fabric"
 	"faultexp/internal/faults"
 	"faultexp/internal/gen"
 	"faultexp/internal/graph"
@@ -643,3 +645,76 @@ type EmbedMetrics = embed.Metrics
 func Emulate(ideal *Graph, survivor *Sub) (*Embedding, error) {
 	return embed.EmulateFaultyMesh(ideal, survivor)
 }
+
+// --- Distributed sweep fabric (package fabric) ---
+
+// FabricServer is the HTTP job daemon behind `faultexp serve` and
+// `faultexp worker`: a bounded pool of sweep jobs behind POST /v1/jobs,
+// live JSONL result streams, and a /healthz reporting the build and
+// kernel-version stamps a fleet matches on.
+type FabricServer = fabric.Server
+
+// FabricConfig sizes a FabricServer (pool bounds, result retention cap,
+// shared result cache and single-flight group).
+type FabricConfig = fabric.Config
+
+// NewFabricServer builds a job server whose jobs run under ctx.
+func NewFabricServer(ctx context.Context, cfg FabricConfig) *FabricServer {
+	return fabric.NewServer(ctx, cfg)
+}
+
+// FabricClient drives one worker daemon over its /v1 job surface —
+// submit (with shard/skip restriction), stream, snapshot, delete.
+type FabricClient = fabric.Client
+
+// NewFabricClient normalizes addr ("host:port" or URL) into a client.
+func NewFabricClient(addr string) *FabricClient { return fabric.NewClient(addr) }
+
+// FabricHealth is the GET /healthz body of serve and worker daemons.
+type FabricHealth = fabric.Health
+
+// FabricStore is the coordinator's durable job store: one append-only
+// directory per job (spec, meta, per-shard JSONL), so a SIGKILLed
+// coordinator rebuilds every job and resumes from exact output
+// prefixes.
+type FabricStore = fabric.Store
+
+// OpenFabricStore opens (creating if needed) a store rooted at dir.
+func OpenFabricStore(dir string) (*FabricStore, error) { return fabric.OpenStore(dir) }
+
+// FabricCoordinator fans a grid spec out over a worker fleet as
+// round-robin shards and streams back the merged interleave —
+// byte-identical to a single-node run, with dead workers' shards
+// reassigned mid-stream via the verified-prefix resume.
+type FabricCoordinator = fabric.Coordinator
+
+// FabricCoordinatorConfig wires a coordinator: the fleet, the durable
+// store, concurrency and backpressure bounds, health-check cadence.
+type FabricCoordinatorConfig = fabric.CoordinatorConfig
+
+// NewFabricCoordinator rebuilds every stored job and starts the fleet
+// health loop.
+func NewFabricCoordinator(ctx context.Context, cfg FabricCoordinatorConfig) (*FabricCoordinator, error) {
+	return fabric.NewCoordinator(ctx, cfg)
+}
+
+// FabricJobView / FabricCoordJobView / FabricWorkerView are the JSON
+// shapes of jobs and workers in fabric HTTP responses.
+type (
+	FabricJobView      = fabric.JobView
+	FabricCoordJobView = fabric.CoordJobView
+	FabricWorkerView   = fabric.WorkerView
+)
+
+// SweepShardFileName is the canonical on-disk name of one shard's JSONL
+// output ("shard-<i>-of-<m>.jsonl") — the durable job store layout and
+// what `faultexp merge -dir` discovers.
+func SweepShardFileName(sh SweepShard) string { return sweep.ShardFileName(sh) }
+
+// SweepShardFiles discovers a complete shard file set in dir, in shard
+// order, ready for MergeSweepShards.
+func SweepShardFiles(dir string) ([]string, error) { return sweep.ShardFiles(dir) }
+
+// SweepShardLineCount is the exact line count of one shard's complete
+// output for a grid of total cells.
+func SweepShardLineCount(total int, sh SweepShard) int { return sweep.ShardLineCount(total, sh) }

@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestFlightFollowerCancelDoesNotPoisonGroup: a follower whose context
+// dies while the leader is still computing must return promptly — and
+// must not damage the flight group. The leader's eventual Finish still
+// delivers to the remaining followers, the key retires normally, and a
+// fresh Begin elects a new leader. This is the serve-daemon scenario
+// where one HTTP client disconnects while another waits on the same
+// single-flighted cell.
+func TestFlightFollowerCancelDoesNotPoisonGroup(t *testing.T) {
+	f := NewFlight()
+	k := testKey("follower-cancel")
+	if leader, _ := f.Begin(k); !leader {
+		t.Fatal("first Begin did not lead")
+	}
+	_, cancelled := f.Begin(k)
+	_, patient := f.Begin(k)
+	if cancelled == nil || patient == nil {
+		t.Fatal("followers did not get Pending handles")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, ok := cancelled.Wait(ctx); ok {
+		t.Fatal("cancelled follower reported a payload")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled follower took %v to return", d)
+	}
+
+	// The group survives the departure: the patient follower still gets
+	// the leader's payload.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, ok := patient.Wait(context.Background())
+		if !ok || string(got) != "payload" {
+			t.Errorf("surviving follower Wait = %q, %v; want \"payload\", true", got, ok)
+		}
+	}()
+	f.Finish(k, []byte("payload"))
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving follower never woke after Finish")
+	}
+
+	// And the key retired cleanly: the next Begin leads a fresh flight.
+	leader, p := f.Begin(k)
+	if !leader || p != nil {
+		t.Fatalf("after Finish: Begin = leader=%v p=%v, want a fresh leader", leader, p)
+	}
+	f.Abort(k)
+}

@@ -1,0 +1,198 @@
+package fabric
+
+// Client is how the coordinator speaks to one worker: the same /v1 job
+// surface `faultexp serve` exposes, plus /healthz. Nothing here is
+// coordinator-specific — any program can drive a worker with it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"faultexp/internal/sweep"
+)
+
+// Client talks to one worker daemon.
+type Client struct {
+	// Base is the worker's base URL ("http://host:port").
+	Base string
+	// HTTP is the client to use; nil means http.DefaultClient. The
+	// coordinator passes a client with no overall timeout — result
+	// streams are long-lived — and relies on context cancellation.
+	HTTP *http.Client
+}
+
+// NewClient normalizes addr ("host:port" or a full URL) into a Client.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-2xx response from a worker, carrying the HTTP
+// status so callers can split permanent refusals (4xx — the worker
+// understood and said no; retrying elsewhere gets the same answer) from
+// transient conditions.
+type StatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.Status, e.Msg)
+}
+
+// Permanent reports whether retrying the request can't help: the worker
+// parsed it and refused (4xx).
+func (e *StatusError) Permanent() bool { return e.Status >= 400 && e.Status < 500 }
+
+// decodeError turns a non-2xx response into a StatusError, reading the
+// {"error": ...} body the server writes.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := ""
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+		if json.Unmarshal(b, &body) == nil && body.Error != "" {
+			msg = body.Error
+		} else {
+			msg = strings.TrimSpace(string(b))
+		}
+	}
+	return &StatusError{Status: resp.StatusCode, Msg: msg}
+}
+
+// Health fetches the worker's /healthz — build version, kernel-version
+// stamp, capacity.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Health{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("decoding /healthz from %s: %w", c.Base, err)
+	}
+	return h, nil
+}
+
+// Submit posts specJSON as a new job restricted to shard sh (the whole
+// grid when sh.Count ≤ 1), skipping the shard's first skip cells — the
+// resume path after a reassignment. Returns the worker's job id.
+func (c *Client) Submit(ctx context.Context, specJSON []byte, sh sweep.Shard, skip int) (string, error) {
+	url := c.Base + "/v1/jobs"
+	sep := "?"
+	if sh.Enabled() {
+		url += sep + "shard=" + sh.String()
+		sep = "&"
+	}
+	if skip > 0 {
+		url += sep + "skip=" + strconv.Itoa(skip)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(specJSON))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return "", fmt.Errorf("decoding job from %s: %w", c.Base, err)
+	}
+	if v.ID == "" {
+		return "", fmt.Errorf("worker %s returned a job with no id", c.Base)
+	}
+	return v.ID, nil
+}
+
+// Job fetches one job's snapshot view.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return JobView{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return JobView{}, fmt.Errorf("decoding job from %s: %w", c.Base, err)
+	}
+	return v, nil
+}
+
+// Results opens the job's live JSONL stream, skipping the first `from`
+// records. The stream ends when the job reaches a terminal state; the
+// caller owns closing the body.
+func (c *Client) Results(ctx context.Context, id string, from int) (io.ReadCloser, error) {
+	url := c.Base + "/v1/jobs/" + id + "/results"
+	if from > 0 {
+		url += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// Delete cancels a running job or removes a terminal one — the
+// coordinator's cleanup after each attempt, so worker memory doesn't
+// accumulate one held job per dispatch.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,977 @@
+package fabric
+
+// The coordinator: accepts grid specs on the same /v1 job surface as
+// serve, splits each into round-robin `-shard i/m` slices, dispatches
+// the slices to a fleet of worker daemons, and streams a merged
+// interleave back to the client — byte-identical to a single-node run,
+// because a cell's bytes depend only on (grid seed, cell key) and the
+// round-robin interleave of complete shard streams IS the unsharded
+// cell order (the MergeShards discipline).
+//
+// Failure handling is resume, not redo: every line a worker streams is
+// appended (verbatim, verified) to the job's durable shard file, so
+// when a worker dies or straggles mid-shard the coordinator reassigns
+// the shard with ?skip=K — K being the verified prefix length — and
+// the replacement worker computes only the remainder. The same
+// machinery makes the coordinator itself crash-safe: on startup every
+// job is rebuilt from its store directory, each shard file re-verified
+// with sweep.ScanResume (torn final lines truncated), and execution
+// resumes exactly where the prefixes end.
+//
+// Backpressure is per-worker: at most MaxInflight shards are assigned
+// to one worker at a time, and a shard that cannot be placed waits for
+// capacity instead of piling requests onto a loaded fleet.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"faultexp/internal/sweep"
+)
+
+// CoordinatorConfig wires a Coordinator.
+type CoordinatorConfig struct {
+	// Workers are the worker daemons' addresses ("host:port" or URLs).
+	// An empty fleet is allowed — jobs queue until workers respond to
+	// health checks.
+	Workers []string
+	// Store is the durable job store (required).
+	Store *Store
+	// MaxActive bounds jobs dispatching concurrently (default 2).
+	MaxActive int
+	// MaxInflight bounds the shards assigned to one worker at a time —
+	// the fleet-wide backpressure knob (default 1).
+	MaxInflight int
+	// Shards is the split per job; 0 means one shard per worker.
+	Shards int
+	// MaxResultBytes caps the retained in-memory result bytes per job
+	// (0 = unlimited); the durable files are not capped.
+	MaxResultBytes int64
+	// HealthInterval is the worker health-check period (default 2s).
+	HealthInterval time.Duration
+	// RetryDelay is the pause before reassigning a failed shard
+	// attempt (default 500ms).
+	RetryDelay time.Duration
+	// MaxAttempts bounds consecutive shard attempts that make no
+	// progress before the job fails (default 5). Attempts that advance
+	// the prefix reset the count — a worker death mid-stream never
+	// burns the budget as long as someone, somewhere, computes cells.
+	MaxAttempts int
+	// HTTP overrides the fleet HTTP client (no overall timeout:
+	// result streams are long-lived; cancellation is per-context).
+	HTTP *http.Client
+}
+
+func (cfg *CoordinatorConfig) fill() error {
+	if cfg.Store == nil {
+		return fmt.Errorf("fabric: coordinator needs a Store")
+	}
+	if cfg.MaxActive < 1 {
+		cfg.MaxActive = 2
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 1
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 500 * time.Millisecond
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	return nil
+}
+
+// workerRef is one fleet member's registry entry. All mutable fields
+// are guarded by Coordinator.mu.
+type workerRef struct {
+	base   string
+	client *Client
+
+	healthy  bool
+	kernelOK bool
+	kernel   string
+	version  string
+	inflight int
+	lastErr  string
+	// down is non-nil while the worker is healthy and is closed on the
+	// healthy→down transition, so in-flight attempts streaming from a
+	// worker the health checker has declared dead abort immediately
+	// instead of hanging on a stalled TCP connection.
+	down chan struct{}
+}
+
+// WorkerView is one worker's state in /healthz and /v1/workers.
+type WorkerView struct {
+	URL           string `json:"url"`
+	Healthy       bool   `json:"healthy"`
+	KernelVersion string `json:"kernel_version,omitempty"`
+	KernelOK      bool   `json:"kernel_ok"`
+	Version       string `json:"version,omitempty"`
+	Inflight      int    `json:"inflight"`
+	Err           string `json:"err,omitempty"`
+}
+
+// ShardView is one shard's progress in a job view.
+type ShardView struct {
+	Shard    string `json:"shard"`
+	Lines    int    `json:"lines"`
+	Expected int    `json:"expected"`
+	Worker   string `json:"worker,omitempty"`
+}
+
+// CoordJobView is the JSON shape of one coordinator job: the familiar
+// id/created/snapshot triple (snapshot.cells_done is the contiguous
+// merged prefix a results stream could deliver right now) plus
+// per-shard progress.
+type CoordJobView struct {
+	ID       string         `json:"id"`
+	Created  time.Time      `json:"created"`
+	Snapshot sweep.Snapshot `json:"snapshot"`
+	Shards   []ShardView    `json:"shards"`
+	Removed  bool           `json:"removed,omitempty"`
+}
+
+// CoordHealth is the coordinator's GET /healthz body.
+type CoordHealth struct {
+	Service       string       `json:"service"`
+	Version       string       `json:"version"`
+	KernelVersion string       `json:"kernel_version"`
+	MaxActive     int          `json:"max_active"`
+	ActiveJobs    int          `json:"active_jobs"`
+	HeldJobs      int          `json:"held_jobs"`
+	Workers       []WorkerView `json:"workers"`
+}
+
+// coordJob is one job's in-memory state: per-shard line logs mirroring
+// the durable shard files, plus dispatch bookkeeping.
+type coordJob struct {
+	id       string
+	stored   *StoredJob
+	spec     *sweep.Spec
+	specJSON []byte
+	created  time.Time
+
+	m        int            // shard count
+	cells    int            // total grid cells
+	cellsBy  [][]sweep.Cell // per-shard cell sequences (what streams verify against)
+	expected []int          // per-shard complete line counts
+	logs     []*resultLog   // per-shard line logs (merged stream reads these)
+	files    []*os.File     // per-shard durable append handles (while running)
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	done       chan struct{}
+
+	mu          sync.Mutex
+	state       sweep.JobState
+	errMsg      string
+	shardWorker []string
+	bytes       int64
+	maxBytes    int64
+}
+
+func (cj *coordJob) cancelRequested() bool {
+	select {
+	case <-cj.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancel requests the job stop draining at line boundaries. durable=
+// true also writes the store's cancelled marker so a restart doesn't
+// resurrect the job.
+func (cj *coordJob) cancel(durable bool) {
+	cj.cancelOnce.Do(func() {
+		if durable {
+			cj.stored.MarkCancelled()
+		}
+		close(cj.cancelCh)
+	})
+}
+
+func (cj *coordJob) setState(s sweep.JobState) {
+	cj.mu.Lock()
+	if !cj.state.Terminal() {
+		cj.state = s
+	}
+	cj.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, completing
+// every shard log so merged streams end.
+func (cj *coordJob) finish(s sweep.JobState, err error) {
+	cj.mu.Lock()
+	if cj.state.Terminal() {
+		cj.mu.Unlock()
+		return
+	}
+	cj.state = s
+	if err != nil {
+		cj.errMsg = err.Error()
+	}
+	cj.mu.Unlock()
+	for _, l := range cj.logs {
+		l.finish()
+	}
+	close(cj.done)
+}
+
+func (cj *coordJob) setShardWorker(i int, base string) {
+	cj.mu.Lock()
+	cj.shardWorker[i] = base
+	cj.mu.Unlock()
+}
+
+// appendShard verifies nothing (the caller already did); it accounts
+// the retention cap, appends line+\n to the durable shard file in one
+// write (so a kill tears at most the final line, exactly what
+// ScanResume repairs), then publishes it to the in-memory log feeding
+// merged streams. Durable-first ordering means a line a client saw is
+// always on disk.
+func (cj *coordJob) appendShard(i int, line []byte) error {
+	b := make([]byte, 0, len(line)+1)
+	b = append(b, line...)
+	b = append(b, '\n')
+	cj.mu.Lock()
+	if cj.maxBytes > 0 && cj.bytes+int64(len(b)) > cj.maxBytes {
+		cj.mu.Unlock()
+		return fmt.Errorf("job %s exceeds the result retention cap (-max-result-bytes=%d)", cj.id, cj.maxBytes)
+	}
+	cj.bytes += int64(len(b))
+	cj.mu.Unlock()
+	if _, err := cj.files[i].Write(b); err != nil {
+		return fmt.Errorf("appending to %s: %w", cj.stored.ShardPath(i), err)
+	}
+	cj.logs[i].appendLine(b)
+	return nil
+}
+
+// mergedDone is the contiguous merged prefix length: cell c lives on
+// shard c mod m at intra-shard index c div m, so the prefix ends at
+// the first cell whose shard hasn't reached it — min over shards of
+// (lines·m + shard index), capped at the grid size.
+func (cj *coordJob) mergedDone() int {
+	done := cj.cells
+	for s := 0; s < cj.m; s++ {
+		if v := cj.logs[s].count()*cj.m + s; v < done {
+			done = v
+		}
+	}
+	return done
+}
+
+// complete reports whether every shard holds its full line count.
+func (cj *coordJob) complete() bool {
+	for i := 0; i < cj.m; i++ {
+		if cj.logs[i].count() != cj.expected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (cj *coordJob) view() CoordJobView {
+	cj.mu.Lock()
+	state, errMsg := cj.state, cj.errMsg
+	workers := append([]string(nil), cj.shardWorker...)
+	cj.mu.Unlock()
+	v := CoordJobView{
+		ID:      cj.id,
+		Created: cj.created,
+		Snapshot: sweep.Snapshot{
+			State:      state,
+			CellsDone:  cj.mergedDone(),
+			CellsTotal: cj.cells,
+			Err:        errMsg,
+		},
+	}
+	for i := 0; i < cj.m; i++ {
+		v.Shards = append(v.Shards, ShardView{
+			Shard:    fmt.Sprintf("%d/%d", i, cj.m),
+			Lines:    cj.logs[i].count(),
+			Expected: cj.expected[i],
+			Worker:   workers[i],
+		})
+	}
+	return v
+}
+
+// Coordinator owns the worker registry and every durable job.
+type Coordinator struct {
+	ctx   context.Context
+	cfg   CoordinatorConfig
+	store *Store
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	workers []*workerRef
+	notify  chan struct{} // closed+replaced when dispatch capacity may have appeared
+	jobs    map[string]*coordJob
+	order   []string
+}
+
+// NewCoordinator opens the fleet registry and rebuilds every job from
+// the durable store: complete jobs come back terminal with their
+// results streamable, cancelled jobs stay cancelled, and incomplete
+// jobs re-enter the dispatch queue with each shard resuming from its
+// verified prefix — the SIGKILL-loses-nothing property.
+func NewCoordinator(ctx context.Context, cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		ctx:    ctx,
+		cfg:    cfg,
+		store:  cfg.Store,
+		sem:    make(chan struct{}, cfg.MaxActive),
+		notify: make(chan struct{}),
+		jobs:   map[string]*coordJob{},
+	}
+	for _, addr := range cfg.Workers {
+		cl := NewClient(addr)
+		cl.HTTP = cfg.HTTP
+		c.workers = append(c.workers, &workerRef{base: cl.Base, client: cl, lastErr: "not probed yet"})
+	}
+	if err := c.rebuild(); err != nil {
+		return nil, err
+	}
+	go c.healthLoop()
+	return c, nil
+}
+
+// rebuild loads every stored job back into memory and requeues the
+// unfinished ones.
+func (c *Coordinator) rebuild() error {
+	stored, err := c.store.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, sj := range stored {
+		cj, loadErr := c.buildJob(sj, false)
+		c.mu.Lock()
+		c.jobs[cj.id] = cj
+		c.order = append(c.order, cj.id)
+		c.mu.Unlock()
+		switch {
+		case loadErr != nil:
+			cj.finish(sweep.JobFailed, loadErr)
+		case cj.complete():
+			cj.finish(sweep.JobDone, nil)
+		case sj.Cancelled():
+			cj.cancel(false)
+			cj.finish(sweep.JobCancelled, nil)
+		case sj.Kernel != sweep.KernelVersion:
+			cj.finish(sweep.JobFailed, fmt.Errorf(
+				"job was computed under kernel stamp %q but this coordinator runs %q — splicing could mix bytes; re-submit the spec",
+				sj.Kernel, sweep.KernelVersion))
+		default:
+			go c.runJob(cj)
+		}
+	}
+	return nil
+}
+
+// buildJob materializes a coordJob from its stored state. When resume
+// is wanted (existing jobs), each shard file is verified against its
+// cell sequence with sweep.ScanResume — a torn trailing line (the
+// mid-write kill signature) is truncated away — and the verified
+// prefix loaded into the shard log. The returned error marks the job
+// failed; the job object itself is always usable for views.
+func (c *Coordinator) buildJob(sj *StoredJob, fresh bool) (*coordJob, error) {
+	m := sj.Shards
+	cj := &coordJob{
+		id:          sj.ID,
+		stored:      sj,
+		spec:        sj.Spec,
+		specJSON:    sj.SpecJSON,
+		created:     sj.Created,
+		m:           m,
+		cells:       len(sj.Spec.Cells()),
+		cellsBy:     make([][]sweep.Cell, m),
+		expected:    make([]int, m),
+		logs:        make([]*resultLog, m),
+		files:       make([]*os.File, m),
+		cancelCh:    make(chan struct{}),
+		done:        make(chan struct{}),
+		state:       sweep.JobPending,
+		shardWorker: make([]string, m),
+		maxBytes:    c.cfg.MaxResultBytes,
+	}
+	for i := 0; i < m; i++ {
+		cj.cellsBy[i] = sj.Spec.ShardCells(sweep.Shard{Index: i, Count: m})
+		cj.expected[i] = len(cj.cellsBy[i])
+		cj.logs[i] = newResultLog(0)
+	}
+	if fresh {
+		return cj, nil
+	}
+	for i := 0; i < m; i++ {
+		if err := cj.loadShardPrefix(i); err != nil {
+			return cj, err
+		}
+	}
+	return cj, nil
+}
+
+// loadShardPrefix restores one shard's verified durable prefix into
+// its in-memory log, truncating any torn final line on disk.
+func (cj *coordJob) loadShardPrefix(i int) error {
+	path := cj.stored.ShardPath(i)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	st, err := sweep.ScanResume(bytes.NewReader(b), cj.cellsBy[i])
+	if err != nil {
+		return fmt.Errorf("shard %d/%d: %w", i, cj.m, err)
+	}
+	if int64(len(b)) != st.Offset {
+		if err := os.Truncate(path, st.Offset); err != nil {
+			return fmt.Errorf("truncating torn tail of %s: %w", path, err)
+		}
+	}
+	data := b[:st.Offset]
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data[:nl+1]
+		data = data[nl+1:]
+		cj.mu.Lock()
+		cj.bytes += int64(len(line))
+		cj.mu.Unlock()
+		cj.logs[i].appendLine(line)
+	}
+	return nil
+}
+
+// shardCountFor picks the split for a new job: the configured -shards,
+// else one per worker, never more than the grid has cells (extra
+// shards would only add empty files).
+func (c *Coordinator) shardCountFor(spec *sweep.Spec) int {
+	m := c.cfg.Shards
+	if m < 1 {
+		m = len(c.cfg.Workers)
+	}
+	if m < 1 {
+		m = 1
+	}
+	if cells := len(spec.Cells()); cells > 0 && m > cells {
+		m = cells
+	}
+	return m
+}
+
+// submit durably registers a new job (spec on disk before the response
+// commits to an id) and queues it.
+func (c *Coordinator) submit(spec *sweep.Spec, specJSON []byte) (*coordJob, error) {
+	sj, err := c.store.Create(spec, specJSON, c.shardCountFor(spec))
+	if err != nil {
+		return nil, err
+	}
+	cj, _ := c.buildJob(sj, true)
+	c.mu.Lock()
+	c.jobs[cj.id] = cj
+	c.order = append(c.order, cj.id)
+	c.mu.Unlock()
+	go c.runJob(cj)
+	return cj, nil
+}
+
+func (c *Coordinator) get(id string) (*coordJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cj, ok := c.jobs[id]
+	return cj, ok
+}
+
+func (c *Coordinator) list() []*coordJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*coordJob, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id])
+	}
+	return out
+}
+
+func (c *Coordinator) removeJob(id string) {
+	c.mu.Lock()
+	delete(c.jobs, id)
+	kept := c.order[:0]
+	for _, o := range c.order {
+		if o != id {
+			kept = append(kept, o)
+		}
+	}
+	c.order = kept
+	c.mu.Unlock()
+}
+
+// signalLocked wakes every goroutine waiting for dispatch capacity.
+// Caller holds c.mu.
+func (c *Coordinator) signalLocked() {
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// healthLoop probes the fleet forever. The first probe fires
+// immediately so a freshly started coordinator dispatches as soon as
+// workers answer.
+func (c *Coordinator) healthLoop() {
+	c.probeAll()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			c.probe(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (c *Coordinator) probe(w *workerRef) {
+	timeout := c.cfg.HealthInterval
+	if timeout > 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(c.ctx, timeout)
+	defer cancel()
+	h, err := w.client.Health(ctx)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.markDownLocked(w, err.Error())
+		return
+	}
+	w.kernel = h.KernelVersion
+	w.version = h.Version
+	w.kernelOK = h.KernelVersion == sweep.KernelVersion
+	if !w.kernelOK {
+		// Kernel skew: the worker is alive but would compute (and
+		// cache) bytes under a different kernel stamp. Refuse to
+		// dispatch rather than silently mixing outputs.
+		w.lastErr = fmt.Sprintf("kernel skew: worker runs %q, coordinator wants %q — not dispatching", h.KernelVersion, sweep.KernelVersion)
+	} else {
+		w.lastErr = ""
+	}
+	if !w.healthy {
+		w.healthy = true
+		w.down = make(chan struct{})
+		if w.kernelOK {
+			c.signalLocked()
+		}
+	}
+}
+
+// markDownLocked transitions a worker to down, aborting every attempt
+// currently streaming from it. Caller holds c.mu.
+func (c *Coordinator) markDownLocked(w *workerRef, reason string) {
+	w.lastErr = reason
+	if w.healthy {
+		w.healthy = false
+		close(w.down)
+		w.down = nil
+	}
+}
+
+// markDown is the stream-failure path: a worker whose stream just died
+// is treated as down immediately; the next successful probe revives it.
+func (c *Coordinator) markDown(w *workerRef, reason string) {
+	c.mu.Lock()
+	c.markDownLocked(w, reason)
+	c.mu.Unlock()
+}
+
+// acquire blocks until some healthy, kernel-matched worker has a free
+// in-flight slot (the backpressure gate), preferring the least loaded.
+// It returns the worker and a snapshot of its down channel for the
+// attempt watcher.
+func (c *Coordinator) acquire(cj *coordJob) (*workerRef, <-chan struct{}, error) {
+	for {
+		c.mu.Lock()
+		var best *workerRef
+		for _, w := range c.workers {
+			if w.healthy && w.kernelOK && w.inflight < c.cfg.MaxInflight {
+				if best == nil || w.inflight < best.inflight {
+					best = w
+				}
+			}
+		}
+		if best != nil {
+			best.inflight++
+			down := best.down
+			c.mu.Unlock()
+			return best, down, nil
+		}
+		wait := c.notify
+		c.mu.Unlock()
+		select {
+		case <-wait:
+		case <-cj.cancelCh:
+			return nil, nil, errJobCancelled
+		case <-c.ctx.Done():
+			return nil, nil, c.ctx.Err()
+		}
+	}
+}
+
+func (c *Coordinator) release(w *workerRef) {
+	c.mu.Lock()
+	w.inflight--
+	c.signalLocked()
+	c.mu.Unlock()
+}
+
+var errJobCancelled = errors.New("job cancelled")
+
+// permanentError marks a failure retrying cannot fix (a verification
+// mismatch, the retention cap, a 4xx refusal).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permErr(format string, args ...any) error {
+	return &permanentError{fmt.Errorf(format, args...)}
+}
+
+func isPermanent(err error) bool {
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var se *StatusError
+	return errors.As(err, &se) && se.Permanent()
+}
+
+// runJob drives one job to a terminal state: wait for a dispatch slot,
+// ensure every shard file exists (a complete merge -dir set from the
+// first byte), run all shard tasks concurrently, settle the state.
+func (c *Coordinator) runJob(cj *coordJob) {
+	acquired := false
+	select {
+	case c.sem <- struct{}{}:
+		acquired = true
+	case <-cj.cancelCh:
+	case <-c.ctx.Done():
+	}
+	if acquired {
+		defer func() { <-c.sem }()
+	}
+	if !acquired {
+		if c.ctx.Err() != nil && !cj.cancelRequested() {
+			// Daemon shutdown: the job stays durable and resumes on the
+			// next start; just end any local streams.
+			cj.finishLogs()
+			return
+		}
+		cj.finish(sweep.JobCancelled, nil)
+		return
+	}
+	if cj.cancelRequested() {
+		cj.finish(sweep.JobCancelled, nil)
+		return
+	}
+	cj.setState(sweep.JobRunning)
+	for i := 0; i < cj.m; i++ {
+		f, err := os.OpenFile(cj.stored.ShardPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			cj.finish(sweep.JobFailed, err)
+			return
+		}
+		cj.files[i] = f
+	}
+	defer func() {
+		for _, f := range cj.files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	errs := make([]error, cj.m)
+	var wg sync.WaitGroup
+	for i := 0; i < cj.m; i++ {
+		if cj.logs[i].count() == cj.expected[i] {
+			cj.logs[i].finish()
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.runShard(cj, i)
+		}(i)
+	}
+	wg.Wait()
+	if c.ctx.Err() != nil && !cj.cancelRequested() {
+		cj.finishLogs()
+		return
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errJobCancelled) {
+			firstErr = err
+			break
+		}
+	}
+	switch {
+	case cj.cancelRequested():
+		cj.finish(sweep.JobCancelled, nil)
+	case firstErr != nil:
+		cj.finish(sweep.JobFailed, firstErr)
+	default:
+		cj.finish(sweep.JobDone, nil)
+	}
+}
+
+// finishLogs ends every shard log without settling a terminal state —
+// the shutdown path, where the job's real state lives on disk.
+func (cj *coordJob) finishLogs() {
+	for _, l := range cj.logs {
+		l.finish()
+	}
+}
+
+// runShard owns one shard to completion: acquire a worker, stream the
+// remainder, and on any failure reassign — the resume skip advances
+// with every verified line, so even a fleet of flaky workers makes
+// monotonic progress. Attempts that advance nothing are bounded by
+// MaxAttempts.
+func (c *Coordinator) runShard(cj *coordJob, i int) error {
+	idle := 0
+	var lastErr error
+	for {
+		if cj.cancelRequested() {
+			return errJobCancelled
+		}
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		if cj.logs[i].count() == cj.expected[i] {
+			cj.logs[i].finish()
+			return nil
+		}
+		if idle >= c.cfg.MaxAttempts {
+			return fmt.Errorf("shard %d/%d stalled: %d consecutive attempts made no progress (last: %v)", i, cj.m, idle, lastErr)
+		}
+		w, down, err := c.acquire(cj)
+		if err != nil {
+			return err
+		}
+		before := cj.logs[i].count()
+		err = c.runShardAttempt(cj, i, w, down)
+		c.release(w)
+		if err == nil {
+			cj.logs[i].finish()
+			return nil
+		}
+		if cj.cancelRequested() {
+			return errJobCancelled
+		}
+		if c.ctx.Err() != nil {
+			return c.ctx.Err()
+		}
+		if isPermanent(err) {
+			return err
+		}
+		lastErr = err
+		if cj.logs[i].count() > before {
+			idle = 0
+		} else {
+			idle++
+		}
+		select {
+		case <-time.After(c.cfg.RetryDelay):
+		case <-cj.cancelCh:
+			return errJobCancelled
+		case <-c.ctx.Done():
+			return c.ctx.Err()
+		}
+	}
+}
+
+// runShardAttempt runs one dispatch of shard i onto worker w: submit
+// with ?shard=i/m&skip=K, stream the results, verify every record
+// against its exact cell (seed + trial budget + block partition — the
+// ScanResume contract applied online), and append verified lines
+// durably. The attempt aborts the moment the job is cancelled or the
+// health checker declares the worker down.
+func (c *Coordinator) runShardAttempt(cj *coordJob, i int, w *workerRef, down <-chan struct{}) error {
+	sh := sweep.Shard{Index: i, Count: cj.m}
+	skip := cj.logs[i].count()
+	actx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-down:
+			cancel()
+		case <-cj.cancelCh:
+			cancel()
+		case <-stop:
+		case <-actx.Done():
+		}
+	}()
+
+	id, err := w.client.Submit(actx, cj.specJSON, sh, skip)
+	if err != nil {
+		c.markDownIfTransport(w, err)
+		return fmt.Errorf("submitting shard %s to %s: %w", sh, w.base, err)
+	}
+	defer func() {
+		// Best-effort cleanup off the attempt context (which may be
+		// dead): cancel a still-running worker job, remove a finished
+		// one, so worker memory doesn't hold one job per dispatch.
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer dcancel()
+		w.client.Delete(dctx, id)
+	}()
+	cj.setShardWorker(i, w.base)
+	defer cj.setShardWorker(i, "")
+
+	body, err := w.client.Results(actx, id, 0)
+	if err != nil {
+		c.markDownIfTransport(w, err)
+		return fmt.Errorf("streaming shard %s from %s: %w", sh, w.base, err)
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	got := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		idx := skip + got
+		if idx >= cj.expected[i] {
+			return permErr("worker %s emitted more records than shard %s holds (%d) — determinism violation", w.base, sh, cj.expected[i])
+		}
+		var res sweep.Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			// A torn trailing line from a dying connection, most likely:
+			// retryable, the verified prefix is untouched.
+			return fmt.Errorf("worker %s: shard %s record %d is malformed: %v", w.base, sh, idx, err)
+		}
+		want := cj.cellsBy[i][idx]
+		if res.Err != "" && res.Seed != want.Seed {
+			// A worker-side stream-failure record (e.g. its own result
+			// cap): not cell output, don't persist it.
+			return fmt.Errorf("worker %s reported: %s", w.base, res.Err)
+		}
+		if res.Seed != want.Seed || res.Trials != want.Trials || res.TrialBlock != want.TrialBlock {
+			return permErr("worker %s: shard %s record %d has seed %d/trials %d/block %d, want %d/%d/%d — output from a different spec or kernel",
+				w.base, sh, idx, res.Seed, res.Trials, res.TrialBlock, want.Seed, want.Trials, want.TrialBlock)
+		}
+		if err := cj.appendShard(i, line); err != nil {
+			return &permanentError{err}
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		// A read error with the job still wanted means the worker (or
+		// its connection) died mid-stream — treat it as down right away
+		// instead of waiting a health-check period. A cancelled job's
+		// aborted read proves nothing about the worker.
+		if !cj.cancelRequested() && c.ctx.Err() == nil {
+			c.markDown(w, fmt.Sprintf("stream died mid-shard: %v", err))
+		}
+		return fmt.Errorf("worker %s: shard %s stream died after %d records: %v", w.base, sh, skip+got, err)
+	}
+	if skip+got < cj.expected[i] {
+		// Clean EOF but short: the worker job ended early (cancelled or
+		// failed on its side). Ask it why if it still answers.
+		detail := ""
+		dctx, dcancel := context.WithTimeout(c.ctx, 2*time.Second)
+		if v, err := w.client.Job(dctx, id); err == nil {
+			detail = fmt.Sprintf(" (worker job %s", v.Snapshot.State)
+			if v.Snapshot.Err != "" {
+				detail += ": " + v.Snapshot.Err
+			}
+			detail += ")"
+		}
+		dcancel()
+		return fmt.Errorf("worker %s: shard %s stream ended at %d/%d records%s", w.base, sh, skip+got, cj.expected[i], detail)
+	}
+	return nil
+}
+
+// markDownIfTransport marks the worker down on transport-level
+// failures (connection refused, reset, timeout) but not on HTTP-level
+// refusals, which prove the worker is alive.
+func (c *Coordinator) markDownIfTransport(w *workerRef, err error) {
+	var se *StatusError
+	if errors.As(err, &se) || errors.Is(err, context.Canceled) {
+		return
+	}
+	c.markDown(w, err.Error())
+}
+
+func (c *Coordinator) health() CoordHealth {
+	h := CoordHealth{
+		Service:       "faultexp-coordinator",
+		Version:       BuildVersion(),
+		KernelVersion: sweep.KernelVersion,
+		MaxActive:     cap(c.sem),
+		Workers:       c.workerViews(),
+	}
+	for _, cj := range c.list() {
+		h.HeldJobs++
+		cj.mu.Lock()
+		if cj.state == sweep.JobRunning {
+			h.ActiveJobs++
+		}
+		cj.mu.Unlock()
+	}
+	return h
+}
+
+func (c *Coordinator) workerViews() []WorkerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	views := make([]WorkerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		views = append(views, WorkerView{
+			URL:           w.base,
+			Healthy:       w.healthy,
+			KernelVersion: w.kernel,
+			KernelOK:      w.kernelOK,
+			Version:       w.version,
+			Inflight:      w.inflight,
+			Err:           w.lastErr,
+		})
+	}
+	return views
+}

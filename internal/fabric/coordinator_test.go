@@ -1,0 +1,543 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faultexp/internal/sweep"
+)
+
+// startCoordinator builds a coordinator over the given fleet with test
+// timings (fast health checks and retries), wrapped in an HTTP server.
+func startCoordinator(t *testing.T, storeDir string, workers []string, mut func(*CoordinatorConfig)) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	st, err := OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CoordinatorConfig{
+		Workers:        workers,
+		Store:          st,
+		HealthInterval: 25 * time.Millisecond,
+		RetryDelay:     10 * time.Millisecond,
+		MaxAttempts:    20,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	co, err := NewCoordinator(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	t.Cleanup(srv.Close)
+	return co, srv
+}
+
+func submitSpec(t *testing.T, base, specJSON string) CoordJobView {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs = %d: %s", resp.StatusCode, b)
+	}
+	var v CoordJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func readResults(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET results = %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func getJob(t *testing.T, base, id string) CoordJobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v CoordJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitTerminal(t *testing.T, base, id string) CoordJobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v := getJob(t, base, id)
+		if v.Snapshot.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.Snapshot.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// checkDurableMatchesRef asserts the job's on-disk shard set merges to
+// exactly the single-node bytes — the `faultexp merge -dir` contract.
+func checkDurableMatchesRef(t *testing.T, jobDir, specJSON string, ref []byte) {
+	t.Helper()
+	paths, err := sweep.ShardFiles(jobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readers []io.Reader
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	var merged bytes.Buffer
+	if _, err := sweep.MergeShards(readers, &merged, nil, loadSpec(t, specJSON)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), ref) {
+		t.Error("durable shard files do not merge to the single-node bytes")
+	}
+}
+
+// TestCoordinatorByteIdentityThreeWorkers is the tentpole guarantee: a
+// 3-worker fleet run streams bytes identical to a single-node run, and
+// the durable store holds a complete shard set merging to the same.
+func TestCoordinatorByteIdentityThreeWorkers(t *testing.T) {
+	ref := refBytes(t, workerSpecJSON)
+	fleet := []string{startWorker(t).URL, startWorker(t).URL, startWorker(t).URL}
+	storeDir := t.TempDir()
+	_, srv := startCoordinator(t, storeDir, fleet, nil)
+
+	v := submitSpec(t, srv.URL, workerSpecJSON)
+	if len(v.Shards) != 3 {
+		t.Fatalf("job split into %d shards, want one per worker (3)", len(v.Shards))
+	}
+	got := readResults(t, srv.URL, v.ID)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("fleet stream differs from single-node run:\ngot  %d bytes\nwant %d bytes", len(got), len(ref))
+	}
+	fin := waitTerminal(t, srv.URL, v.ID)
+	if fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("job ended %s: %s", fin.Snapshot.State, fin.Snapshot.Err)
+	}
+	if fin.Snapshot.CellsDone != fin.Snapshot.CellsTotal || fin.Snapshot.CellsTotal != 24 {
+		t.Errorf("cells %d/%d, want 24/24", fin.Snapshot.CellsDone, fin.Snapshot.CellsTotal)
+	}
+	checkDurableMatchesRef(t, filepath.Join(storeDir, v.ID), workerSpecJSON, ref)
+
+	// Re-attach mid-stream: ?from=K returns exactly the suffix.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID + "/results?from=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	if want := bytes.Join(lines[10:], nil); !bytes.Equal(suffix, want) {
+		t.Error("?from=10 suffix differs from the reference tail")
+	}
+}
+
+// flakyWorker wraps a real worker and dies after streaming exactly one
+// result line: the stream ends short, subsequent requests return 500,
+// and /healthz fails — the full signature of a worker crash.
+type flakyWorker struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.dead.Load() {
+		http.Error(w, `{"error":"worker crashed"}`, http.StatusInternalServerError)
+		return
+	}
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/results") {
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		if nl := bytes.IndexByte(body, '\n'); nl >= 0 {
+			w.Write(body[:nl+1])
+		}
+		f.dead.Store(true)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestCoordinatorReassignsDeadWorker kills a worker after one streamed
+// record: the coordinator must mark it down, reassign its shard to the
+// survivor with ?skip=1 (resuming, not recomputing, the verified
+// prefix), and still produce byte-identical output.
+func TestCoordinatorReassignsDeadWorker(t *testing.T) {
+	ref := refBytes(t, workerSpecJSON)
+	flaky := &flakyWorker{inner: func() http.Handler {
+		mgr := NewServer(context.Background(), Config{MaxActive: 2})
+		t.Cleanup(mgr.CancelAll)
+		return mgr.Handler()
+	}()}
+	flakySrv := httptest.NewServer(flaky)
+	t.Cleanup(flakySrv.Close)
+	good := startWorker(t)
+	storeDir := t.TempDir()
+	_, srv := startCoordinator(t, storeDir, []string{flakySrv.URL, good.URL}, nil)
+
+	v := submitSpec(t, srv.URL, workerSpecJSON)
+	got := readResults(t, srv.URL, v.ID)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("stream with a mid-shard worker death differs from single-node run (%d vs %d bytes)", len(got), len(ref))
+	}
+	fin := waitTerminal(t, srv.URL, v.ID)
+	if fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("job ended %s: %s", fin.Snapshot.State, fin.Snapshot.Err)
+	}
+	if !flaky.dead.Load() {
+		t.Fatal("flaky worker never died — the reassignment path was not exercised")
+	}
+	checkDurableMatchesRef(t, filepath.Join(storeDir, v.ID), workerSpecJSON, ref)
+}
+
+// TestCoordinatorRefusesKernelSkewedWorker: a worker reporting a
+// different measurement-kernel stamp is alive but must never receive a
+// shard — its bytes could legitimately differ.
+func TestCoordinatorRefusesKernelSkewedWorker(t *testing.T) {
+	var skewedPosts atomic.Int32
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			writeJSON(w, http.StatusOK, Health{Service: "faultexp", Version: "devel", KernelVersion: "fx-kernels-v0", MaxActive: 2})
+			return
+		}
+		if r.Method == http.MethodPost {
+			skewedPosts.Add(1)
+		}
+		http.Error(w, `{"error":"should not be called"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(skewed.Close)
+	good := startWorker(t)
+	co, srv := startCoordinator(t, t.TempDir(), []string{skewed.URL, good.URL}, nil)
+
+	v := submitSpec(t, srv.URL, workerSpecJSON)
+	fin := waitTerminal(t, srv.URL, v.ID)
+	if fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("job ended %s: %s", fin.Snapshot.State, fin.Snapshot.Err)
+	}
+	if n := skewedPosts.Load(); n != 0 {
+		t.Errorf("kernel-skewed worker received %d job submissions", n)
+	}
+	for _, wv := range co.workerViews() {
+		if wv.URL == strings.TrimRight(skewed.URL, "/") {
+			if wv.KernelOK {
+				t.Error("skewed worker marked kernel_ok")
+			}
+			if !strings.Contains(wv.Err, "kernel skew") {
+				t.Errorf("skewed worker err = %q", wv.Err)
+			}
+		}
+	}
+}
+
+// TestCoordinatorRestartResumesFromPrefix manufactures the durable
+// state a SIGKILLed coordinator leaves behind — partial shard files,
+// one with a torn final line — and checks a fresh coordinator rebuilds
+// the job, truncates the torn tail, resumes every shard from its exact
+// verified prefix, and ends byte-identical with no duplicated or
+// missing cells.
+func TestCoordinatorRestartResumesFromPrefix(t *testing.T) {
+	ref := refBytes(t, workerSpecJSON)
+	lines := bytes.SplitAfter(ref, []byte("\n")) // 24 lines + trailing ""
+	spec := loadSpec(t, workerSpecJSON)
+	storeDir := t.TempDir()
+	st, err := OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2
+	sj, err := st.Create(spec, []byte(workerSpecJSON), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 got 3 complete lines plus a torn half-record (the
+	// mid-write kill signature); shard 1 got 1 line.
+	var sh0 bytes.Buffer
+	for c := 0; c < 6; c += m {
+		sh0.Write(lines[c])
+	}
+	sh0.WriteString(`{"family":"torn`)
+	if err := os.WriteFile(sj.ShardPath(0), sh0.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sj.ShardPath(1), lines[1], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	good := startWorker(t)
+	_, srv := startCoordinator(t, storeDir, []string{good.URL}, nil)
+	fin := waitTerminal(t, srv.URL, "job-1")
+	if fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("rebuilt job ended %s: %s", fin.Snapshot.State, fin.Snapshot.Err)
+	}
+	got := readResults(t, srv.URL, "job-1")
+	if !bytes.Equal(got, ref) {
+		t.Error("resumed run differs from single-node bytes")
+	}
+	// MergeShards verifies every record lands at its exact cell: any
+	// duplicated, missing, or reordered cell fails here.
+	checkDurableMatchesRef(t, sj.Dir, workerSpecJSON, ref)
+	for i := 0; i < m; i++ {
+		b, err := os.ReadFile(sj.ShardPath(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sweep.ShardLineCount(24, sweep.Shard{Index: i, Count: m}); bytes.Count(b, []byte("\n")) != want {
+			t.Errorf("shard %d holds %d lines, want %d", i, bytes.Count(b, []byte("\n")), want)
+		}
+	}
+}
+
+// TestCoordinatorRebuildTerminalStates: a complete job comes back done
+// (streamable with no fleet at all), a cancelled one stays cancelled,
+// and a job stored under a different kernel stamp fails instead of
+// splicing possibly-different bytes.
+func TestCoordinatorRebuildTerminalStates(t *testing.T) {
+	ref := refBytes(t, workerSpecJSON)
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	spec := loadSpec(t, workerSpecJSON)
+	storeDir := t.TempDir()
+	st, err := OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// job-1: complete, 2 shards.
+	sj1, err := st.Create(spec, []byte(workerSpecJSON), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sh0, sh1 bytes.Buffer
+	for c := 0; c < 24; c++ {
+		if c%2 == 0 {
+			sh0.Write(lines[c])
+		} else {
+			sh1.Write(lines[c])
+		}
+	}
+	os.WriteFile(sj1.ShardPath(0), sh0.Bytes(), 0o666)
+	os.WriteFile(sj1.ShardPath(1), sh1.Bytes(), 0o666)
+
+	// job-2: cancelled mid-run.
+	sj2, err := st.Create(spec, []byte(workerSpecJSON), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj2.MarkCancelled()
+
+	// job-3: stored under an older kernel stamp.
+	sj3, err := st.Create(spec, []byte(workerSpecJSON), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaPath := filepath.Join(sj3.Dir, "meta.json")
+	mb, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb = bytes.ReplaceAll(mb, []byte(sweep.KernelVersion), []byte("fx-kernels-v0"))
+	if err := os.WriteFile(metaPath, mb, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// No workers: nothing here may need the fleet.
+	_, srv := startCoordinator(t, storeDir, nil, nil)
+	if v := waitTerminal(t, srv.URL, "job-1"); v.Snapshot.State != sweep.JobDone {
+		t.Errorf("complete job rebuilt as %s", v.Snapshot.State)
+	}
+	if got := readResults(t, srv.URL, "job-1"); !bytes.Equal(got, ref) {
+		t.Error("rebuilt complete job streams different bytes")
+	}
+	if v := waitTerminal(t, srv.URL, "job-2"); v.Snapshot.State != sweep.JobCancelled {
+		t.Errorf("cancelled job rebuilt as %s", v.Snapshot.State)
+	}
+	v3 := waitTerminal(t, srv.URL, "job-3")
+	if v3.Snapshot.State != sweep.JobFailed || !strings.Contains(v3.Snapshot.Err, "kernel stamp") {
+		t.Errorf("kernel-skewed job rebuilt as %s: %s", v3.Snapshot.State, v3.Snapshot.Err)
+	}
+}
+
+// TestCoordinatorCancelIsDurable: DELETE on an active job writes the
+// store marker, so a restarted coordinator does not resurrect it; a
+// second DELETE removes the job and its directory.
+func TestCoordinatorCancelIsDurable(t *testing.T) {
+	storeDir := t.TempDir()
+	// Zero workers: the job queues forever, deterministically active.
+	_, srv := startCoordinator(t, storeDir, nil, nil)
+	v := submitSpec(t, srv.URL, workerSpecJSON)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fin := waitTerminal(t, srv.URL, v.ID)
+	if fin.Snapshot.State != sweep.JobCancelled {
+		t.Fatalf("after DELETE: %s", fin.Snapshot.State)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, v.ID, "cancelled")); err != nil {
+		t.Fatal("DELETE left no durable cancelled marker")
+	}
+
+	// Restart: still cancelled, not resumed.
+	_, srv2 := startCoordinator(t, storeDir, nil, nil)
+	if v2 := waitTerminal(t, srv2.URL, v.ID); v2.Snapshot.State != sweep.JobCancelled {
+		t.Fatalf("restart resurrected a cancelled job as %s", v2.Snapshot.State)
+	}
+	// DELETE a terminal job = remove it and its directory.
+	req, _ = http.NewRequest(http.MethodDelete, srv2.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv CoordJobView
+	json.NewDecoder(resp.Body).Decode(&rv)
+	resp.Body.Close()
+	if !rv.Removed {
+		t.Error("terminal DELETE did not report removal")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, v.ID)); !os.IsNotExist(err) {
+		t.Error("terminal DELETE left the job directory in the store")
+	}
+}
+
+func TestCoordinatorRejectsCoupledSpec(t *testing.T) {
+	_, srv := startCoordinator(t, t.TempDir(), nil, nil)
+	coupled := strings.Replace(workerSpecJSON, `"trials": 2,`, `"trials": 2, "rate_mode": "coupled",`, 1)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(coupled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("coupled spec accepted: %d %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "coupled") {
+		t.Errorf("error does not explain the coupled refusal: %s", b)
+	}
+}
+
+// TestCoordinatorHealthShape pins the /healthz body a fleet operator
+// scrapes: service name, kernel stamp, and one entry per worker.
+func TestCoordinatorHealthShape(t *testing.T) {
+	good := startWorker(t)
+	_, srv := startCoordinator(t, t.TempDir(), []string{good.URL}, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h CoordHealth
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if h.Service != "faultexp-coordinator" || h.KernelVersion != sweep.KernelVersion || len(h.Workers) != 1 {
+			t.Fatalf("health = %+v", h)
+		}
+		if h.Workers[0].Healthy && h.Workers[0].KernelOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never probed healthy: %+v", h.Workers[0])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorMoreShardsThanWorkers: -shards above the fleet size
+// still completes (shards queue behind the per-worker inflight gate)
+// and stays byte-identical.
+func TestCoordinatorMoreShardsThanWorkers(t *testing.T) {
+	ref := refBytes(t, workerSpecJSON)
+	good := startWorker(t)
+	storeDir := t.TempDir()
+	_, srv := startCoordinator(t, storeDir, []string{good.URL}, func(cfg *CoordinatorConfig) {
+		cfg.Shards = 5
+		cfg.MaxInflight = 2
+	})
+	v := submitSpec(t, srv.URL, workerSpecJSON)
+	if len(v.Shards) != 5 {
+		t.Fatalf("split into %d shards, want 5", len(v.Shards))
+	}
+	if got := readResults(t, srv.URL, v.ID); !bytes.Equal(got, ref) {
+		t.Error("5-shard single-worker stream differs from single-node run")
+	}
+	if fin := waitTerminal(t, srv.URL, v.ID); fin.Snapshot.State != sweep.JobDone {
+		t.Fatalf("job ended %s: %s", fin.Snapshot.State, fin.Snapshot.Err)
+	}
+	checkDurableMatchesRef(t, filepath.Join(storeDir, v.ID), workerSpecJSON, ref)
+}
+
+func TestMergedDoneFormula(t *testing.T) {
+	// Pure-logic check of the contiguous-prefix formula on a 3-way
+	// split of 10 cells: shard s holds cells s, s+3, s+6, ...
+	cases := []struct {
+		counts []int
+		want   int
+	}{
+		{[]int{0, 0, 0}, 0},
+		{[]int{1, 0, 0}, 1},  // cell 0 done, cell 1 (shard 1) missing
+		{[]int{1, 1, 1}, 3},  // cells 0,1,2
+		{[]int{2, 1, 1}, 4},  // + cell 3
+		{[]int{4, 3, 3}, 10}, // complete
+	}
+	for _, tc := range cases {
+		cj := &coordJob{m: 3, cells: 10, logs: make([]*resultLog, 3)}
+		for s, n := range tc.counts {
+			cj.logs[s] = newResultLog(0)
+			for k := 0; k < n; k++ {
+				cj.logs[s].appendLine([]byte(fmt.Sprintf("line %d.%d\n", s, k)))
+			}
+		}
+		if got := cj.mergedDone(); got != tc.want {
+			t.Errorf("counts %v: mergedDone = %d, want %d", tc.counts, got, tc.want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -62,6 +64,97 @@ func ParseShard(tok string) (Shard, error) {
 // land on shard i of m.
 func shardLineCount(total, i, m int) int {
 	return (total - i + m - 1) / m
+}
+
+// ShardLineCount returns how many of total round-robin-assigned records
+// land on the given shard — the exact line count of that shard's
+// complete JSONL output. A disabled shard (Count ≤ 1) holds every
+// record.
+func ShardLineCount(total int, sh Shard) int {
+	if !sh.Enabled() {
+		return total
+	}
+	return shardLineCount(total, sh.Index, sh.Count)
+}
+
+// ShardFileName is the canonical on-disk name for one shard's JSONL
+// output: "shard-<i>-of-<m>.jsonl". The durable job store writes this
+// layout and `faultexp merge -dir` reads it back; keeping the name in
+// one place is what lets the two agree. Count ≤ 1 (no sharding) names
+// the single file shard-0-of-1.jsonl.
+func ShardFileName(sh Shard) string {
+	m := sh.Count
+	if m < 1 {
+		m = 1
+	}
+	return fmt.Sprintf("shard-%d-of-%d.jsonl", sh.Index, m)
+}
+
+// ParseShardFileName inverts ShardFileName; ok=false for any name not
+// of the exact shard-<i>-of-<m>.jsonl form (with 0 ≤ i < m).
+func ParseShardFileName(name string) (Shard, bool) {
+	rest, found := strings.CutPrefix(name, "shard-")
+	if !found {
+		return Shard{}, false
+	}
+	rest, found = strings.CutSuffix(rest, ".jsonl")
+	if !found {
+		return Shard{}, false
+	}
+	is, ms, found := strings.Cut(rest, "-of-")
+	if !found {
+		return Shard{}, false
+	}
+	i, err1 := strconv.Atoi(is)
+	m, err2 := strconv.Atoi(ms)
+	if err1 != nil || err2 != nil || m < 1 || i < 0 || i >= m ||
+		is != strconv.Itoa(i) || ms != strconv.Itoa(m) {
+		return Shard{}, false
+	}
+	return Shard{Index: i, Count: m}, true
+}
+
+// ShardFiles discovers a complete shard-<i>-of-<m>.jsonl set in dir and
+// returns the paths in shard order (0/m first) — ready to hand to
+// MergeShards. The set must be complete and consistent: every file
+// agreeing on m, all m shards present, no duplicates. Files not
+// matching the naming scheme are ignored, so a job store directory's
+// spec.json and meta.json coexist with the shard outputs.
+func ShardFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var m int
+	found := map[int]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		sh, ok := ParseShardFileName(e.Name())
+		if !ok {
+			continue
+		}
+		if m == 0 {
+			m = sh.Count
+		}
+		if sh.Count != m {
+			return nil, fmt.Errorf("sweep: %s holds shard files from different splits (%d-way and %d-way) — not one job's output", dir, m, sh.Count)
+		}
+		found[sh.Index] = filepath.Join(dir, e.Name())
+	}
+	if m == 0 {
+		return nil, fmt.Errorf("sweep: no shard-<i>-of-<m>.jsonl files in %s", dir)
+	}
+	paths := make([]string, 0, m)
+	for i := 0; i < m; i++ {
+		p, ok := found[i]
+		if !ok {
+			return nil, fmt.Errorf("sweep: %s is missing %s — incomplete shard set", dir, ShardFileName(Shard{Index: i, Count: m}))
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
 }
 
 // shardStream reads one shard's JSONL stream a line at a time, skipping

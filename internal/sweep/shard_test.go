@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -196,5 +198,88 @@ func TestRunRejectsInvalidShard(t *testing.T) {
 		if _, err := Run(multiModelSpec(), NewJSONL(&bytes.Buffer{}), Options{Shard: sh}); err == nil {
 			t.Errorf("Run accepted invalid shard %+v", sh)
 		}
+	}
+}
+
+func TestShardFileNameRoundTrip(t *testing.T) {
+	cases := []Shard{
+		{Index: 0, Count: 1},
+		{Index: 0, Count: 3},
+		{Index: 2, Count: 3},
+		{Index: 11, Count: 12},
+	}
+	for _, sh := range cases {
+		name := ShardFileName(sh)
+		got, ok := ParseShardFileName(name)
+		if !ok || got != sh {
+			t.Errorf("ParseShardFileName(ShardFileName(%+v)) = %+v, %v", sh, got, ok)
+		}
+	}
+	// The disabled shard (Count 0) still names a canonical single file.
+	if name := ShardFileName(Shard{}); name != "shard-0-of-1.jsonl" {
+		t.Errorf("ShardFileName(zero) = %q", name)
+	}
+	for _, bad := range []string{
+		"", "shard-0-of-1", "shard-0.jsonl", "shard-1-of-1.jsonl",
+		"shard--1-of-2.jsonl", "shard-0-of-0.jsonl", "shard-01-of-2.jsonl",
+		"shard-0-of-02.jsonl", "shard-a-of-b.jsonl", "spec.json", "meta.json",
+	} {
+		if sh, ok := ParseShardFileName(bad); ok {
+			t.Errorf("ParseShardFileName(%q) accepted as %+v", bad, sh)
+		}
+	}
+}
+
+func TestShardLineCountExported(t *testing.T) {
+	if got := ShardLineCount(10, Shard{}); got != 10 {
+		t.Errorf("disabled shard holds %d lines, want all 10", got)
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += ShardLineCount(10, Shard{Index: i, Count: 3})
+	}
+	if total != 10 {
+		t.Errorf("3-way split of 10 sums to %d", total)
+	}
+}
+
+func TestShardFilesDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Job-store clutter that must be ignored.
+	write("spec.json")
+	write("meta.json")
+	write("cancelled")
+	if _, err := ShardFiles(dir); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	write("shard-0-of-3.jsonl")
+	write("shard-2-of-3.jsonl")
+	if _, err := ShardFiles(dir); err == nil {
+		t.Fatal("incomplete set (missing shard 1) accepted")
+	}
+	write("shard-1-of-3.jsonl")
+	paths, err := ShardFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	for i, p := range paths {
+		want := ShardFileName(Shard{Index: i, Count: 3})
+		if filepath.Base(p) != want {
+			t.Errorf("paths[%d] = %q, want %q", i, p, want)
+		}
+	}
+	// A second split in the same directory is ambiguous, not mergeable.
+	write("shard-0-of-2.jsonl")
+	if _, err := ShardFiles(dir); err == nil {
+		t.Fatal("mixed 2-way and 3-way splits accepted")
 	}
 }

@@ -214,6 +214,7 @@ var serveEndpoints = []string{
 	"GET /v1/jobs/{id}",
 	"GET /v1/jobs/{id}/results",
 	"DELETE /v1/jobs/{id}",
+	"GET /healthz",
 }
 
 // TestREADMEDocumentsServeHTTPAPI keeps README's HTTP API table in
@@ -433,5 +434,49 @@ func TestREADMEDocumentsResultCache(t *testing.T) {
 	// The documented kernel-version stamp export exists and is non-empty.
 	if faultexp.SweepKernelVersion == "" {
 		t.Error("SweepKernelVersion is empty")
+	}
+}
+
+// TestREADMEDocumentsDistributedSweeps pins the distributed-fabric
+// section: worker and coordinator invocations with their flags, the
+// worker protocol, the durable-store layout, the failure semantics,
+// and the kernel-skew discipline must all stay documented.
+func TestREADMEDocumentsDistributedSweeps(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		"### Distributed sweeps: `faultexp worker` + `faultexp coordinator`",
+		"faultexp worker -addr",
+		"faultexp coordinator -addr",
+		"-workers", "-store",
+		"-shards", "-max-inflight", "-health-interval", "-retry-delay",
+		// The worker protocol.
+		"`?shard=i/m`", "`?skip=K`",
+		// The durable-store layout, path by path.
+		"meta.json", "spec.json", "shard-<i>-of-<m>.jsonl", "cancelled",
+		"temp dir + rename",
+		// Failure semantics.
+		"reassigned to surviving",
+		"never recomputation of verified cells",
+		"torn final line",
+		"no duplicated or missing cells",
+		"cancels durably",
+		"faultexp merge -dir",
+		// Kernel-skew discipline.
+		"kernel-version stamp",
+		"refuses to\ndispatch",
+		"SweepKernelVersion",
+		"GET /v1/workers",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("README's distributed-sweeps docs do not mention %q", want)
+		}
+	}
+	// The byte-identity promise is made explicitly for the fleet path.
+	if !strings.Contains(s, "byte-identical to a single-node `faultexp sweep`") {
+		t.Error("README does not promise fleet/single-node byte identity")
 	}
 }
